@@ -1,0 +1,47 @@
+//! Boot-harness throughput: one full simulated boot per iteration — the
+//! unit of Table 3/4 work (the paper needed ~2 minutes per mutant on real
+//! hardware; this measures our equivalent).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use devil_drivers::ide;
+use devil_kernel::boot::{boot_ide, standard_ide_machine, Outcome, DEFAULT_FUEL};
+use devil_kernel::fs;
+use devil_minic::Program;
+
+fn compile_c() -> Program {
+    devil_minic::compile(ide::IDE_C_FILE, ide::IDE_C_DRIVER).unwrap()
+}
+
+fn compile_cdevil() -> Program {
+    let incs = ide::cdevil_includes();
+    let incs_ref: Vec<(&str, &str)> =
+        incs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    devil_minic::compile_with_includes(ide::IDE_CDEVIL_FILE, ide::IDE_CDEVIL_DRIVER, &incs_ref)
+        .unwrap()
+}
+
+fn bench_boot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("boot");
+    g.sample_size(20);
+    let files = fs::standard_files();
+    for (label, program) in [("c_driver", compile_c()), ("cdevil_driver", compile_cdevil())] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let (mut io, dev) = standard_ide_machine(&files);
+                let report = boot_ide(&program, &mut io, dev, &files, DEFAULT_FUEL);
+                assert_eq!(report.outcome, Outcome::Boot);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("driver_compile");
+    g.bench_function("c_driver", |b| b.iter(compile_c));
+    g.bench_function("cdevil_driver", |b| b.iter(compile_cdevil));
+    g.finish();
+}
+
+criterion_group!(benches, bench_boot, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Devil compiler performance: parse, check, and codegen for each bundled
+//! specification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use devil_core::codegen::{generate, CodegenMode};
+use devil_core::{check, parser};
+use devil_drivers::specs;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parse");
+    for (name, _, src) in specs::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), src, |b, src| {
+            b.iter(|| parser::parse(std::hint::black_box(src)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("check");
+    for (name, _, src) in specs::all() {
+        let ast = parser::parse(src).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &ast, |b, ast| {
+            b.iter(|| check::check(std::hint::black_box(ast)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codegen");
+    for (name, file, src) in specs::all() {
+        let checked = specs::compile(file, src).unwrap();
+        for (mode, label) in [(CodegenMode::Debug, "debug"), (CodegenMode::Production, "prod")] {
+            g.bench_with_input(BenchmarkId::new(label, name), &checked, |b, checked| {
+                b.iter(|| generate(std::hint::black_box(checked), mode));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_check, bench_codegen);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Debug-stub overhead — the ablation behind the paper's companion claim
+//! that Devil drivers run at near-native speed in production mode ([11]):
+//! the same mouse-state read through production stubs, debug stubs, and
+//! raw port accesses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use devil_core::runtime::{DeviceInstance, StubMode};
+use devil_drivers::specs;
+use devil_hwsim::devices::Busmouse;
+use devil_hwsim::{IoBus, IoSpace};
+
+const BASE: u16 = 0x23C;
+
+fn machine() -> IoSpace {
+    let mut io = IoSpace::new();
+    let id = io.map(BASE, 4, Box::new(Busmouse::new())).unwrap();
+    io.device_mut::<Busmouse>(id).unwrap().inject_motion(5, -9, 0b011);
+    io
+}
+
+fn read_state_via_stubs(dev: &mut DeviceInstance<'_>, io: &mut IoSpace) -> (i64, i64, u64) {
+    let dx = dev.get(io, "dx").unwrap().as_signed(8);
+    let dy = dev.get(io, "dy").unwrap().as_signed(8);
+    let b = dev.get(io, "buttons").unwrap().raw;
+    (dx, dy, b)
+}
+
+/// The hand-written equivalent (what the C driver's hot path does).
+fn read_state_raw(io: &mut IoSpace) -> (i64, i64, u64) {
+    let mut nib = |idx: u8| {
+        io.outb(BASE + 2, 0x80 | (idx << 5)).unwrap();
+        io.inb(BASE).unwrap()
+    };
+    let dx = (nib(0) & 0xF) as i64 | (((nib(1) & 0xF) as i64) << 4);
+    let y_low = nib(2) & 0xF;
+    let y_high = nib(3);
+    let dy = y_low as i64 | (((y_high & 0xF) as i64) << 4);
+    let b = (y_high >> 5) as u64;
+    ((dx as u8) as i8 as i64, (dy as u8) as i8 as i64, b)
+}
+
+fn bench_stub_overhead(c: &mut Criterion) {
+    let checked = specs::compile("busmouse.dil", specs::BUSMOUSE).unwrap();
+    let mut g = c.benchmark_group("mouse_state_read");
+
+    g.bench_function("raw_ports", |b| {
+        let mut io = machine();
+        b.iter(|| std::hint::black_box(read_state_raw(&mut io)));
+    });
+
+    for (mode, label) in [
+        (StubMode::Production, "production_stubs"),
+        (StubMode::Debug, "debug_stubs"),
+    ] {
+        g.bench_function(label, |b| {
+            let mut io = machine();
+            let mut dev = DeviceInstance::new(&checked, &[BASE], mode);
+            b.iter(|| std::hint::black_box(read_state_via_stubs(&mut dev, &mut io)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stub_overhead);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerate Figure 2: the port/register/variable layering of the
+//! busmouse specification (text rendering).
+
+fn main() {
+    let checked = devil_drivers::specs::compile("busmouse.dil", devil_drivers::specs::BUSMOUSE)
+        .expect("bundled busmouse spec compiles");
+    println!("Figure 2: Schematic view of the Logitech busmouse specification\n");
+    println!("{}", checked.render_schematic());
+}

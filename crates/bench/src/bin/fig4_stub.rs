@@ -1,0 +1,29 @@
+//! Regenerate Figure 4: the debug stub generated for the IDE `Drive`
+//! variable (and its register).
+
+use devil_core::codegen::{generate, CodegenMode};
+
+fn main() {
+    let checked = devil_drivers::specs::compile("ide_piix4.dil", devil_drivers::specs::IDE_PIIX4)
+        .expect("bundled IDE spec compiles");
+    let c = generate(&checked, CodegenMode::Debug);
+    println!("Figure 4: Debug stub for the IDE Drive variable\n");
+    // Show the Figure-4 slices: type representation, register stubs,
+    // variable stubs for `Drive`.
+    for needle in [
+        "struct Drive_t_",
+        "static void reg_set_select_reg",
+        "static u8 reg_get_select_reg",
+        "static void dil_set_Drive_raw",
+        "static u32 dil_get_Drive_raw",
+        "static Drive_t get_Drive",
+        "static void set_Drive",
+    ] {
+        if let Some(start) = c.find(needle) {
+            let slice = &c[start..];
+            let end = slice.find("\n\n").unwrap_or(slice.len());
+            println!("{}\n", &slice[..end]);
+        }
+    }
+    println!("/* full header: {} lines */", c.lines().count());
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 1: mutation rules for C operators.
+
+fn main() {
+    println!("Table 1: Mutation rules for C operators");
+    println!("{}", devil_bench::tables::render_table1());
+}

@@ -1,0 +1,11 @@
+//! Regenerate Table 2: mutation coverage of the Devil compiler over the
+//! five bundled specifications.
+
+use devil_bench::tables::{render_table2, table2};
+
+fn main() {
+    println!("Table 2: Mutation coverage of the Devil compiler");
+    println!("(paper: 95.4 / 88.8 / 91.7 / 92.6 / 90.3 % detected)\n");
+    let rows = table2();
+    println!("{}", render_table2(&rows));
+}

@@ -1,0 +1,403 @@
+//! Campaign runners and table renderers shared by the bench binaries.
+
+use devil_drivers::{ide, specs};
+use devil_kernel::boot::{run_mutant, Outcome, DEFAULT_FUEL};
+use devil_kernel::fs;
+use devil_mutagen::c::{CMutationModel, CStyle};
+use devil_mutagen::devil::DevilMutationModel;
+use devil_mutagen::{run_parallel, sample, Mutant};
+use std::collections::{BTreeMap, HashSet};
+
+/// Default seed for the 25% sample, matching the paper's methodology of
+/// randomly testing a quarter of the generated mutants.
+pub const DEFAULT_SEED: u64 = 0xDE71;
+/// Default sampling fraction.
+pub const DEFAULT_FRACTION: f64 = 0.25;
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+// ---------------------------------------------------------------- Table 2
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Specification display name.
+    pub name: &'static str,
+    /// Non-comment line count.
+    pub lines: usize,
+    /// Number of mutation sites.
+    pub sites: usize,
+    /// Number of injected mutants.
+    pub mutants: usize,
+    /// Mutants rejected by the Devil compiler.
+    pub detected: usize,
+}
+
+impl Table2Row {
+    /// Percentage of detected mutants.
+    pub fn pct(&self) -> f64 {
+        if self.mutants == 0 {
+            0.0
+        } else {
+            100.0 * self.detected as f64 / self.mutants as f64
+        }
+    }
+}
+
+/// Run the Table 2 campaign: inject every mutant into every bundled
+/// specification and count how many the Devil compiler rejects.
+pub fn table2() -> Vec<Table2Row> {
+    specs::all()
+        .into_iter()
+        .map(|(name, file, src)| {
+            let model = DevilMutationModel::new(src).expect("bundled specs parse");
+            let mutants = model.mutants();
+            let verdicts = run_parallel(&mutants, default_threads(), |m| {
+                devil_core::compile(file, &m.source).is_err()
+            });
+            let detected = verdicts.iter().filter(|d| **d).count();
+            Table2Row {
+                name,
+                lines: specs::effective_lines(src),
+                sites: model.sites().len(),
+                mutants: mutants.len(),
+                detected,
+            }
+        })
+        .collect()
+}
+
+/// Render Table 2 in the paper's format.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<32} {:>6} {:>7} {:>9} {:>11}\n",
+        "", "lines", "sites", "mutants", "% detected"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<32} {:>6} {:>7} {:>9} {:>10.1}%\n",
+            r.name,
+            r.lines,
+            r.sites,
+            r.mutants,
+            r.pct()
+        ));
+    }
+    out
+}
+
+// ------------------------------------------------------------ Tables 3 & 4
+
+/// Which driver a campaign targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// The original-style C driver (Table 3).
+    C,
+    /// The CDevil glue driver (Table 4).
+    CDevil,
+}
+
+/// Which stub header flavour a CDevil campaign compiles against — the
+/// ablation axis of DESIGN.md §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StubFlavor {
+    /// Full debug stubs: struct types + run-time assertions (Table 4).
+    #[default]
+    Debug,
+    /// Struct types but assertions stripped (`--no-asserts`): measures
+    /// what the type encoding alone buys.
+    DebugNoAsserts,
+    /// Production stubs (`--weak-types`): integer typedefs, nothing else.
+    Production,
+}
+
+/// Options for a driver campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Fraction of mutants to evaluate (paper: 0.25).
+    pub fraction: f64,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Interpreter fuel per boot.
+    pub fuel: u64,
+    /// Stub flavour for the CDevil campaign (ignored for the C driver).
+    pub stub_flavor: StubFlavor,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            fraction: DEFAULT_FRACTION,
+            seed: DEFAULT_SEED,
+            threads: default_threads(),
+            fuel: DEFAULT_FUEL,
+            stub_flavor: StubFlavor::Debug,
+        }
+    }
+}
+
+/// Aggregated campaign result: the paper's outcome table.
+#[derive(Debug, Clone)]
+pub struct OutcomeTable {
+    /// Per-outcome `(distinct mutation sites, mutants)`.
+    pub rows: BTreeMap<Outcome, (usize, usize)>,
+    /// Total mutants evaluated.
+    pub total_mutants: usize,
+    /// Total distinct sites evaluated.
+    pub total_sites: usize,
+    /// Total mutants generated before sampling.
+    pub generated: usize,
+}
+
+impl OutcomeTable {
+    /// Fraction (0..=1) of evaluated mutants with the given outcome.
+    pub fn fraction(&self, outcome: Outcome) -> f64 {
+        if self.total_mutants == 0 {
+            return 0.0;
+        }
+        self.rows.get(&outcome).map(|(_, m)| *m).copied_or_zero() as f64
+            / self.total_mutants as f64
+    }
+
+    /// Fraction of mutants detected at compile or run time.
+    pub fn detected_fraction(&self) -> f64 {
+        self.fraction(Outcome::CompileCheck) + self.fraction(Outcome::RuntimeCheck)
+    }
+
+    /// Fraction of mutants that booted with no detection and no damage —
+    /// the paper's "worst case".
+    pub fn undetected_fraction(&self) -> f64 {
+        self.fraction(Outcome::Boot)
+    }
+}
+
+trait CopiedOrZero {
+    fn copied_or_zero(self) -> usize;
+}
+
+impl CopiedOrZero for Option<usize> {
+    fn copied_or_zero(self) -> usize {
+        self.unwrap_or(0)
+    }
+}
+
+/// Generate the mutant set for a driver.
+pub fn driver_mutants(driver: Driver) -> (CMutationModel, Vec<Mutant>) {
+    let model = match driver {
+        Driver::C => CMutationModel::new(ide::IDE_C_DRIVER, &[], CStyle::PlainC),
+        Driver::CDevil => {
+            let hdr = ide::ide_debug_header();
+            CMutationModel::new(ide::IDE_CDEVIL_DRIVER, &[&hdr], CStyle::CDevil)
+        }
+    };
+    let mutants = model.mutants();
+    (model, mutants)
+}
+
+/// Run a Table 3/4 campaign.
+pub fn driver_campaign(driver: Driver, opts: &CampaignOptions) -> OutcomeTable {
+    let (_, all_mutants) = driver_mutants(driver);
+    let generated = all_mutants.len();
+    let mutants = sample(all_mutants, opts.fraction, opts.seed);
+    let includes: Vec<(String, String)> = match (driver, opts.stub_flavor) {
+        (Driver::C, _) => Vec::new(),
+        (Driver::CDevil, StubFlavor::Debug) => ide::cdevil_includes(),
+        (Driver::CDevil, StubFlavor::DebugNoAsserts) => {
+            vec![(ide::IDE_HEADER_NAME.to_string(), ide::ide_no_assert_header())]
+        }
+        (Driver::CDevil, StubFlavor::Production) => {
+            vec![(ide::IDE_HEADER_NAME.to_string(), ide::ide_production_header())]
+        }
+    };
+    let file_name = match driver {
+        Driver::C => ide::IDE_C_FILE,
+        Driver::CDevil => ide::IDE_CDEVIL_FILE,
+    };
+    let files = fs::standard_files();
+    let inc_refs: Vec<(&str, &str)> =
+        includes.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let outcomes = run_parallel(&mutants, opts.threads, |m| {
+        run_mutant(file_name, &m.source, &inc_refs, Some(m.line), &files, opts.fuel).0
+    });
+    let mut rows: BTreeMap<Outcome, (HashSet<usize>, usize)> = BTreeMap::new();
+    let mut all_sites = HashSet::new();
+    for (m, o) in mutants.iter().zip(outcomes) {
+        let e = rows.entry(o).or_default();
+        e.0.insert(m.site);
+        e.1 += 1;
+        all_sites.insert(m.site);
+    }
+    OutcomeTable {
+        rows: rows.into_iter().map(|(k, (s, n))| (k, (s.len(), n))).collect(),
+        total_mutants: mutants.len(),
+        total_sites: all_sites.len(),
+        generated,
+    }
+}
+
+/// Render an outcome table in the paper's Table 3/4 format.
+pub fn render_outcome_table(t: &OutcomeTable, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<20} {:>16} {:>10} {:>22}\n",
+        "", "mutation sites", "mutants", "mutants / total"
+    ));
+    for outcome in Outcome::table_order() {
+        let (sites, mutants) = t.rows.get(&outcome).copied().unwrap_or((0, 0));
+        if mutants == 0 && !matches!(outcome, Outcome::CompileCheck | Outcome::Boot) {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<20} {:>16} {:>10} {:>21.1}%\n",
+            outcome.to_string(),
+            sites,
+            mutants,
+            100.0 * mutants as f64 / t.total_mutants.max(1) as f64
+        ));
+    }
+    out.push_str(&format!(
+        "{:<20} {:>16} {:>10}   (sampled from {} generated)\n",
+        "Total",
+        t.total_sites,
+        t.total_mutants,
+        t.generated
+    ));
+    out
+}
+
+/// The §4.2 headline numbers derived from two campaigns.
+#[derive(Debug, Clone, Copy)]
+pub struct Headline {
+    /// Detection rate of the C driver (compile + run time).
+    pub c_detected: f64,
+    /// Detection rate of the CDevil driver.
+    pub cdevil_detected: f64,
+    /// Undetected ("Boot") rate of the C driver.
+    pub c_undetected: f64,
+    /// Undetected rate of the CDevil driver.
+    pub cdevil_undetected: f64,
+}
+
+impl Headline {
+    /// Compute from the two campaign tables.
+    pub fn from_tables(c: &OutcomeTable, cdevil: &OutcomeTable) -> Headline {
+        Headline {
+            c_detected: c.detected_fraction(),
+            cdevil_detected: cdevil.detected_fraction(),
+            c_undetected: c.undetected_fraction(),
+            cdevil_undetected: cdevil.undetected_fraction(),
+        }
+    }
+
+    /// Detection improvement factor (paper: ≈ 3×).
+    pub fn detection_factor(&self) -> f64 {
+        if self.c_detected == 0.0 {
+            f64::INFINITY
+        } else {
+            self.cdevil_detected / self.c_detected
+        }
+    }
+
+    /// Undetected-error reduction factor (paper: ≈ 3×).
+    pub fn undetected_factor(&self) -> f64 {
+        if self.cdevil_undetected == 0.0 {
+            f64::INFINITY
+        } else {
+            self.c_undetected / self.cdevil_undetected
+        }
+    }
+
+    /// Render the headline comparison.
+    pub fn render(&self) -> String {
+        format!(
+            "detected:   C {:.1}%  vs  CDevil {:.1}%  ({:.1}x more errors caught)\n\
+             undetected: C {:.1}%  vs  CDevil {:.1}%  ({:.1}x fewer silent errors)\n",
+            100.0 * self.c_detected,
+            100.0 * self.cdevil_detected,
+            self.detection_factor(),
+            100.0 * self.c_undetected,
+            100.0 * self.cdevil_undetected,
+            self.undetected_factor()
+        )
+    }
+}
+
+/// Render Table 1 (the C operator mutation classes).
+pub fn render_table1() -> String {
+    let ops = [
+        "|", "&", "^", "<<", ">>", "+", "-", "&&", "||", "==", "!=", "~", "!", "|=", "&=", "^=",
+        "<<=", ">>=", "+=", "-=",
+    ];
+    let mut out = String::from("operator   mutants\n");
+    for op in ops {
+        let ms = devil_mutagen::operator::c_operator_mutants(op);
+        out.push_str(&format!("{:<10} {}\n", op, ms.join(" ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_all_classes() {
+        let t = render_table1();
+        assert!(t.contains("<<         >>"), "{t}");
+        assert!(t.lines().count() > 15);
+    }
+
+    #[test]
+    fn driver_mutant_sets_are_nonempty_and_distinct() {
+        let (_, c) = driver_mutants(Driver::C);
+        let (_, d) = driver_mutants(Driver::CDevil);
+        assert!(c.len() > 500, "C mutants: {}", c.len());
+        assert!(d.len() > 500, "CDevil mutants: {}", d.len());
+    }
+
+    #[test]
+    fn tiny_campaign_produces_sane_rows() {
+        // A very small sample to keep the test fast; the real numbers come
+        // from the bench binaries in release mode.
+        let opts = CampaignOptions {
+            fraction: 0.01,
+            seed: 7,
+            threads: 4,
+            fuel: 600_000,
+            stub_flavor: StubFlavor::Debug,
+        };
+        let t = driver_campaign(Driver::C, &opts);
+        assert!(t.total_mutants > 10);
+        let accounted: usize = t.rows.values().map(|(_, m)| *m).sum();
+        assert_eq!(accounted, t.total_mutants);
+        let rendered = render_outcome_table(&t, "tiny");
+        assert!(rendered.contains("Total"), "{rendered}");
+    }
+
+    #[test]
+    fn headline_math() {
+        let mk = |detected: usize, boot: usize, total: usize| OutcomeTable {
+            rows: [
+                (Outcome::CompileCheck, (1, detected)),
+                (Outcome::Boot, (1, boot)),
+            ]
+            .into_iter()
+            .collect(),
+            total_mutants: total,
+            total_sites: 2,
+            generated: total,
+        };
+        let c = mk(27, 35, 100);
+        let d = mk(72, 12, 100);
+        let h = Headline::from_tables(&c, &d);
+        assert!((h.detection_factor() - 72.0 / 27.0).abs() < 1e-9);
+        assert!((h.undetected_factor() - 35.0 / 12.0).abs() < 1e-9);
+        assert!(h.render().contains("x more errors caught"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Abstract syntax tree for Devil specifications.
+//!
+//! The tree mirrors the three-layer structure of the language (§2.1 of the
+//! paper): a device is declared over **port** parameters, **registers** are
+//! built from ports, and **device variables** are built from register bits.
+//! Every node keeps its [`Span`] so the checker can point at the offending
+//! character.
+
+use crate::span::Span;
+
+/// An identifier with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// The name as written.
+    pub name: String,
+    /// Where it was written.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, span: Span) -> Self {
+        Ident { name: name.into(), span }
+    }
+}
+
+/// An integer literal with its source location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntLit {
+    /// Parsed value.
+    pub value: u64,
+    /// Where it was written.
+    pub span: Span,
+}
+
+/// A complete device specification (the single top-level construct).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceSpec {
+    /// Device name (e.g. `logitech_busmouse`).
+    pub name: Ident,
+    /// Port parameters of the device declaration.
+    pub params: Vec<PortParam>,
+    /// Register and variable declarations, in source order.
+    pub items: Vec<Item>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+impl DeviceSpec {
+    /// Iterate over the register declarations.
+    pub fn registers(&self) -> impl Iterator<Item = &RegisterDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Register(r) => Some(r),
+            Item::Variable(_) => None,
+        })
+    }
+
+    /// Iterate over the variable declarations.
+    pub fn variables(&self) -> impl Iterator<Item = &VariableDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Variable(v) => Some(v),
+            Item::Register(_) => None,
+        })
+    }
+}
+
+/// A port parameter: `base : bit[8] port @ {0..3}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortParam {
+    /// Parameter name (`base`).
+    pub name: Ident,
+    /// Data width in bits (`bit[8]`).
+    pub width: IntLit,
+    /// Valid offset range (`{0..3}`), inclusive.
+    pub range: (IntLit, IntLit),
+    /// Span of the whole parameter.
+    pub span: Span,
+}
+
+/// One item in the device body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A register declaration.
+    Register(RegisterDecl),
+    /// A device-variable declaration.
+    Variable(VariableDecl),
+}
+
+/// Access direction of a port clause or value mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Read-only.
+    Read,
+    /// Write-only.
+    Write,
+}
+
+/// `register name = [read|write] port @ offset (, attrs)* [: bit[n]] ;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterDecl {
+    /// Register name.
+    pub name: Ident,
+    /// Port clauses (one, or one per direction).
+    pub ports: Vec<PortClause>,
+    /// Optional bit-constraint mask (`mask '1001000.'`).
+    pub mask: Option<MaskLit>,
+    /// Pre-actions required before each access (`pre {index = 0}`).
+    pub pre: Vec<PreAction>,
+    /// Declared size (`: bit[8]`); defaults to the port width when omitted.
+    pub size: Option<IntLit>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// `[read|write] base @ 3`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortClause {
+    /// Direction restriction; `None` means read/write.
+    pub direction: Option<Direction>,
+    /// Port parameter name.
+    pub port: Ident,
+    /// Constant offset from the port base.
+    pub offset: IntLit,
+    /// Span of the clause.
+    pub span: Span,
+}
+
+/// A quoted mask literal over `{0, 1, *, .}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskLit {
+    /// The pattern text, most-significant bit first.
+    pub pattern: String,
+    /// Where it was written.
+    pub span: Span,
+}
+
+/// One pre-action: `index = 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreAction {
+    /// The (private) variable assigned before the access.
+    pub var: Ident,
+    /// The value it must hold.
+    pub value: IntLit,
+    /// Span of the assignment.
+    pub span: Span,
+}
+
+/// `[private] variable name = frag (# frag)* (, attrs)* : type ;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariableDecl {
+    /// Whether the variable is private (not exported to the driver API).
+    pub private: bool,
+    /// Variable name.
+    pub name: Ident,
+    /// Register fragments, most-significant first (`x_high[3..0] # x_low[3..0]`).
+    pub frags: Vec<Fragment>,
+    /// Whether the value can change under device control.
+    pub volatile: bool,
+    /// Access-trigger attribute (`write trigger` / `read trigger`).
+    pub trigger: Option<(Direction, Span)>,
+    /// The variable's Devil type.
+    pub ty: TypeExpr,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A register fragment: `x_high[3..0]`, `index_reg[4]`, or a bare register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// Source register.
+    pub register: Ident,
+    /// Selected bits; `None` selects the whole register.
+    pub bits: Option<BitRange>,
+    /// Span of the fragment.
+    pub span: Span,
+}
+
+/// An inclusive bit range `[msb..lsb]` (or a single bit `[n]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitRange {
+    /// Most significant selected bit.
+    pub msb: IntLit,
+    /// Least significant selected bit.
+    pub lsb: IntLit,
+    /// Span including the brackets.
+    pub span: Span,
+}
+
+impl BitRange {
+    /// Number of bits selected (0 when the range is inverted — caught by the
+    /// checker).
+    pub fn width(&self) -> u64 {
+        if self.msb.value >= self.lsb.value {
+            self.msb.value - self.lsb.value + 1
+        } else {
+            0
+        }
+    }
+}
+
+/// A Devil variable type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `int(n)` or `signed int(n)`.
+    Int {
+        /// Whether the value is sign-extended.
+        signed: bool,
+        /// Width in bits.
+        bits: IntLit,
+        /// Span of the type expression.
+        span: Span,
+    },
+    /// `bool` — a single bit.
+    Bool {
+        /// Span of the keyword.
+        span: Span,
+    },
+    /// `{ NAME => '1', ... }` — symbolic value mapping.
+    Enum {
+        /// The mapping arms.
+        arms: Vec<EnumArm>,
+        /// Span of the whole block.
+        span: Span,
+    },
+    /// `int { 0, 2..3, 7 }` — a fixed set of allowed integers.
+    IntSet {
+        /// Set items (values and ranges).
+        items: Vec<SetItem>,
+        /// Span of the whole type.
+        span: Span,
+    },
+}
+
+impl TypeExpr {
+    /// The span of the type expression.
+    pub fn span(&self) -> Span {
+        match self {
+            TypeExpr::Int { span, .. }
+            | TypeExpr::Bool { span }
+            | TypeExpr::Enum { span, .. }
+            | TypeExpr::IntSet { span, .. } => *span,
+        }
+    }
+}
+
+/// One arm of an enumerated mapping: `SLAVE <=> '1'`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumArm {
+    /// Symbolic name.
+    pub name: Ident,
+    /// Mapping direction (`=>` write, `<=` read, `<=>` both).
+    pub mapping: MappingDir,
+    /// Bit pattern (over `{0, 1}`), most-significant first.
+    pub pattern: MaskLit,
+    /// Span of the arm.
+    pub span: Span,
+}
+
+/// Direction of an enumerated mapping arrow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingDir {
+    /// `=>` — usable when writing only.
+    Write,
+    /// `<=` — usable when reading only.
+    Read,
+    /// `<=>` — usable in both directions.
+    Both,
+}
+
+/// An item of an integer-set type: a single value or an inclusive range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetItem {
+    /// A single allowed value.
+    Value(IntLit),
+    /// An inclusive range of allowed values.
+    Range(IntLit, IntLit),
+}
+
+impl SetItem {
+    /// Enumerate the concrete values of this item (empty when inverted).
+    pub fn values(&self) -> Vec<u64> {
+        match self {
+            SetItem::Value(v) => vec![v.value],
+            SetItem::Range(lo, hi) => {
+                if lo.value <= hi.value {
+                    (lo.value..=hi.value).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Span of the item.
+    pub fn span(&self) -> Span {
+        match self {
+            SetItem::Value(v) => v.span,
+            SetItem::Range(lo, hi) => lo.span.merge(hi.span),
+        }
+    }
+}

@@ -1,0 +1,1237 @@
+//! The layered consistency checker (§2.2 of the paper).
+//!
+//! The checker enforces two families of rules:
+//!
+//! **Intra-layer** — type properties and uniqueness within one abstraction
+//! layer: every use of a port/register/variable matches its definition,
+//! sizes agree (port data width, register size, mask length, variable type
+//! width, enum bit-pattern lengths, bit ranges), and all entity names and
+//! enum patterns are uniquely defined.
+//!
+//! **Inter-layer** — consistency across the port → register → variable
+//! layering: access directions propagate upward; *no omission* (every port
+//! parameter, every ranged offset, every register and every relevant
+//! register bit must be used; read mappings must be exhaustive; read/write
+//! mappings require readable/writable variables); and *no overlap* (a port
+//! offset appears in at most one register per direction unless the registers
+//! carry disjoint pre-actions or disjoint masks; no register bit feeds two
+//! variables).
+//!
+//! All violations are collected — a mutant is "detected" when at least one
+//! error is reported, and real users get every diagnostic at once.
+
+use crate::ast::{self, DeviceSpec, Direction, MappingDir, TypeExpr};
+use crate::error::{DevilError, Stage};
+use crate::ir::*;
+use crate::span::Span;
+use std::collections::{HashMap, HashSet};
+
+/// Check a parsed specification, lowering it to IR.
+///
+/// # Errors
+///
+/// Returns every intra-layer and inter-layer violation found.
+pub fn check(spec: &DeviceSpec) -> Result<CheckedSpec, Vec<DevilError>> {
+    let mut cx = Checker::default();
+    cx.ports(spec);
+    cx.registers_pass(spec);
+    cx.variables_pass(spec);
+    cx.pre_actions_pass(spec);
+    cx.omission_checks(spec);
+    cx.overlap_checks(spec);
+    if cx.errors.is_empty() {
+        Ok(CheckedSpec {
+            name: spec.name.name.clone(),
+            ports: cx.ports,
+            registers: cx.registers,
+            variables: cx.variables,
+        })
+    } else {
+        Err(cx.errors)
+    }
+}
+
+#[derive(Default)]
+struct Checker {
+    errors: Vec<DevilError>,
+    ports: Vec<PortDef>,
+    registers: Vec<RegisterDef>,
+    variables: Vec<VariableDef>,
+    port_names: HashMap<String, PortId>,
+    reg_names: HashMap<String, RegId>,
+    var_names: HashMap<String, VarId>,
+    symbol_names: HashSet<String>,
+    /// Registers that failed resolution, to suppress cascading errors.
+    broken_regs: HashSet<String>,
+}
+
+impl Checker {
+    fn intra(&mut self, span: Span, msg: impl Into<String>) {
+        self.errors.push(DevilError::new(Stage::IntraLayer, span, msg));
+    }
+
+    fn inter(&mut self, span: Span, msg: impl Into<String>) {
+        self.errors.push(DevilError::new(Stage::InterLayer, span, msg));
+    }
+
+    // ----- layer 1: ports -------------------------------------------------
+
+    fn ports(&mut self, spec: &DeviceSpec) {
+        for p in &spec.params {
+            if self.port_names.contains_key(&p.name.name) {
+                self.intra(
+                    p.name.span,
+                    format!("port parameter `{}` is defined twice", p.name.name),
+                );
+                continue;
+            }
+            let width = p.width.value;
+            if !matches!(width, 8 | 16 | 32) {
+                self.intra(
+                    p.width.span,
+                    format!("port width must be 8, 16 or 32 bits, got {width}"),
+                );
+            }
+            let (lo, hi) = (p.range.0.value, p.range.1.value);
+            if lo > hi {
+                self.intra(
+                    p.range.0.span.merge(p.range.1.span),
+                    format!("port offset range {{{lo}..{hi}}} is inverted"),
+                );
+            }
+            let id = PortId(self.ports.len());
+            self.port_names.insert(p.name.name.clone(), id);
+            self.ports.push(PortDef {
+                name: p.name.name.clone(),
+                width: width.clamp(8, 32) as u32,
+                range: (lo, hi.max(lo)),
+            });
+        }
+    }
+
+    // ----- layer 2: registers ----------------------------------------------
+
+    fn registers_pass(&mut self, spec: &DeviceSpec) {
+        for r in spec.registers() {
+            let name = &r.name.name;
+            if self.port_names.contains_key(name) || self.reg_names.contains_key(name) {
+                self.intra(r.name.span, format!("`{name}` is already defined"));
+                self.broken_regs.insert(name.clone());
+                continue;
+            }
+            let mut read_port = None;
+            let mut write_port = None;
+            let mut resolved_width = None;
+            let mut broken = false;
+            for clause in &r.ports {
+                let Some(&pid) = self.port_names.get(&clause.port.name) else {
+                    self.intra(
+                        clause.port.span,
+                        format!("`{}` is not a declared port parameter", clause.port.name),
+                    );
+                    broken = true;
+                    continue;
+                };
+                let (prange, pwidth, pname) = {
+                    let pdef = &self.ports[pid.0];
+                    (pdef.range, pdef.width, pdef.name.clone())
+                };
+                let off = clause.offset.value;
+                if off < prange.0 || off > prange.1 {
+                    self.intra(
+                        clause.offset.span,
+                        format!(
+                            "offset {off} is outside the declared range {{{}..{}}} of port `{pname}`",
+                            prange.0, prange.1
+                        ),
+                    );
+                }
+                resolved_width.get_or_insert(pwidth);
+                match clause.direction {
+                    Some(Direction::Read) => {
+                        if read_port.replace((pid, off)).is_some() {
+                            self.intra(clause.span, "register has two read port clauses");
+                        }
+                    }
+                    Some(Direction::Write) => {
+                        if write_port.replace((pid, off)).is_some() {
+                            self.intra(clause.span, "register has two write port clauses");
+                        }
+                    }
+                    None => {
+                        if read_port.replace((pid, off)).is_some()
+                            || write_port.replace((pid, off)).is_some()
+                        {
+                            self.intra(
+                                clause.span,
+                                "a direction-less port clause cannot be combined with others",
+                            );
+                        }
+                    }
+                }
+            }
+            // Size: explicit, else the port's data width.
+            let size = match (&r.size, resolved_width) {
+                (Some(s), Some(w)) => {
+                    if s.value != w as u64 {
+                        self.intra(
+                            s.span,
+                            format!(
+                                "register size bit[{}] does not match the {w}-bit data width of its port",
+                                s.value
+                            ),
+                        );
+                    }
+                    s.value as u32
+                }
+                (Some(s), None) => s.value as u32,
+                (None, Some(w)) => w,
+                (None, None) => 8,
+            };
+            if size == 0 || size > 64 {
+                self.intra(r.name.span, format!("register size {size} is not supported"));
+            }
+            let mask = match &r.mask {
+                Some(m) => match Mask::from_pattern(&m.pattern) {
+                    Some(mask) => {
+                        if mask.len() != size {
+                            self.intra(
+                                m.span,
+                                format!(
+                                    "mask '{}' has {} bits but register `{name}` is {size} bits wide",
+                                    m.pattern,
+                                    mask.len()
+                                ),
+                            );
+                        }
+                        mask
+                    }
+                    None => {
+                        self.intra(m.span, "mask contains characters outside {0, 1, *, .}");
+                        Mask::all_relevant(size)
+                    }
+                },
+                None => Mask::all_relevant(size),
+            };
+            if broken {
+                self.broken_regs.insert(name.clone());
+            }
+            let id = RegId(self.registers.len());
+            self.reg_names.insert(name.clone(), id);
+            self.registers.push(RegisterDef {
+                name: name.clone(),
+                size: size.clamp(1, 64),
+                read_port,
+                write_port,
+                mask,
+                pre: Vec::new(), // resolved in pre_actions_pass
+            });
+        }
+    }
+
+    // ----- layer 3: variables ----------------------------------------------
+
+    fn variables_pass(&mut self, spec: &DeviceSpec) {
+        for (index, v) in spec.variables().enumerate() {
+            let name = &v.name.name;
+            if self.port_names.contains_key(name)
+                || self.reg_names.contains_key(name)
+                || self.var_names.contains_key(name)
+            {
+                self.intra(v.name.span, format!("`{name}` is already defined"));
+            }
+            let mut frags = Vec::new();
+            let mut width = 0u32;
+            let mut all_readable = true;
+            let mut all_writable = true;
+            let mut unresolved = false;
+            for f in &v.frags {
+                let Some(&rid) = self.reg_names.get(&f.register.name) else {
+                    if self.var_names.contains_key(&f.register.name)
+                        || self.port_names.contains_key(&f.register.name)
+                    {
+                        self.intra(
+                            f.register.span,
+                            format!(
+                                "`{}` is not a register (variables are built from registers)",
+                                f.register.name
+                            ),
+                        );
+                    } else {
+                        self.intra(
+                            f.register.span,
+                            format!("unknown register `{}`", f.register.name),
+                        );
+                    }
+                    unresolved = true;
+                    continue;
+                };
+                let rdef = &self.registers[rid.0];
+                let (msb, lsb) = match &f.bits {
+                    Some(b) => (b.msb.value, b.lsb.value),
+                    None => ((rdef.size - 1) as u64, 0),
+                };
+                if msb < lsb {
+                    self.intra(
+                        f.span,
+                        format!("bit range [{msb}..{lsb}] is inverted (write it msb..lsb)"),
+                    );
+                    unresolved = true;
+                    continue;
+                }
+                if msb >= rdef.size as u64 {
+                    self.intra(
+                        f.span,
+                        format!(
+                            "bit {msb} is outside register `{}` (bit[{}])",
+                            rdef.name, rdef.size
+                        ),
+                    );
+                    unresolved = true;
+                    continue;
+                }
+                all_readable &= rdef.readable();
+                all_writable &= rdef.writable();
+                let frag = FragmentDef { reg: rid, msb: msb as u32, lsb: lsb as u32 };
+                width += frag.width();
+                frags.push(frag);
+            }
+
+            let ty = self.resolve_type(&v.ty, width, unresolved);
+
+            // Direction: intersect register capabilities with what the type's
+            // mappings allow.
+            let (ty_reads, ty_writes) = match &ty {
+                VarType::Enum { arms } => (
+                    arms.iter().any(|(_, d, _)| *d != MappingDir::Write),
+                    arms.iter().any(|(_, d, _)| *d != MappingDir::Read),
+                ),
+                _ => (true, true),
+            };
+            if let VarType::Enum { arms } = &ty {
+                if !unresolved {
+                    if !all_readable && arms.iter().any(|(_, d, _)| *d == MappingDir::Read) {
+                        self.inter(
+                            v.ty.span(),
+                            format!(
+                                "type of `{name}` has read-only mappings (`<=`) but the variable is not readable"
+                            ),
+                        );
+                    }
+                    if !all_writable && arms.iter().any(|(_, d, _)| *d == MappingDir::Write) {
+                        self.inter(
+                            v.ty.span(),
+                            format!(
+                                "type of `{name}` has write-only mappings (`=>`) but the variable is not writable"
+                            ),
+                        );
+                    }
+                    if !all_readable
+                        && !all_writable
+                        && arms.iter().any(|(_, d, _)| *d == MappingDir::Both)
+                    {
+                        self.inter(
+                            v.ty.span(),
+                            format!("`<=>` mappings on `{name}` need a readable or writable register"),
+                        );
+                    }
+                }
+            }
+            let readable = all_readable && ty_reads && !frags.is_empty();
+            let writable = all_writable && ty_writes && !frags.is_empty();
+            if !unresolved && !readable && !writable {
+                self.inter(
+                    v.name.span,
+                    format!("variable `{name}` is neither readable nor writable"),
+                );
+            }
+
+            // Read mappings must be exhaustive over the variable's width.
+            if let VarType::Enum { arms } = &ty {
+                if readable && width > 0 && width <= 16 && !unresolved {
+                    let covered: HashSet<u64> = arms
+                        .iter()
+                        .filter(|(_, d, _)| *d != MappingDir::Write)
+                        .map(|(_, _, val)| *val)
+                        .collect();
+                    let total = 1u64 << width;
+                    if (covered.len() as u64) < total {
+                        self.inter(
+                            v.ty.span(),
+                            format!(
+                                "read mapping of `{name}` covers {} of {total} possible {width}-bit values; \
+                                 read mappings must be exhaustive",
+                                covered.len()
+                            ),
+                        );
+                    }
+                }
+            }
+
+            if let Some((dir, tspan)) = &v.trigger {
+                let ok = match dir {
+                    Direction::Read => readable,
+                    Direction::Write => writable,
+                };
+                if !ok && !unresolved {
+                    self.inter(
+                        *tspan,
+                        format!(
+                            "`{} trigger` on `{name}` requires the variable to be {}able",
+                            match dir {
+                                Direction::Read => "read",
+                                Direction::Write => "write",
+                            },
+                            match dir {
+                                Direction::Read => "read",
+                                Direction::Write => "write",
+                            }
+                        ),
+                    );
+                }
+            }
+
+            let id = VarId(self.variables.len());
+            self.var_names.entry(name.clone()).or_insert(id);
+            self.variables.push(VariableDef {
+                name: name.clone(),
+                private: v.private,
+                volatile: v.volatile,
+                trigger: v.trigger.map(|t| t.0),
+                frags,
+                ty,
+                width,
+                readable,
+                writable,
+                type_id: index as u32 + 1,
+            });
+        }
+    }
+
+    fn resolve_type(&mut self, ty: &TypeExpr, width: u32, unresolved: bool) -> VarType {
+        match ty {
+            TypeExpr::Int { signed, bits, span } => {
+                if !unresolved && bits.value != width as u64 {
+                    self.intra(
+                        *span,
+                        format!(
+                            "type int({}) does not match the {width} bit(s) selected from the registers",
+                            bits.value
+                        ),
+                    );
+                }
+                VarType::Int { signed: *signed, bits: bits.value as u32 }
+            }
+            TypeExpr::Bool { span } => {
+                if !unresolved && width != 1 {
+                    self.intra(*span, format!("bool requires exactly 1 bit, got {width}"));
+                }
+                VarType::Bool
+            }
+            TypeExpr::Enum { arms, span } => {
+                let mut seen_patterns: HashMap<(bool, u64), String> = HashMap::new();
+                let mut out = Vec::new();
+                for arm in arms {
+                    // Symbolic names are globally unique (§2.2): they become
+                    // file-scope constants in the generated C.
+                    if !self.symbol_names.insert(arm.name.name.clone()) {
+                        self.intra(
+                            arm.name.span,
+                            format!("symbolic name `{}` is already defined", arm.name.name),
+                        );
+                    }
+                    let pat = &arm.pattern.pattern;
+                    if pat.chars().any(|c| c != '0' && c != '1') {
+                        self.intra(
+                            arm.pattern.span,
+                            "enum bit patterns may contain only 0 and 1",
+                        );
+                        continue;
+                    }
+                    if !unresolved && pat.len() != width as usize {
+                        self.intra(
+                            arm.pattern.span,
+                            format!(
+                                "bit pattern '{pat}' has {} bits but `{}` selects {width}",
+                                pat.len(),
+                                arm.name.name
+                            ),
+                        );
+                    }
+                    let value = u64::from_str_radix(pat, 2).unwrap_or(0);
+                    // A pattern may legitimately appear once for reading and
+                    // once for writing, but not twice in the same direction.
+                    for dirread in [true, false] {
+                        let applies = match arm.mapping {
+                            MappingDir::Both => true,
+                            MappingDir::Read => dirread,
+                            MappingDir::Write => !dirread,
+                        };
+                        if applies {
+                            if let Some(prev) =
+                                seen_patterns.insert((dirread, value), arm.name.name.clone())
+                            {
+                                self.intra(
+                                    arm.pattern.span,
+                                    format!(
+                                        "bit pattern '{pat}' is mapped to both `{prev}` and `{}`",
+                                        arm.name.name
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    out.push((arm.name.name.clone(), arm.mapping, value));
+                }
+                if out.is_empty() {
+                    self.intra(*span, "enumerated type has no valid arms");
+                }
+                VarType::Enum { arms: out }
+            }
+            TypeExpr::IntSet { items, span } => {
+                let mut values = Vec::new();
+                for item in items {
+                    if let ast::SetItem::Range(lo, hi) = item {
+                        if lo.value > hi.value {
+                            self.intra(
+                                item.span(),
+                                format!("set range {}..{} is inverted", lo.value, hi.value),
+                            );
+                        }
+                    }
+                    for v in item.values() {
+                        if values.contains(&v) {
+                            self.intra(
+                                item.span(),
+                                format!("value {v} appears twice in the integer set"),
+                            );
+                        } else {
+                            if !unresolved && width < 64 && v >= (1u64 << width) {
+                                self.intra(
+                                    item.span(),
+                                    format!("value {v} does not fit in the {width} selected bit(s)"),
+                                );
+                            }
+                            values.push(v);
+                        }
+                    }
+                }
+                if values.is_empty() {
+                    self.intra(*span, "integer set type is empty");
+                }
+                values.sort_unstable();
+                VarType::IntSet { values }
+            }
+        }
+    }
+
+    // ----- pre-actions -----------------------------------------------------
+
+    fn pre_actions_pass(&mut self, spec: &DeviceSpec) {
+        // Resolve each register's pre-actions now that variables exist.
+        for r in spec.registers() {
+            let Some(&rid) = self.reg_names.get(&r.name.name) else { continue };
+            let mut resolved = Vec::new();
+            for pa in &r.pre {
+                let Some(&vid) = self.var_names.get(&pa.var.name) else {
+                    self.inter(
+                        pa.var.span,
+                        format!("pre-action references unknown variable `{}`", pa.var.name),
+                    );
+                    continue;
+                };
+                let vdef = self.variables[vid.0].clone();
+                if !vdef.writable {
+                    self.inter(
+                        pa.var.span,
+                        format!("pre-action variable `{}` is not writable", vdef.name),
+                    );
+                }
+                let ok = match &vdef.ty {
+                    VarType::Enum { arms } => arms
+                        .iter()
+                        .any(|(_, d, v)| *d != MappingDir::Read && *v == pa.value.value),
+                    VarType::IntSet { values } => values.contains(&pa.value.value),
+                    VarType::Int { .. } | VarType::Bool => {
+                        vdef.width >= 64 || pa.value.value < (1u64 << vdef.width)
+                    }
+                };
+                if !ok {
+                    self.inter(
+                        pa.value.span,
+                        format!(
+                            "pre-action value {} is not a legal value of `{}` ({})",
+                            pa.value.value,
+                            vdef.name,
+                            vdef.ty.describe()
+                        ),
+                    );
+                }
+                // The pre-action variable must not live (even partly) in the
+                // register it guards — that would be circular.
+                if self.variables[vid.0].frags.iter().any(|f| f.reg == rid) {
+                    self.inter(
+                        pa.span,
+                        format!(
+                            "pre-action on register `{}` uses variable `{}` stored in that same register",
+                            r.name.name, pa.var.name
+                        ),
+                    );
+                }
+                resolved.push((vid, pa.value.value));
+            }
+            self.registers[rid.0].pre = resolved;
+        }
+        // Deeper cycles: register -> pre var -> that var's registers -> ...
+        self.detect_pre_cycles(spec);
+    }
+
+    fn detect_pre_cycles(&mut self, spec: &DeviceSpec) {
+        let n = self.registers.len();
+        // adjacency: register i depends on register j if a pre-var of i is
+        // stored in j.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, r) in self.registers.iter().enumerate() {
+            for (vid, _) in &r.pre {
+                for f in &self.variables[vid.0].frags {
+                    adj[i].push(f.reg.0);
+                }
+            }
+        }
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        fn dfs(u: usize, adj: &[Vec<usize>], state: &mut [u8]) -> bool {
+            state[u] = 1;
+            for &v in &adj[u] {
+                if state[v] == 1 || (state[v] == 0 && dfs(v, adj, state)) {
+                    return true;
+                }
+            }
+            state[u] = 2;
+            false
+        }
+        for i in 0..n {
+            if state[i] == 0 && dfs(i, &adj, &mut state) {
+                let span = spec
+                    .registers()
+                    .nth(i)
+                    .map(|r| r.name.span)
+                    .unwrap_or_default();
+                self.inter(
+                    span,
+                    format!(
+                        "pre-actions of register `{}` form a dependency cycle",
+                        self.registers[i].name
+                    ),
+                );
+                return; // one report is enough
+            }
+        }
+    }
+
+    // ----- no omission -----------------------------------------------------
+
+    fn omission_checks(&mut self, spec: &DeviceSpec) {
+        if !self.broken_regs.is_empty() {
+            // Unresolved registers make usage accounting unreliable.
+            return;
+        }
+        // Every port parameter and every ranged offset must be used.
+        let mut used_offsets: HashMap<PortId, HashSet<u64>> = HashMap::new();
+        for r in &self.registers {
+            for p in [r.read_port, r.write_port].into_iter().flatten() {
+                used_offsets.entry(p.0).or_default().insert(p.1);
+            }
+        }
+        let port_errors: Vec<(Span, String)> = spec
+            .params
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| {
+                let pid = PortId(i);
+                let used = used_offsets.get(&pid);
+                match used {
+                    None => vec![(
+                        p.name.span,
+                        format!("port parameter `{}` is never used by any register", p.name.name),
+                    )],
+                    Some(set) => {
+                        let (lo, hi) = self.ports[pid.0].range;
+                        let missing: Vec<u64> =
+                            (lo..=hi).filter(|off| !set.contains(off)).collect();
+                        if missing.is_empty() {
+                            vec![]
+                        } else {
+                            vec![(
+                                p.name.span,
+                                format!(
+                                    "offsets {missing:?} of port `{}` are declared in its range but never used",
+                                    p.name.name
+                                ),
+                            )]
+                        }
+                    }
+                }
+            })
+            .collect();
+        for (span, msg) in port_errors {
+            self.inter(span, msg);
+        }
+
+        // Every register must be used by a variable, and every relevant bit
+        // must be covered; fragments may only select relevant bits.
+        let mut bit_use: HashMap<RegId, u64> = HashMap::new();
+        for v in &self.variables {
+            for f in &v.frags {
+                *bit_use.entry(f.reg).or_insert(0) |= f.reg_mask();
+            }
+        }
+        let reg_spans: HashMap<String, Span> = spec
+            .registers()
+            .map(|r| (r.name.name.clone(), r.name.span))
+            .collect();
+        let frag_errors: Vec<(Span, String)> = self
+            .registers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                let span = reg_spans.get(&r.name).copied().unwrap_or_default();
+                let relevant = r.mask.relevant();
+                if relevant == 0 {
+                    // A fully fixed/irrelevant register (a reserved slot)
+                    // has nothing for a variable to use.
+                    return None;
+                }
+                let used = bit_use.get(&RegId(i)).copied().unwrap_or(0);
+                if used == 0 {
+                    return Some((
+                        span,
+                        format!("register `{}` is never used by any variable", r.name),
+                    ));
+                }
+                let uncovered = relevant & !used;
+                if uncovered != 0 {
+                    return Some((
+                        span,
+                        format!(
+                            "relevant bits {:#b} of register `{}` are not used by any variable",
+                            uncovered, r.name
+                        ),
+                    ));
+                }
+                None
+            })
+            .collect();
+        for (span, msg) in frag_errors {
+            self.inter(span, msg);
+        }
+
+        // Fragments selecting fixed or irrelevant bits.
+        for v in spec.variables() {
+            for f in &v.frags {
+                let Some(&rid) = self.reg_names.get(&f.register.name) else { continue };
+                let rdef = &self.registers[rid.0];
+                let (msb, lsb) = match &f.bits {
+                    Some(b) => (b.msb.value, b.lsb.value),
+                    None => ((rdef.size - 1) as u64, 0),
+                };
+                if msb < lsb || msb >= rdef.size as u64 {
+                    continue; // already reported
+                }
+                let sel = FragmentDef { reg: rid, msb: msb as u32, lsb: lsb as u32 }.reg_mask();
+                let bad = sel & !rdef.mask.relevant();
+                if bad != 0 {
+                    let msg = format!(
+                        "fragment selects bits {bad:#b} of `{}` that its mask '{}' marks as fixed or irrelevant",
+                        rdef.name, rdef.mask
+                    );
+                    self.inter(f.span, msg);
+                }
+            }
+        }
+    }
+
+    // ----- no overlap ------------------------------------------------------
+
+    fn overlap_checks(&mut self, spec: &DeviceSpec) {
+        if !self.broken_regs.is_empty() {
+            return;
+        }
+        // Port sharing: group register uses by (port, offset, direction).
+        let mut by_endpoint: HashMap<(PortId, u64, Direction), Vec<RegId>> = HashMap::new();
+        for (i, r) in self.registers.iter().enumerate() {
+            if let Some(p) = r.read_port {
+                by_endpoint.entry((p.0, p.1, Direction::Read)).or_default().push(RegId(i));
+            }
+            if let Some(p) = r.write_port {
+                by_endpoint.entry((p.0, p.1, Direction::Write)).or_default().push(RegId(i));
+            }
+        }
+        let reg_spans: HashMap<String, Span> = spec
+            .registers()
+            .map(|r| (r.name.name.clone(), r.name.span))
+            .collect();
+        let mut overlap_errors: Vec<(Span, String)> = Vec::new();
+        for ((pid, off, dir), regs) in &by_endpoint {
+            for (ai, &a) in regs.iter().enumerate() {
+                for &b in &regs[ai + 1..] {
+                    let ra = &self.registers[a.0];
+                    let rb = &self.registers[b.0];
+                    let masks_disjoint = ra.mask.relevant() & rb.mask.relevant() == 0;
+                    let pre_disjoint = ra.pre.iter().any(|(va, xa)| {
+                        rb.pre.iter().any(|(vb, xb)| va == vb && xa != xb)
+                    });
+                    if !masks_disjoint && !pre_disjoint {
+                        let span = reg_spans.get(&rb.name).copied().unwrap_or_default();
+                        overlap_errors.push((
+                            span,
+                            format!(
+                                "registers `{}` and `{}` both {} port `{}`@{} without disjoint masks or pre-actions",
+                                ra.name,
+                                rb.name,
+                                match dir {
+                                    Direction::Read => "read",
+                                    Direction::Write => "write",
+                                },
+                                self.ports[pid.0].name,
+                                off
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        for (span, msg) in overlap_errors {
+            self.inter(span, msg);
+        }
+
+        // Register-bit sharing between variables.
+        let mut claimed: HashMap<RegId, Vec<(u64, String)>> = HashMap::new();
+        let mut bit_errors: Vec<(Span, String)> = Vec::new();
+        for (v, vast) in self.variables.iter().zip(spec.variables()) {
+            for (f, fast) in v.frags.iter().zip(vast.frags.iter()) {
+                let mask = f.reg_mask();
+                let entry = claimed.entry(f.reg).or_default();
+                if let Some((_, other)) = entry
+                    .iter()
+                    .find(|(other_mask, other_var)| other_mask & mask != 0 && *other_var != v.name)
+                {
+                    bit_errors.push((
+                        fast.span,
+                        format!(
+                            "bits of register `{}` are used by both `{}` and `{}`",
+                            self.registers[f.reg.0].name, other, v.name
+                        ),
+                    ));
+                }
+                entry.push((mask, v.name.clone()));
+            }
+        }
+        for (span, msg) in bit_errors {
+            self.inter(span, msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<CheckedSpec, Vec<DevilError>> {
+        check(&parse(src).expect("test source must parse"))
+    }
+
+    fn errors(src: &str) -> Vec<String> {
+        match check_src(src) {
+            Ok(_) => Vec::new(),
+            Err(es) => es.into_iter().map(|e| e.message).collect(),
+        }
+    }
+
+    const BUSMOUSE: &str = r#"
+device logitech_busmouse (base : bit[8] port @ {0..3})
+{
+  register sig_reg = base @ 1 : bit[8];
+  variable signature = sig_reg, volatile, write trigger : int(8);
+  register cr = write base @ 3, mask '1001000.' : bit[8];
+  variable config = cr[0] : { CONFIGURATION => '1', DEFAULT_MODE => '0' };
+  register interrupt_reg = write base @ 2, mask '000.0000' : bit[8];
+  variable interrupt = interrupt_reg[4] : { ENABLE => '0', DISABLE => '1' };
+  register index_reg = write base @ 2, mask '1..00000' : bit[8];
+  private variable index = index_reg[6..5] : int(2);
+  register x_low  = read base @ 0, pre {index = 0}, mask '****....' : bit[8];
+  register x_high = read base @ 0, pre {index = 1}, mask '****....' : bit[8];
+  register y_low  = read base @ 0, pre {index = 2}, mask '****....' : bit[8];
+  register y_high = read base @ 0, pre {index = 3}, mask '...*....' : bit[8];
+  variable dx = x_high[3..0] # x_low[3..0], volatile : signed int(8);
+  variable dy = y_high[3..0] # y_low[3..0], volatile : signed int(8);
+  variable buttons = y_high[7..5], volatile : int(3);
+}
+"#;
+
+    #[test]
+    fn busmouse_checks_clean() {
+        let checked = check_src(BUSMOUSE).unwrap();
+        assert_eq!(checked.registers.len(), 8);
+        assert_eq!(checked.variables.len(), 7);
+        let (_, dx) = checked.variable("dx").unwrap();
+        assert_eq!(dx.width, 8);
+        assert_eq!(dx.frags.len(), 2);
+        assert!(dx.readable);
+        assert!(!dx.writable);
+        let (_, index) = checked.variable("index").unwrap();
+        assert!(index.private);
+        assert!(index.writable);
+        let (_, x_low) = checked.register("x_low").unwrap();
+        assert_eq!(x_low.pre.len(), 1);
+    }
+
+    #[test]
+    fn detects_duplicate_register() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0 : bit[8];
+               register r = base @ 0 : bit[8];
+               variable v = r : int(8);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("already defined")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_offset_out_of_range() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..1}) {
+               register r = base @ 2 : bit[8];
+               variable v = r : int(8);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("outside the declared range")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_unknown_port() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = bose @ 0 : bit[8];
+               variable v = r : int(8);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("not a declared port")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_mask_size_mismatch() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0, mask '....' : bit[8];
+               variable v = r[3..0] : int(4);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("mask")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_type_width_mismatch() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0 : bit[8];
+               variable v = r : int(7);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("int(7)")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_pattern_width_mismatch() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0, mask '*******.' : bit[8];
+               variable v = r[0] : { A <=> '10', B <=> '0' };
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("bit pattern")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_duplicate_pattern() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0, mask '*******.' : bit[8];
+               variable v = r[0] : { A <=> '1', B <=> '1' };
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("mapped to both")), "{es:?}");
+    }
+
+    #[test]
+    fn duplicate_pattern_allowed_across_directions() {
+        let r = check_src(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0, mask '*******.' : bit[8];
+               variable v = r[0] : { A <= '1', B => '1', C <= '0' };
+             }",
+        );
+        assert!(r.is_ok(), "{r:?}");
+    }
+
+    #[test]
+    fn detects_non_exhaustive_read_mapping() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0, mask '******..' : bit[8];
+               variable v = r[1..0] : { A <=> '00', B <=> '01' };
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("exhaustive")), "{es:?}");
+    }
+
+    #[test]
+    fn write_only_mapping_need_not_be_exhaustive() {
+        let r = check_src(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = write base @ 0, mask '******..' : bit[8];
+               variable v = r[1..0] : { A => '00', B => '01' };
+             }",
+        );
+        assert!(r.is_ok(), "{r:?}");
+    }
+
+    #[test]
+    fn detects_read_mapping_on_write_only_register() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = write base @ 0, mask '*******.' : bit[8];
+               variable v = r[0] : { A <= '1', B => '0' };
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("not readable")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_unused_port_offset() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..1}) {
+               register r = base @ 0 : bit[8];
+               variable v = r : int(8);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("never used")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_unused_register() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..1}) {
+               register r = base @ 0 : bit[8];
+               register s = base @ 1 : bit[8];
+               variable v = r : int(8);
+             }",
+        );
+        assert!(
+            es.iter().any(|m| m.contains("`s` is never used")),
+            "{es:?}"
+        );
+    }
+
+    #[test]
+    fn detects_uncovered_relevant_bits() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0 : bit[8];
+               variable v = r[3..0] : int(4);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("not used by any variable")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_fragment_on_fixed_bits() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0, mask '0000....' : bit[8];
+               variable v = r[4..0] : int(5);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("fixed or irrelevant")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_port_overlap_without_disjointness() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register a = base @ 0 : bit[8];
+               register b = base @ 0 : bit[8];
+               variable va = a : int(8);
+               variable vb = b : int(8);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("without disjoint")), "{es:?}");
+    }
+
+    #[test]
+    fn port_overlap_allowed_with_disjoint_masks() {
+        let r = check_src(
+            "device d (base : bit[8] port @ {0..0}) {
+               register a = write base @ 0, mask '....0000' : bit[8];
+               register b = write base @ 0, mask '0000....' : bit[8];
+               variable va = a[7..4] : int(4);
+               variable vb = b[3..0] : int(4);
+             }",
+        );
+        assert!(r.is_ok(), "{r:?}");
+    }
+
+    #[test]
+    fn port_overlap_allowed_with_disjoint_pre_actions() {
+        // This is exactly the busmouse x_low / x_high situation.
+        assert!(check_src(BUSMOUSE).is_ok());
+    }
+
+    #[test]
+    fn read_and_write_may_share_a_port() {
+        let r = check_src(
+            "device d (base : bit[8] port @ {0..0}) {
+               register a = read base @ 0 : bit[8];
+               register b = write base @ 0 : bit[8];
+               variable va = a : int(8);
+               variable vb = b : int(8);
+             }",
+        );
+        assert!(r.is_ok(), "{r:?}");
+    }
+
+    #[test]
+    fn detects_register_bit_claimed_twice() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0 : bit[8];
+               variable a = r[4..0] : int(5);
+               variable b = r[7..4] : int(4);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("used by both")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_pre_action_value_out_of_type() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..1}) {
+               register idx = write base @ 1, mask '........' : bit[8];
+               private variable sel = idx[1..0] : int(2);
+               variable pad = idx[7..2] : int(6);
+               register r = read base @ 0, pre {sel = 9} : bit[8];
+               variable v = r : int(8);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("not a legal value")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_pre_action_unknown_variable() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = read base @ 0, pre {sel = 1} : bit[8];
+               variable v = r : int(8);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("unknown variable")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_self_referential_pre_action() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0, pre {v = 1} : bit[8];
+               variable v = r : int(8);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("same register")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_bit_range_beyond_register() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0 : bit[8];
+               variable v = r[8..0] : int(9);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("outside register")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_inverted_bit_range() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0 : bit[8];
+               variable v = r[0..7] : int(8);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("inverted")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_variable_using_variable() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0 : bit[8];
+               variable a = r : int(8);
+               variable b = a[0] : bool;
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("not a register")), "{es:?}");
+    }
+
+    #[test]
+    fn detects_set_value_too_wide() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0, mask '******..' : bit[8];
+               variable v = r[1..0] : int {0, 2, 5};
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("does not fit")), "{es:?}");
+    }
+
+    #[test]
+    fn bool_type_requires_one_bit() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = base @ 0, mask '******..' : bit[8];
+               variable v = r[1..0] : bool;
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("bool requires")), "{es:?}");
+    }
+
+    #[test]
+    fn write_trigger_requires_writable() {
+        let es = errors(
+            "device d (base : bit[8] port @ {0..0}) {
+               register r = read base @ 0 : bit[8];
+               variable v = r, write trigger : int(8);
+             }",
+        );
+        assert!(es.iter().any(|m| m.contains("trigger")), "{es:?}");
+    }
+
+    #[test]
+    fn type_ids_are_unique_and_stable() {
+        let checked = check_src(BUSMOUSE).unwrap();
+        let mut ids: Vec<u32> = checked.variables.iter().map(|v| v.type_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), checked.variables.len());
+    }
+
+    #[test]
+    fn schematic_renders_layering() {
+        let checked = check_src(BUSMOUSE).unwrap();
+        let s = checked.render_schematic();
+        assert!(s.contains("ports:"), "{s}");
+        assert!(s.contains("x_high"), "{s}");
+        assert!(s.contains("pre: index = 1"), "{s}");
+        assert!(s.contains("dx"), "{s}");
+    }
+}

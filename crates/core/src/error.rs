@@ -1,0 +1,85 @@
+//! The Devil compiler's error type.
+
+use crate::span::{SourceFile, Span};
+use std::fmt;
+
+/// Which stage of the compiler rejected the specification.
+///
+/// The mutation experiments (Table 2) count a mutant as *detected* whenever
+/// any stage reports an error; the stage breakdown shows where the layered
+/// design catches what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Tokenisation failed (stray character, unterminated literal, ...).
+    Lex,
+    /// The token stream does not match the grammar.
+    Parse,
+    /// A rule within one abstraction layer failed (types, sizes, uniqueness).
+    IntraLayer,
+    /// A rule across abstraction layers failed (attributes, omission, overlap).
+    InterLayer,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Lex => f.write_str("lexical analysis"),
+            Stage::Parse => f.write_str("parsing"),
+            Stage::IntraLayer => f.write_str("intra-layer checking"),
+            Stage::InterLayer => f.write_str("inter-layer checking"),
+        }
+    }
+}
+
+/// An error produced by any stage of the Devil compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DevilError {
+    /// Stage that rejected the input.
+    pub stage: Stage,
+    /// Human-readable description.
+    pub message: String,
+    /// Location of the offending construct.
+    pub span: Span,
+}
+
+impl DevilError {
+    /// Construct an error at `span`.
+    pub fn new(stage: Stage, span: Span, message: impl Into<String>) -> Self {
+        DevilError { stage, span, message: message.into() }
+    }
+
+    /// Render the error with a source snippet.
+    pub fn render(&self, file: &SourceFile) -> String {
+        format!("error ({}): {}\n{}", self.stage, self.message, file.render_snippet(self.span))
+    }
+}
+
+impl fmt::Display for DevilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error ({}) at {}: {}", self.stage, self.span, self.message)
+    }
+}
+
+impl std::error::Error for DevilError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_stage_and_message() {
+        let e = DevilError::new(Stage::Parse, Span::new(2, 4), "expected `;`");
+        let s = e.to_string();
+        assert!(s.contains("parsing"), "{s}");
+        assert!(s.contains("expected `;`"), "{s}");
+    }
+
+    #[test]
+    fn render_includes_snippet() {
+        let f = SourceFile::new("m.dil", "device d () {}");
+        let e = DevilError::new(Stage::IntraLayer, Span::new(7, 8), "bad name");
+        let r = e.render(&f);
+        assert!(r.contains("m.dil:1:8"), "{r}");
+        assert!(r.contains("bad name"), "{r}");
+    }
+}

@@ -1,0 +1,301 @@
+//! Tokeniser for the Devil language.
+//!
+//! Comments use the C++ styles the paper's specifications use (`//` to end
+//! of line, `/* ... */`). Integer literals may be decimal or hexadecimal
+//! (`0x...`); bit literals are single-quoted strings over `{0, 1, *, .}`.
+
+use crate::error::{DevilError, Stage};
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Tokenise `source` into a vector ending with an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`DevilError`] with [`Stage::Lex`] for stray characters,
+/// malformed numbers, or unterminated literals/comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, DevilError> {
+    Lexer { src: source.as_bytes(), pos: 0, tokens: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>, DevilError> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.pos += 2;
+                    loop {
+                        if self.pos + 1 >= self.src.len() {
+                            return Err(self.error(start, "unterminated block comment"));
+                        }
+                        if self.src[self.pos] == b'*' && self.src[self.pos + 1] == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                b'\'' => self.bit_literal(start)?,
+                b'0'..=b'9' => self.number(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                b'@' => self.single(TokenKind::At),
+                b'{' => self.single(TokenKind::LBrace),
+                b'}' => self.single(TokenKind::RBrace),
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'[' => self.single(TokenKind::LBracket),
+                b']' => self.single(TokenKind::RBracket),
+                b':' => self.single(TokenKind::Colon),
+                b';' => self.single(TokenKind::Semi),
+                b',' => self.single(TokenKind::Comma),
+                b'#' => self.single(TokenKind::Hash),
+                b'.' if self.peek(1) == Some(b'.') => {
+                    self.pos += 2;
+                    self.push(start, TokenKind::DotDot);
+                }
+                b'=' if self.peek(1) == Some(b'>') => {
+                    self.pos += 2;
+                    self.push(start, TokenKind::FatArrow);
+                }
+                b'<' if self.peek(1) == Some(b'=') && self.peek(2) == Some(b'>') => {
+                    self.pos += 3;
+                    self.push(start, TokenKind::BothArrow);
+                }
+                b'<' if self.peek(1) == Some(b'=') => {
+                    self.pos += 2;
+                    self.push(start, TokenKind::ReadArrow);
+                }
+                b'=' => self.single(TokenKind::Eq),
+                other => {
+                    return Err(self.error(
+                        start,
+                        format!("unexpected character `{}`", other as char),
+                    ));
+                }
+            }
+        }
+        let end = self.src.len();
+        self.tokens.push(Token { kind: TokenKind::Eof, span: Span::new(end, end) });
+        Ok(self.tokens)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn single(&mut self, kind: TokenKind) {
+        let start = self.pos;
+        self.pos += 1;
+        self.push(start, kind);
+    }
+
+    fn push(&mut self, start: usize, kind: TokenKind) {
+        self.tokens.push(Token { kind, span: Span::new(start, self.pos) });
+    }
+
+    fn error(&self, start: usize, message: impl Into<String>) -> DevilError {
+        DevilError::new(Stage::Lex, Span::new(start, (start + 1).min(self.src.len())), message)
+    }
+
+    fn bit_literal(&mut self, start: usize) -> Result<(), DevilError> {
+        self.pos += 1; // opening quote
+        let content_start = self.pos;
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'0' | b'1' | b'*' | b'.' => self.pos += 1,
+                b'\'' => {
+                    let content =
+                        String::from_utf8_lossy(&self.src[content_start..self.pos]).into_owned();
+                    self.pos += 1; // closing quote
+                    if content.is_empty() {
+                        return Err(self.error(start, "empty bit literal"));
+                    }
+                    self.push(start, TokenKind::BitLiteral(content));
+                    return Ok(());
+                }
+                other => {
+                    return Err(self.error(
+                        self.pos,
+                        format!(
+                            "invalid character `{}` in bit literal (expected 0, 1, * or .)",
+                            other as char
+                        ),
+                    ));
+                }
+            }
+        }
+        Err(self.error(start, "unterminated bit literal"))
+    }
+
+    fn number(&mut self, start: usize) -> Result<(), DevilError> {
+        let hex = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x') | Some(b'X'))
+            && self.peek(2).is_some_and(|c| c.is_ascii_hexdigit());
+        if hex {
+            self.pos += 2;
+            while self.peek(0).is_some_and(|c| c.is_ascii_hexdigit()) {
+                self.pos += 1;
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        // A letter glued to a number is a malformed token, not two tokens.
+        if self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            return Err(self.error(start, "malformed integer literal"));
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let value = if hex {
+            u64::from_str_radix(&text[2..], 16)
+        } else {
+            text.parse::<u64>()
+        }
+        .map_err(|_| self.error(start, "integer literal out of range"))?;
+        self.push(start, TokenKind::Int { value, text });
+        Ok(())
+    }
+
+    fn ident(&mut self, start: usize) {
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let kind = match Keyword::from_str(&text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text),
+        };
+        self.push(start, kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_device_header() {
+        let ks = kinds("device logitech_busmouse (base : bit[8] port @ {0..3})");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Device));
+        assert_eq!(ks[1], TokenKind::Ident("logitech_busmouse".into()));
+        assert_eq!(ks[2], TokenKind::LParen);
+        assert!(matches!(&ks[7], TokenKind::Int { value: 8, .. }));
+        assert_eq!(ks[9], TokenKind::Keyword(Keyword::Port));
+        assert_eq!(ks[10], TokenKind::At);
+        assert!(ks.contains(&TokenKind::DotDot));
+    }
+
+    #[test]
+    fn lexes_bit_literals() {
+        let ks = kinds("mask '1001000.'");
+        assert_eq!(ks[1], TokenKind::BitLiteral("1001000.".into()));
+        let ks = kinds("'****....'");
+        assert_eq!(ks[0], TokenKind::BitLiteral("****....".into()));
+    }
+
+    #[test]
+    fn lexes_hex_and_decimal() {
+        let ks = kinds("0x1F0 496 0");
+        assert!(matches!(&ks[0], TokenKind::Int { value: 0x1F0, text } if text == "0x1F0"));
+        assert!(matches!(&ks[1], TokenKind::Int { value: 496, text } if text == "496"));
+        assert!(matches!(&ks[2], TokenKind::Int { value: 0, .. }));
+    }
+
+    #[test]
+    fn lexes_arrows_distinctly() {
+        let ks = kinds("a => '1', b <=> '0', c <= '1'");
+        assert!(ks.contains(&TokenKind::FatArrow));
+        assert!(ks.contains(&TokenKind::BothArrow));
+        assert!(ks.contains(&TokenKind::ReadArrow));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("// header comment\nregister /* inline */ r");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Register));
+        assert_eq!(ks[1], TokenKind::Ident("r".into()));
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        let ks = kinds("register registers int ints");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Register));
+        assert_eq!(ks[1], TokenKind::Ident("registers".into()));
+        assert_eq!(ks[2], TokenKind::Keyword(Keyword::Int));
+        assert_eq!(ks[3], TokenKind::Ident("ints".into()));
+    }
+
+    #[test]
+    fn error_on_stray_character() {
+        let err = lex("register $").unwrap_err();
+        assert_eq!(err.stage, Stage::Lex);
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn error_on_bad_bit_literal_char() {
+        let err = lex("'10x1'").unwrap_err();
+        assert_eq!(err.stage, Stage::Lex);
+    }
+
+    #[test]
+    fn error_on_unterminated_literal_and_comment() {
+        assert!(lex("'101").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("''").is_err());
+    }
+
+    #[test]
+    fn error_on_malformed_number() {
+        assert!(lex("0xZZ").is_err());
+        assert!(lex("12ab").is_err());
+    }
+
+    #[test]
+    fn spans_are_exact() {
+        let toks = lex("ab 0x10").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 7));
+        assert_eq!(toks[2].kind, TokenKind::Eof);
+    }
+
+    #[test]
+    fn dotdot_inside_brackets() {
+        let ks = kinds("x_high[3..0]");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("x_high".into()),
+                TokenKind::LBracket,
+                TokenKind::Int { value: 3, text: "3".into() },
+                TokenKind::DotDot,
+                TokenKind::Int { value: 0, text: "0".into() },
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

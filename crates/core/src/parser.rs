@@ -1,0 +1,666 @@
+//! Recursive-descent parser for Devil specifications.
+//!
+//! The grammar (reconstructed from §2.1 and Figure 3 of the paper):
+//!
+//! ```text
+//! spec       := "device" IDENT "(" param ("," param)* ")" "{" item* "}"
+//! param      := IDENT ":" "bit" "[" INT "]" "port" "@" "{" INT ".." INT "}"
+//! item       := register | variable
+//! register   := "register" IDENT "=" portclause ("," portclause | "," attr)*
+//!               [":" "bit" "[" INT "]"] ";"
+//! portclause := ["read" | "write"] IDENT "@" INT
+//! attr       := "mask" BITLIT | "pre" "{" pre ("," pre)* "}"
+//! pre        := IDENT "=" INT
+//! variable   := ["private"] "variable" IDENT "=" frag ("#" frag)*
+//!               ("," vattr)* ":" type ";"
+//! frag       := IDENT ["[" INT [".." INT] "]"]
+//! vattr      := "volatile" | ("read" | "write") "trigger"
+//! type       := ["signed"] "int" "(" INT ")"
+//!             | "int" "{" setitem ("," setitem)* "}"
+//!             | "bool"
+//!             | "{" arm ("," arm)* "}"
+//! setitem    := INT [".." INT]
+//! arm        := IDENT ("=>" | "<=" | "<=>") BITLIT
+//! ```
+
+use crate::ast::*;
+use crate::error::{DevilError, Stage};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Parse a complete specification from source text.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(source: &str) -> Result<DeviceSpec, DevilError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.device()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> DevilError {
+        DevilError::new(Stage::Parse, self.peek().span, message)
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, DevilError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek().kind)))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<Token, DevilError> {
+        if self.peek().kind.is_keyword(kw) {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected `{}`, found {}", kw.as_str(), self.peek().kind)))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> Option<Token> {
+        if self.peek().kind.is_keyword(kw) {
+            Some(self.bump())
+        } else {
+            None
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Ident, DevilError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                let span = self.peek().span;
+                self.bump();
+                Ok(Ident { name, span })
+            }
+            other => Err(self.error(format!("expected {what} name, found {other}"))),
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<IntLit, DevilError> {
+        match &self.peek().kind {
+            TokenKind::Int { value, .. } => {
+                let value = *value;
+                let span = self.peek().span;
+                self.bump();
+                Ok(IntLit { value, span })
+            }
+            other => Err(self.error(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn bit_literal(&mut self, what: &str) -> Result<MaskLit, DevilError> {
+        match &self.peek().kind {
+            TokenKind::BitLiteral(pattern) => {
+                let pattern = pattern.clone();
+                let span = self.peek().span;
+                self.bump();
+                Ok(MaskLit { pattern, span })
+            }
+            other => Err(self.error(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn device(&mut self) -> Result<DeviceSpec, DevilError> {
+        let start = self.expect_keyword(Keyword::Device)?.span;
+        let name = self.ident("device")?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.port_param()?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma)?;
+            }
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let mut items = Vec::new();
+        loop {
+            if self.peek().kind == TokenKind::RBrace {
+                break;
+            }
+            if self.peek().kind == TokenKind::Eof {
+                return Err(self.error("unexpected end of input inside device body"));
+            }
+            items.push(self.item()?);
+        }
+        let end = self.expect(&TokenKind::RBrace)?.span;
+        if self.peek().kind != TokenKind::Eof {
+            return Err(self.error("unexpected tokens after device declaration"));
+        }
+        Ok(DeviceSpec { name, params, items, span: start.merge(end) })
+    }
+
+    /// `base : bit[8] port @ {0..3}`
+    fn port_param(&mut self) -> Result<PortParam, DevilError> {
+        let name = self.ident("port parameter")?;
+        self.expect(&TokenKind::Colon)?;
+        self.expect_keyword(Keyword::Bit)?;
+        self.expect(&TokenKind::LBracket)?;
+        let width = self.int("port width")?;
+        self.expect(&TokenKind::RBracket)?;
+        self.expect_keyword(Keyword::Port)?;
+        self.expect(&TokenKind::At)?;
+        self.expect(&TokenKind::LBrace)?;
+        let lo = self.int("range start")?;
+        self.expect(&TokenKind::DotDot)?;
+        let hi = self.int("range end")?;
+        let end = self.expect(&TokenKind::RBrace)?.span;
+        let span = name.span.merge(end);
+        Ok(PortParam { name, width, range: (lo, hi), span })
+    }
+
+    fn item(&mut self) -> Result<Item, DevilError> {
+        match &self.peek().kind {
+            TokenKind::Keyword(Keyword::Register) => Ok(Item::Register(self.register()?)),
+            TokenKind::Keyword(Keyword::Variable) | TokenKind::Keyword(Keyword::Private) => {
+                Ok(Item::Variable(self.variable()?))
+            }
+            other => Err(self.error(format!(
+                "expected `register`, `variable` or `private`, found {other}"
+            ))),
+        }
+    }
+
+    fn register(&mut self) -> Result<RegisterDecl, DevilError> {
+        let start = self.expect_keyword(Keyword::Register)?.span;
+        let name = self.ident("register")?;
+        self.expect(&TokenKind::Eq)?;
+        let mut ports = vec![self.port_clause()?];
+        let mut mask = None;
+        let mut pre = Vec::new();
+        while self.eat(&TokenKind::Comma) {
+            match &self.peek().kind {
+                TokenKind::Keyword(Keyword::Mask) => {
+                    self.bump();
+                    let lit = self.bit_literal("mask pattern")?;
+                    if mask.replace(lit).is_some() {
+                        return Err(self.error("duplicate `mask` attribute"));
+                    }
+                }
+                TokenKind::Keyword(Keyword::Pre) => {
+                    self.bump();
+                    self.expect(&TokenKind::LBrace)?;
+                    loop {
+                        let var = self.ident("pre-action variable")?;
+                        self.expect(&TokenKind::Eq)?;
+                        let value = self.int("pre-action value")?;
+                        pre.push(PreAction { span: var.span.merge(value.span), var, value });
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RBrace)?;
+                }
+                TokenKind::Keyword(Keyword::Read)
+                | TokenKind::Keyword(Keyword::Write)
+                | TokenKind::Ident(_) => {
+                    ports.push(self.port_clause()?);
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected `mask`, `pre` or a port clause, found {other}"
+                    )));
+                }
+            }
+        }
+        let size = if self.eat(&TokenKind::Colon) {
+            self.expect_keyword(Keyword::Bit)?;
+            self.expect(&TokenKind::LBracket)?;
+            let sz = self.int("register size")?;
+            self.expect(&TokenKind::RBracket)?;
+            Some(sz)
+        } else {
+            None
+        };
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Ok(RegisterDecl { name, ports, mask, pre, size, span: start.merge(end) })
+    }
+
+    /// `[read|write] base @ 1`
+    fn port_clause(&mut self) -> Result<PortClause, DevilError> {
+        let start = self.peek().span;
+        let direction = if self.eat_keyword(Keyword::Read).is_some() {
+            Some(Direction::Read)
+        } else if self.eat_keyword(Keyword::Write).is_some() {
+            Some(Direction::Write)
+        } else {
+            None
+        };
+        let port = self.ident("port")?;
+        self.expect(&TokenKind::At)?;
+        let offset = self.int("port offset")?;
+        let span = start.merge(offset.span);
+        Ok(PortClause { direction, port, offset, span })
+    }
+
+    fn variable(&mut self) -> Result<VariableDecl, DevilError> {
+        let private_tok = self.eat_keyword(Keyword::Private);
+        let start = private_tok
+            .as_ref()
+            .map(|t| t.span)
+            .unwrap_or(self.peek().span);
+        self.expect_keyword(Keyword::Variable)?;
+        let name = self.ident("variable")?;
+        self.expect(&TokenKind::Eq)?;
+        let mut frags = vec![self.fragment()?];
+        while self.eat(&TokenKind::Hash) {
+            frags.push(self.fragment()?);
+        }
+        let mut volatile = false;
+        let mut trigger = None;
+        while self.eat(&TokenKind::Comma) {
+            match &self.peek().kind {
+                TokenKind::Keyword(Keyword::Volatile) => {
+                    let t = self.bump();
+                    if volatile {
+                        return Err(DevilError::new(
+                            Stage::Parse,
+                            t.span,
+                            "duplicate `volatile` attribute",
+                        ));
+                    }
+                    volatile = true;
+                }
+                TokenKind::Keyword(Keyword::Read) | TokenKind::Keyword(Keyword::Write) => {
+                    let dir = if self.peek().kind.is_keyword(Keyword::Read) {
+                        Direction::Read
+                    } else {
+                        Direction::Write
+                    };
+                    let dspan = self.bump().span;
+                    let tspan = self.expect_keyword(Keyword::Trigger)?.span;
+                    if trigger.replace((dir, dspan.merge(tspan))).is_some() {
+                        return Err(self.error("duplicate trigger attribute"));
+                    }
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected `volatile`, `read trigger` or `write trigger`, found {other}"
+                    )));
+                }
+            }
+        }
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.type_expr()?;
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Ok(VariableDecl {
+            private: private_tok.is_some(),
+            name,
+            frags,
+            volatile,
+            trigger,
+            ty,
+            span: start.merge(end),
+        })
+    }
+
+    /// `x_high[3..0]`, `index_reg[4]`, or a bare register name.
+    fn fragment(&mut self) -> Result<Fragment, DevilError> {
+        let register = self.ident("register")?;
+        let mut span = register.span;
+        let bits = if self.eat(&TokenKind::LBracket) {
+            let msb = self.int("bit index")?;
+            let lsb = if self.eat(&TokenKind::DotDot) {
+                self.int("bit index")?
+            } else {
+                msb
+            };
+            let close = self.expect(&TokenKind::RBracket)?.span;
+            span = span.merge(close);
+            Some(BitRange { msb, lsb, span: msb.span.merge(close) })
+        } else {
+            None
+        };
+        Ok(Fragment { register, bits, span })
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr, DevilError> {
+        match &self.peek().kind {
+            TokenKind::Keyword(Keyword::Signed) => {
+                let start = self.bump().span;
+                self.expect_keyword(Keyword::Int)?;
+                self.int_tail(start, true)
+            }
+            TokenKind::Keyword(Keyword::Int) => {
+                let start = self.bump().span;
+                self.int_tail(start, false)
+            }
+            TokenKind::Keyword(Keyword::Bool) => {
+                let span = self.bump().span;
+                Ok(TypeExpr::Bool { span })
+            }
+            TokenKind::LBrace => {
+                let start = self.bump().span;
+                let mut arms = Vec::new();
+                loop {
+                    let name = self.ident("symbolic value")?;
+                    let mapping = match &self.peek().kind {
+                        TokenKind::FatArrow => MappingDir::Write,
+                        TokenKind::ReadArrow => MappingDir::Read,
+                        TokenKind::BothArrow => MappingDir::Both,
+                        other => {
+                            return Err(self.error(format!(
+                                "expected `=>`, `<=` or `<=>`, found {other}"
+                            )));
+                        }
+                    };
+                    self.bump();
+                    let pattern = self.bit_literal("bit pattern")?;
+                    arms.push(EnumArm {
+                        span: name.span.merge(pattern.span),
+                        name,
+                        mapping,
+                        pattern,
+                    });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                let end = self.expect(&TokenKind::RBrace)?.span;
+                Ok(TypeExpr::Enum { arms, span: start.merge(end) })
+            }
+            other => Err(self.error(format!("expected a type, found {other}"))),
+        }
+    }
+
+    /// After `int` / `signed int`: either `(n)` or `{set}`.
+    fn int_tail(&mut self, start: Span, signed: bool) -> Result<TypeExpr, DevilError> {
+        if self.eat(&TokenKind::LParen) {
+            let bits = self.int("bit width")?;
+            let end = self.expect(&TokenKind::RParen)?.span;
+            Ok(TypeExpr::Int { signed, bits, span: start.merge(end) })
+        } else if !signed && self.peek().kind == TokenKind::LBrace {
+            self.bump();
+            let mut items = Vec::new();
+            loop {
+                let lo = self.int("set value")?;
+                if self.eat(&TokenKind::DotDot) {
+                    let hi = self.int("set range end")?;
+                    items.push(SetItem::Range(lo, hi));
+                } else {
+                    items.push(SetItem::Value(lo));
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            let end = self.expect(&TokenKind::RBrace)?.span;
+            Ok(TypeExpr::IntSet { items, span: start.merge(end) })
+        } else {
+            Err(self.error("expected `(width)` or `{value set}` after `int`"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUSMOUSE_HEAD: &str = r#"
+device logitech_busmouse (base : bit[8] port @ {0..3})
+{
+  register sig_reg = base @ 1 : bit[8];
+  variable signature = sig_reg, volatile, write trigger : int(8);
+}
+"#;
+
+    #[test]
+    fn parses_minimal_device() {
+        let spec = parse("device d (p : bit[8] port @ {0..0}) { }").unwrap();
+        assert_eq!(spec.name.name, "d");
+        assert_eq!(spec.params.len(), 1);
+        assert_eq!(spec.params[0].width.value, 8);
+        assert!(spec.items.is_empty());
+    }
+
+    #[test]
+    fn parses_busmouse_head() {
+        let spec = parse(BUSMOUSE_HEAD).unwrap();
+        assert_eq!(spec.registers().count(), 1);
+        let v = spec.variables().next().unwrap();
+        assert!(v.volatile);
+        assert_eq!(v.trigger.map(|t| t.0), Some(Direction::Write));
+        assert!(matches!(&v.ty, TypeExpr::Int { signed: false, bits, .. } if bits.value == 8));
+    }
+
+    #[test]
+    fn parses_masked_write_register() {
+        let spec = parse(
+            "device d (base : bit[8] port @ {0..3}) {
+               register cr = write base @ 3, mask '1001000.' : bit[8];
+             }",
+        )
+        .unwrap();
+        let r = spec.registers().next().unwrap();
+        assert_eq!(r.ports[0].direction, Some(Direction::Write));
+        assert_eq!(r.ports[0].offset.value, 3);
+        assert_eq!(r.mask.as_ref().unwrap().pattern, "1001000.");
+        assert_eq!(r.size.unwrap().value, 8);
+    }
+
+    #[test]
+    fn parses_pre_actions() {
+        let spec = parse(
+            "device d (base : bit[8] port @ {0..3}) {
+               register x_low = read base @ 0, pre {index = 0}, mask '****....' : bit[8];
+             }",
+        )
+        .unwrap();
+        let r = spec.registers().next().unwrap();
+        assert_eq!(r.pre.len(), 1);
+        assert_eq!(r.pre[0].var.name, "index");
+        assert_eq!(r.pre[0].value.value, 0);
+    }
+
+    #[test]
+    fn parses_concatenation() {
+        let spec = parse(
+            "device d (base : bit[8] port @ {0..3}) {
+               variable dx = x_high[3..0] # x_low[3..0], volatile : signed int(8);
+             }",
+        )
+        .unwrap();
+        let v = spec.variables().next().unwrap();
+        assert_eq!(v.frags.len(), 2);
+        assert_eq!(v.frags[0].register.name, "x_high");
+        let b = v.frags[0].bits.unwrap();
+        assert_eq!((b.msb.value, b.lsb.value), (3, 0));
+        assert!(matches!(&v.ty, TypeExpr::Int { signed: true, .. }));
+    }
+
+    #[test]
+    fn parses_enum_type_with_all_arrows() {
+        let spec = parse(
+            "device d (base : bit[8] port @ {0..3}) {
+               variable config = cr[0] : { A => '1', B <= '0', C <=> '1' };
+             }",
+        )
+        .unwrap();
+        let v = spec.variables().next().unwrap();
+        let TypeExpr::Enum { arms, .. } = &v.ty else { panic!("expected enum") };
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[0].mapping, MappingDir::Write);
+        assert_eq!(arms[1].mapping, MappingDir::Read);
+        assert_eq!(arms[2].mapping, MappingDir::Both);
+    }
+
+    #[test]
+    fn parses_private_variable_and_single_bit() {
+        let spec = parse(
+            "device d (base : bit[8] port @ {0..3}) {
+               private variable index = index_reg[6..5] : int(2);
+               variable interrupt = interrupt_reg[4] : { E => '0', D => '1' };
+             }",
+        )
+        .unwrap();
+        let mut vars = spec.variables();
+        let idx = vars.next().unwrap();
+        assert!(idx.private);
+        let int = vars.next().unwrap();
+        let b = int.frags[0].bits.unwrap();
+        assert_eq!((b.msb.value, b.lsb.value), (4, 4));
+        assert_eq!(b.width(), 1);
+    }
+
+    #[test]
+    fn parses_int_set_type() {
+        let spec = parse(
+            "device d (base : bit[8] port @ {0..3}) {
+               variable v = r[1..0] : int {0, 2..3};
+             }",
+        )
+        .unwrap();
+        let v = spec.variables().next().unwrap();
+        let TypeExpr::IntSet { items, .. } = &v.ty else { panic!("expected set") };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].values(), vec![2, 3]);
+    }
+
+    #[test]
+    fn parses_dual_port_register() {
+        let spec = parse(
+            "device d (base : bit[8] port @ {0..3}) {
+               register r = read base @ 0, write base @ 1 : bit[8];
+             }",
+        )
+        .unwrap();
+        let r = spec.registers().next().unwrap();
+        assert_eq!(r.ports.len(), 2);
+        assert_eq!(r.ports[0].direction, Some(Direction::Read));
+        assert_eq!(r.ports[1].direction, Some(Direction::Write));
+    }
+
+    #[test]
+    fn parses_register_without_size() {
+        let spec = parse(
+            "device d (base : bit[8] port @ {0..7}) {
+               register ide_select = base@6, mask '1.1.....';
+             }",
+        )
+        .unwrap();
+        let r = spec.registers().next().unwrap();
+        assert!(r.size.is_none());
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse(
+            "device d (base : bit[8] port @ {0..3}) {
+               register r = base @ 0 : bit[8]
+             }",
+        )
+        .unwrap_err();
+        assert_eq!(err.stage, Stage::Parse);
+    }
+
+    #[test]
+    fn rejects_duplicate_mask_attribute() {
+        let err = parse(
+            "device d (base : bit[8] port @ {0..3}) {
+               register r = base @ 0, mask '........', mask '........' : bit[8];
+             }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = parse("device d (p : bit[8] port @ {0..0}) { } register").unwrap_err();
+        assert!(err.message.contains("after device"));
+    }
+
+    #[test]
+    fn rejects_bad_type() {
+        let err = parse(
+            "device d (base : bit[8] port @ {0..3}) {
+               variable v = r[0] : float;
+             }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("expected a type"));
+    }
+
+    #[test]
+    fn rejects_unclosed_body() {
+        let err = parse("device d (p : bit[8] port @ {0..0}) {").unwrap_err();
+        assert!(err.message.contains("end of input"));
+    }
+
+    #[test]
+    fn parses_multi_param_device() {
+        let spec =
+            parse("device d (a : bit[8] port @ {0..1}, b : bit[16] port @ {0..0}) { }").unwrap();
+        assert_eq!(spec.params.len(), 2);
+        assert_eq!(spec.params[1].width.value, 16);
+    }
+
+    #[test]
+    fn full_busmouse_figure3_parses() {
+        let src = r#"
+device logitech_busmouse (base : bit[8] port @ {0..3})
+{
+  // Signature register (SR)
+  register sig_reg = base @ 1 : bit[8];
+  variable signature = sig_reg, volatile, write trigger : int(8);
+
+  // Configuration register (CR)
+  register cr = write base @ 3, mask '1001000.' : bit[8];
+  variable config = cr[0] : { CONFIGURATION => '1', DEFAULT_MODE => '0' };
+
+  // Interrupt register
+  register interrupt_reg = write base @ 2, mask '000.0000' : bit[8];
+  variable interrupt = interrupt_reg[4] : { ENABLE => '0', DISABLE => '1' };
+
+  // Index register
+  register index_reg = write base @ 2, mask '1..00000' : bit[8];
+  private variable index = index_reg[6..5] : int(2);
+
+  register x_low  = read base @ 0, pre {index = 0}, mask '****....' : bit[8];
+  register x_high = read base @ 0, pre {index = 1}, mask '****....' : bit[8];
+  register y_low  = read base @ 0, pre {index = 2}, mask '****....' : bit[8];
+  register y_high = read base @ 0, pre {index = 3}, mask '...*....' : bit[8];
+
+  variable dx = x_high[3..0] # x_low[3..0], volatile : signed int(8);
+  variable dy = y_high[3..0] # y_low[3..0], volatile : signed int(8);
+  variable buttons = y_high[7..5], volatile : int(3);
+}
+"#;
+        let spec = parse(src).unwrap();
+        assert_eq!(spec.name.name, "logitech_busmouse");
+        assert_eq!(spec.registers().count(), 8);
+        assert_eq!(spec.variables().count(), 7);
+    }
+}

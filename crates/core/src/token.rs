@@ -1,0 +1,183 @@
+//! Token definitions for the Devil language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+/// Keywords of the Devil language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    /// `device` — entry point declaration.
+    Device,
+    /// `register`.
+    Register,
+    /// `variable`.
+    Variable,
+    /// `private` — variable not exported in the functional interface.
+    Private,
+    /// `volatile` — value changes under the device's control.
+    Volatile,
+    /// `read` — read direction attribute.
+    Read,
+    /// `write` — write direction attribute.
+    Write,
+    /// `mask` — register bit-constraint pattern.
+    Mask,
+    /// `pre` — access pre-actions.
+    Pre,
+    /// `trigger` — access-triggering attribute.
+    Trigger,
+    /// `bit` — bit-vector type constructor.
+    Bit,
+    /// `int` — integer type constructor.
+    Int,
+    /// `signed` — signedness modifier.
+    Signed,
+    /// `bool` — boolean type.
+    Bool,
+    /// `port` — port parameter marker.
+    Port,
+}
+
+impl Keyword {
+    /// The keyword's source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Device => "device",
+            Keyword::Register => "register",
+            Keyword::Variable => "variable",
+            Keyword::Private => "private",
+            Keyword::Volatile => "volatile",
+            Keyword::Read => "read",
+            Keyword::Write => "write",
+            Keyword::Mask => "mask",
+            Keyword::Pre => "pre",
+            Keyword::Trigger => "trigger",
+            Keyword::Bit => "bit",
+            Keyword::Int => "int",
+            Keyword::Signed => "signed",
+            Keyword::Bool => "bool",
+            Keyword::Port => "port",
+        }
+    }
+
+    /// Parse a keyword from its spelling.
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not FromStr
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "device" => Keyword::Device,
+            "register" => Keyword::Register,
+            "variable" => Keyword::Variable,
+            "private" => Keyword::Private,
+            "volatile" => Keyword::Volatile,
+            "read" => Keyword::Read,
+            "write" => Keyword::Write,
+            "mask" => Keyword::Mask,
+            "pre" => Keyword::Pre,
+            "trigger" => Keyword::Trigger,
+            "bit" => Keyword::Bit,
+            "int" => Keyword::Int,
+            "signed" => Keyword::Signed,
+            "bool" => Keyword::Bool,
+            "port" => Keyword::Port,
+            _ => return None,
+        })
+    }
+}
+
+/// The different kinds of Devil tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A language keyword.
+    Keyword(Keyword),
+    /// An identifier (register, variable, type or symbolic name).
+    Ident(String),
+    /// An integer literal; `text` preserves the exact spelling
+    /// (`0x1F0` vs `496`), which the mutation engine needs.
+    Int {
+        /// Parsed value.
+        value: u64,
+        /// Original spelling.
+        text: String,
+    },
+    /// A quoted bit literal such as `'1001000.'` — characters from
+    /// `{0, 1, *, .}` (masks) or `{0, 1, *}` (bit strings).
+    BitLiteral(String),
+    /// `@`
+    At,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `#` — register concatenation.
+    Hash,
+    /// `..` — integer range.
+    DotDot,
+    /// `=>` — write-only value mapping.
+    FatArrow,
+    /// `<=` — read-only value mapping.
+    ReadArrow,
+    /// `<=>` — read/write value mapping.
+    BothArrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "`{}`", k.as_str()),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int { text, .. } => write!(f, "integer `{text}`"),
+            TokenKind::BitLiteral(s) => write!(f, "bit literal '{s}'"),
+            TokenKind::At => f.write_str("`@`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::Hash => f.write_str("`#`"),
+            TokenKind::DotDot => f.write_str("`..`"),
+            TokenKind::FatArrow => f.write_str("`=>`"),
+            TokenKind::ReadArrow => f.write_str("`<=`"),
+            TokenKind::BothArrow => f.write_str("`<=>`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+impl TokenKind {
+    /// Whether this token is the given keyword.
+    pub fn is_keyword(&self, kw: Keyword) -> bool {
+        matches!(self, TokenKind::Keyword(k) if *k == kw)
+    }
+}

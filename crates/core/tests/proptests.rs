@@ -1,0 +1,108 @@
+//! Property tests for the Devil front end and mask algebra.
+
+use devil_core::ir::{Mask, MaskBit};
+use devil_core::lexer::lex;
+use devil_core::token::TokenKind;
+use proptest::prelude::*;
+
+proptest! {
+    /// Lexing is total (no panics) and produced spans are sorted,
+    /// non-overlapping and in-bounds.
+    #[test]
+    fn lexer_spans_are_well_formed(src in "[a-z0-9 @{}()\\[\\]:;,=#<>.']{0,120}") {
+        if let Ok(tokens) = lex(&src) {
+            let mut prev_end = 0usize;
+            for t in &tokens {
+                if t.kind == TokenKind::Eof {
+                    continue;
+                }
+                prop_assert!(t.span.start >= prev_end, "overlap at {:?}", t.span);
+                prop_assert!(t.span.end <= src.len());
+                prop_assert!(t.span.start < t.span.end);
+                prev_end = t.span.end;
+            }
+        }
+    }
+
+    /// Lexing the slice of any token re-produces that token's kind
+    /// (token-level round-trip).
+    #[test]
+    fn token_slices_relex(src in "[a-z0-9 @{}()\\[\\]:;,=#<>.']{0,120}") {
+        if let Ok(tokens) = lex(&src) {
+            for t in tokens {
+                if t.kind == TokenKind::Eof {
+                    continue;
+                }
+                let slice = &src[t.span.start..t.span.end];
+                let again = lex(slice);
+                prop_assert!(again.is_ok(), "token slice {slice:?} must lex");
+                let again = again.unwrap();
+                prop_assert_eq!(&again[0].kind, &t.kind, "slice {:?}", slice);
+            }
+        }
+    }
+
+    /// Mask round trip: Display then re-parse is the identity.
+    #[test]
+    fn mask_display_round_trips(pattern in "[01*.]{1,32}") {
+        let m = Mask::from_pattern(&pattern).unwrap();
+        prop_assert_eq!(m.to_string(), pattern.clone());
+        let again = Mask::from_pattern(&m.to_string()).unwrap();
+        prop_assert_eq!(again, m);
+    }
+
+    /// `apply_write` is idempotent: a wire value re-applied is unchanged.
+    #[test]
+    fn apply_write_idempotent(pattern in "[01*.]{1,24}", v in any::<u64>()) {
+        let m = Mask::from_pattern(&pattern).unwrap();
+        let once = m.apply_write(v);
+        prop_assert_eq!(m.apply_write(once), once);
+    }
+
+    /// Bit classification agrees with the u64 views.
+    #[test]
+    fn bit_views_agree(pattern in "[01*.]{1,24}") {
+        let m = Mask::from_pattern(&pattern).unwrap();
+        for i in 0..m.len() {
+            let bit = 1u64 << i;
+            match m.bit(i) {
+                MaskBit::Relevant => prop_assert_ne!(m.relevant() & bit, 0),
+                MaskBit::Fixed1 => prop_assert_ne!(m.fixed_ones() & bit, 0),
+                MaskBit::Fixed0 => prop_assert_ne!(m.fixed_zeros() & bit, 0),
+                MaskBit::Irrelevant => {
+                    prop_assert_eq!((m.relevant() | m.fixed()) & bit, 0);
+                }
+            }
+        }
+    }
+
+    /// The checker is total over single-token substitutions of a valid
+    /// spec (the exact workload Table 2 runs at scale).
+    #[test]
+    fn checker_total_over_word_swaps(idx in 0usize..60, word in "[a-z]{1,8}") {
+        let base = "device d (b : bit[8] port @ {0..1}) {\n\
+                    register r = b @ 0 : bit[8];\n\
+                    register s = write b @ 1, mask '1.......' : bit[8];\n\
+                    variable v = r : int(8);\n\
+                    variable w = s[6..0] : int(7);\n}";
+        let words: Vec<&str> = base.split_whitespace().collect();
+        if idx < words.len() {
+            let mut mutated: Vec<&str> = words.clone();
+            mutated[idx] = &word;
+            let text = mutated.join(" ");
+            let _ = devil_core::compile("fuzz.dil", &text);
+        }
+    }
+}
+
+#[test]
+fn signed_value_extremes() {
+    use devil_core::runtime::TypedValue;
+    for width in 1..=32u32 {
+        let max_raw = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let v = TypedValue { type_id: 0, raw: max_raw };
+        assert_eq!(v.as_signed(width), -1, "all-ones is -1 at width {width}");
+        let v = TypedValue { type_id: 0, raw: 0 };
+        assert_eq!(v.as_signed(width), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # devil-drivers — the experiment corpus
+//!
+//! Everything the paper's evaluation mutates and runs:
+//!
+//! * [`specs`] — the five Devil specifications of Table 2 (Logitech
+//!   busmouse, 82371FB PCI bus master, PIIX4 IDE, NE2000, Permedia 2);
+//! * [`ide`] — the IDE disk driver written twice: classic C
+//!   (macros + `inb`/`outb`, the Table 3 subject) and CDevil glue over the
+//!   generated debug stubs (the Table 4 subject);
+//! * [`busmouse`] — a busmouse driver pair used by the examples.
+//!
+//! All drivers target the simulated machine of `devil_kernel` and export
+//! the same entry points (`ide_probe` / `ide_read` / `ide_write` plus the
+//! `io_buf` transfer buffer), so the boot harness treats them uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod busmouse;
+pub mod ide;
+pub mod specs;

@@ -1,0 +1,650 @@
+//! The port-mapped I/O bus fabric.
+//!
+//! An [`IoSpace`] owns a set of [`IoDevice`]s, each mapped at a base port
+//! with a length. Drivers (interpreted C or Devil stubs) talk to the space
+//! through the [`IoBus`] trait — `inb`/`outb` and the 16/32-bit variants —
+//! exactly mirroring the x86 port instructions the paper's drivers used.
+//!
+//! Unmapped accesses follow a configurable [`UnmappedPolicy`]: the faithful
+//! ISA behaviour (reads float to `0xFF`, writes vanish) or a strict mode that
+//! reports a [`BusFault`], useful in unit tests.
+
+use std::any::Any;
+use std::fmt;
+
+/// Width of a single port access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessSize {
+    /// 8-bit access (`inb`/`outb`).
+    Byte,
+    /// 16-bit access (`inw`/`outw`).
+    Word,
+    /// 32-bit access (`inl`/`outl`).
+    Dword,
+}
+
+impl AccessSize {
+    /// Number of bits moved by this access.
+    pub fn bits(self) -> u32 {
+        match self {
+            AccessSize::Byte => 8,
+            AccessSize::Word => 16,
+            AccessSize::Dword => 32,
+        }
+    }
+
+    /// Mask covering the bits moved by this access.
+    pub fn mask(self) -> u32 {
+        match self {
+            AccessSize::Byte => 0xFF,
+            AccessSize::Word => 0xFFFF,
+            AccessSize::Dword => 0xFFFF_FFFF,
+        }
+    }
+}
+
+impl fmt::Display for AccessSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessSize::Byte => f.write_str("byte"),
+            AccessSize::Word => f.write_str("word"),
+            AccessSize::Dword => f.write_str("dword"),
+        }
+    }
+}
+
+/// Direction of a port access, used in the bus trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// An `in` instruction.
+    Read,
+    /// An `out` instruction.
+    Write,
+}
+
+/// One recorded bus access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Monotonic bus timestamp (one tick per access).
+    pub time: u64,
+    /// Port address.
+    pub port: u16,
+    /// Width of the access.
+    pub size: AccessSize,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Value read or written.
+    pub value: u32,
+}
+
+/// A fault raised by the bus fabric or a device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusFault {
+    /// Access to a port with no mapped device under [`UnmappedPolicy::Fault`].
+    Unmapped {
+        /// Faulting port.
+        port: u16,
+        /// Attempted width.
+        size: AccessSize,
+    },
+    /// A device refused the access (e.g. unsupported width on that register).
+    Device {
+        /// Faulting port.
+        port: u16,
+        /// Device-provided message.
+        message: String,
+    },
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusFault::Unmapped { port, size } => {
+                write!(f, "unmapped {size} access at port {port:#06x}")
+            }
+            BusFault::Device { port, message } => {
+                write!(f, "device fault at port {port:#06x}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BusFault {}
+
+/// What happens when an access hits no mapped device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnmappedPolicy {
+    /// Faithful ISA behaviour: reads float high (all ones for the width),
+    /// writes are dropped. This is the default, and what the kernel boot
+    /// experiments use — a stray access does not stop the machine, it
+    /// silently misbehaves, exactly as on the paper's test PC.
+    #[default]
+    Float,
+    /// Return [`BusFault::Unmapped`]. Useful for unit tests that must prove a
+    /// driver touches only its own ports.
+    Fault,
+}
+
+/// Identifier of a mapped device within an [`IoSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceId(usize);
+
+/// Error mapping a device into an [`IoSpace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The requested window overlaps an existing mapping.
+    Overlap {
+        /// Requested base port.
+        base: u16,
+        /// Requested window length.
+        len: u16,
+    },
+    /// The window is empty or runs past the end of the 64 KiB port space.
+    BadWindow {
+        /// Requested base port.
+        base: u16,
+        /// Requested window length.
+        len: u16,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Overlap { base, len } => {
+                write!(f, "window {base:#06x}+{len} overlaps an existing mapping")
+            }
+            MapError::BadWindow { base, len } => {
+                write!(f, "window {base:#06x}+{len} is empty or exceeds the port space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A port-mapped peripheral model.
+///
+/// Offsets passed to [`IoDevice::read`]/[`IoDevice::write`] are relative to
+/// the mapping base. Models are free to keep arbitrary internal state; the
+/// bus clock is advanced by one tick per access and delivered via `tick`.
+pub trait IoDevice: Any {
+    /// Short device name used in traces and faults.
+    fn name(&self) -> &str;
+
+    /// Handle a port read at `offset` (relative to the mapping base).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the access is not meaningful for the device
+    /// (e.g. a dword read of a byte-only register) and the bus should fault.
+    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, String>;
+
+    /// Handle a port write at `offset` (relative to the mapping base).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the access is not meaningful for the device.
+    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), String>;
+
+    /// Advance internal time by `ticks` bus cycles.
+    ///
+    /// Devices use this for busy timers (e.g. the IDE controller staying BSY
+    /// for a few polls after a command). The default does nothing.
+    fn tick(&mut self, ticks: u64) {
+        let _ = ticks;
+    }
+
+    /// Upcast for state inspection in tests and the boot harness.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for state injection (e.g. simulating mouse motion).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The byte-granular port bus interface the drivers program against.
+///
+/// This is the only thing generated Devil stubs and interpreted C drivers
+/// see; both real hardware models and test doubles implement it. Functions
+/// that accept `B: IoBus` can also be handed `&mut B` thanks to the blanket
+/// impl below.
+pub trait IoBus {
+    /// 8-bit port read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`BusFault`] per the space's unmapped policy or a device
+    /// refusal.
+    fn inb(&mut self, port: u16) -> Result<u8, BusFault>;
+    /// 16-bit port read.
+    ///
+    /// # Errors
+    ///
+    /// See [`IoBus::inb`].
+    fn inw(&mut self, port: u16) -> Result<u16, BusFault>;
+    /// 32-bit port read.
+    ///
+    /// # Errors
+    ///
+    /// See [`IoBus::inb`].
+    fn inl(&mut self, port: u16) -> Result<u32, BusFault>;
+    /// 8-bit port write.
+    ///
+    /// # Errors
+    ///
+    /// See [`IoBus::inb`].
+    fn outb(&mut self, port: u16, value: u8) -> Result<(), BusFault>;
+    /// 16-bit port write.
+    ///
+    /// # Errors
+    ///
+    /// See [`IoBus::inb`].
+    fn outw(&mut self, port: u16, value: u16) -> Result<(), BusFault>;
+    /// 32-bit port write.
+    ///
+    /// # Errors
+    ///
+    /// See [`IoBus::inb`].
+    fn outl(&mut self, port: u16, value: u32) -> Result<(), BusFault>;
+}
+
+impl<B: IoBus + ?Sized> IoBus for &mut B {
+    fn inb(&mut self, port: u16) -> Result<u8, BusFault> {
+        (**self).inb(port)
+    }
+    fn inw(&mut self, port: u16) -> Result<u16, BusFault> {
+        (**self).inw(port)
+    }
+    fn inl(&mut self, port: u16) -> Result<u32, BusFault> {
+        (**self).inl(port)
+    }
+    fn outb(&mut self, port: u16, value: u8) -> Result<(), BusFault> {
+        (**self).outb(port, value)
+    }
+    fn outw(&mut self, port: u16, value: u16) -> Result<(), BusFault> {
+        (**self).outw(port, value)
+    }
+    fn outl(&mut self, port: u16, value: u32) -> Result<(), BusFault> {
+        (**self).outl(port, value)
+    }
+}
+
+struct Mapping {
+    base: u16,
+    len: u16,
+    device: usize,
+}
+
+/// The machine's port-mapped I/O space.
+///
+/// Owns all peripheral models, routes accesses by port, keeps a monotonic
+/// clock, counts accesses, and (optionally) records a full access trace.
+pub struct IoSpace {
+    mappings: Vec<Mapping>,
+    devices: Vec<Box<dyn IoDevice>>,
+    policy: UnmappedPolicy,
+    clock: u64,
+    reads: u64,
+    writes: u64,
+    trace: Option<Vec<Access>>,
+}
+
+impl fmt::Debug for IoSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IoSpace")
+            .field("mappings", &self.mappings.len())
+            .field("clock", &self.clock)
+            .field("reads", &self.reads)
+            .field("writes", &self.writes)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl Default for IoSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IoSpace {
+    /// Create an empty I/O space with the default (floating) unmapped policy.
+    pub fn new() -> Self {
+        IoSpace {
+            mappings: Vec::new(),
+            devices: Vec::new(),
+            policy: UnmappedPolicy::default(),
+            clock: 0,
+            reads: 0,
+            writes: 0,
+            trace: None,
+        }
+    }
+
+    /// Set the behaviour of accesses that hit no device.
+    pub fn set_unmapped_policy(&mut self, policy: UnmappedPolicy) {
+        self.policy = policy;
+    }
+
+    /// Start recording every access. Any previously recorded trace is kept.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Stop recording and return the trace collected so far, if any.
+    pub fn take_trace(&mut self) -> Vec<Access> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Number of port reads performed so far.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of port writes performed so far.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Current bus clock (one tick per access).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Map `device` at `[base, base + len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] if the range overlaps an existing mapping, is
+    /// empty, or runs past the end of the port space. The device is dropped.
+    pub fn map(
+        &mut self,
+        base: u16,
+        len: u16,
+        device: Box<dyn IoDevice>,
+    ) -> Result<DeviceId, MapError> {
+        if len == 0 || (base as u32) + (len as u32) > 0x1_0000 {
+            return Err(MapError::BadWindow { base, len });
+        }
+        let new_end = base as u32 + len as u32;
+        for m in &self.mappings {
+            let end = m.base as u32 + m.len as u32;
+            if (base as u32) < end && (m.base as u32) < new_end {
+                return Err(MapError::Overlap { base, len });
+            }
+        }
+        let idx = self.devices.len();
+        self.devices.push(device);
+        self.mappings.push(Mapping { base, len, device: idx });
+        Ok(DeviceId(idx))
+    }
+
+    /// Borrow a mapped device, downcast to its concrete type.
+    ///
+    /// Returns `None` when the id is stale or the type does not match.
+    pub fn device<T: IoDevice>(&self, id: DeviceId) -> Option<&T> {
+        self.devices.get(id.0)?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutably borrow a mapped device, downcast to its concrete type.
+    pub fn device_mut<T: IoDevice>(&mut self, id: DeviceId) -> Option<&mut T> {
+        self.devices.get_mut(id.0)?.as_any_mut().downcast_mut::<T>()
+    }
+
+    fn lookup(&self, port: u16) -> Option<(usize, u16)> {
+        for m in &self.mappings {
+            if port >= m.base && (port as u32) < m.base as u32 + m.len as u32 {
+                return Some((m.device, port - m.base));
+            }
+        }
+        None
+    }
+
+    fn advance(&mut self) {
+        self.clock += 1;
+        for d in &mut self.devices {
+            d.tick(1);
+        }
+    }
+
+    fn record(&mut self, port: u16, size: AccessSize, kind: AccessKind, value: u32) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(Access { time: self.clock, port, size, kind, value });
+        }
+    }
+
+    fn read_any(&mut self, port: u16, size: AccessSize) -> Result<u32, BusFault> {
+        self.advance();
+        self.reads += 1;
+        let value = match self.lookup(port) {
+            Some((idx, offset)) => self.devices[idx]
+                .read(offset, size)
+                .map_err(|message| BusFault::Device { port, message })?,
+            None => match self.policy {
+                UnmappedPolicy::Float => size.mask(),
+                UnmappedPolicy::Fault => return Err(BusFault::Unmapped { port, size }),
+            },
+        } & size.mask();
+        self.record(port, size, AccessKind::Read, value);
+        Ok(value)
+    }
+
+    fn write_any(&mut self, port: u16, size: AccessSize, value: u32) -> Result<(), BusFault> {
+        self.advance();
+        self.writes += 1;
+        let value = value & size.mask();
+        self.record(port, size, AccessKind::Write, value);
+        match self.lookup(port) {
+            Some((idx, offset)) => self.devices[idx]
+                .write(offset, size, value)
+                .map_err(|message| BusFault::Device { port, message }),
+            None => match self.policy {
+                UnmappedPolicy::Float => Ok(()),
+                UnmappedPolicy::Fault => Err(BusFault::Unmapped { port, size }),
+            },
+        }
+    }
+}
+
+impl IoBus for IoSpace {
+    fn inb(&mut self, port: u16) -> Result<u8, BusFault> {
+        Ok(self.read_any(port, AccessSize::Byte)? as u8)
+    }
+
+    fn inw(&mut self, port: u16) -> Result<u16, BusFault> {
+        Ok(self.read_any(port, AccessSize::Word)? as u16)
+    }
+
+    fn inl(&mut self, port: u16) -> Result<u32, BusFault> {
+        self.read_any(port, AccessSize::Dword)
+    }
+
+    fn outb(&mut self, port: u16, value: u8) -> Result<(), BusFault> {
+        self.write_any(port, AccessSize::Byte, value as u32)
+    }
+
+    fn outw(&mut self, port: u16, value: u16) -> Result<(), BusFault> {
+        self.write_any(port, AccessSize::Word, value as u32)
+    }
+
+    fn outl(&mut self, port: u16, value: u32) -> Result<(), BusFault> {
+        self.write_any(port, AccessSize::Dword, value)
+    }
+}
+
+/// A trivial RAM-backed register file, handy for tests and as scaffolding.
+///
+/// Every byte in the window is readable and writable with no side effects.
+#[derive(Debug, Clone)]
+pub struct ScratchRegisters {
+    bytes: Vec<u8>,
+}
+
+impl ScratchRegisters {
+    /// Create a scratch window of `len` bytes, all zero.
+    pub fn new(len: usize) -> Self {
+        ScratchRegisters { bytes: vec![0; len] }
+    }
+
+    /// Current contents.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl IoDevice for ScratchRegisters {
+    fn name(&self) -> &str {
+        "scratch"
+    }
+
+    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, String> {
+        let n = (size.bits() / 8) as usize;
+        let start = offset as usize;
+        if start + n > self.bytes.len() {
+            return Err(format!("scratch read past window at offset {offset:#x}"));
+        }
+        let mut v = 0u32;
+        for i in 0..n {
+            v |= (self.bytes[start + i] as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), String> {
+        let n = (size.bits() / 8) as usize;
+        let start = offset as usize;
+        if start + n > self.bytes.len() {
+            return Err(format!("scratch write past window at offset {offset:#x}"));
+        }
+        for i in 0..n {
+            self.bytes[start + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_rejects_overlap() {
+        let mut io = IoSpace::new();
+        io.map(0x100, 8, Box::new(ScratchRegisters::new(8))).unwrap();
+        assert!(io.map(0x104, 8, Box::new(ScratchRegisters::new(8))).is_err());
+        assert!(io.map(0x0fc, 8, Box::new(ScratchRegisters::new(8))).is_err());
+        io.map(0x108, 8, Box::new(ScratchRegisters::new(8))).unwrap();
+    }
+
+    #[test]
+    fn map_rejects_wrap_and_zero_len() {
+        let mut io = IoSpace::new();
+        assert!(io.map(0xFFFF, 2, Box::new(ScratchRegisters::new(2))).is_err());
+        assert!(io.map(0x10, 0, Box::new(ScratchRegisters::new(1))).is_err());
+        io.map(0xFFFF, 1, Box::new(ScratchRegisters::new(1))).unwrap();
+    }
+
+    #[test]
+    fn unmapped_float_reads_all_ones() {
+        let mut io = IoSpace::new();
+        assert_eq!(io.inb(0x400).unwrap(), 0xFF);
+        assert_eq!(io.inw(0x400).unwrap(), 0xFFFF);
+        assert_eq!(io.inl(0x400).unwrap(), 0xFFFF_FFFF);
+        io.outb(0x400, 0x12).unwrap();
+    }
+
+    #[test]
+    fn unmapped_fault_policy_reports() {
+        let mut io = IoSpace::new();
+        io.set_unmapped_policy(UnmappedPolicy::Fault);
+        let err = io.inb(0x400).unwrap_err();
+        assert_eq!(err, BusFault::Unmapped { port: 0x400, size: AccessSize::Byte });
+        let err = io.outw(0x400, 1).unwrap_err();
+        assert_eq!(err, BusFault::Unmapped { port: 0x400, size: AccessSize::Word });
+    }
+
+    #[test]
+    fn scratch_round_trips_all_widths() {
+        let mut io = IoSpace::new();
+        io.map(0x100, 8, Box::new(ScratchRegisters::new(8))).unwrap();
+        io.outb(0x100, 0xAB).unwrap();
+        assert_eq!(io.inb(0x100).unwrap(), 0xAB);
+        io.outw(0x102, 0xBEEF).unwrap();
+        assert_eq!(io.inw(0x102).unwrap(), 0xBEEF);
+        assert_eq!(io.inb(0x102).unwrap(), 0xEF);
+        assert_eq!(io.inb(0x103).unwrap(), 0xBE);
+        io.outl(0x104, 0xDEAD_BEEF).unwrap();
+        assert_eq!(io.inl(0x104).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn trace_records_access_stream() {
+        let mut io = IoSpace::new();
+        io.map(0x100, 4, Box::new(ScratchRegisters::new(4))).unwrap();
+        io.enable_trace();
+        io.outb(0x100, 7).unwrap();
+        io.inb(0x100).unwrap();
+        let t = io.take_trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].kind, AccessKind::Write);
+        assert_eq!(t[0].value, 7);
+        assert_eq!(t[1].kind, AccessKind::Read);
+        assert_eq!(t[1].value, 7);
+        assert!(t[0].time < t[1].time);
+    }
+
+    #[test]
+    fn counters_and_clock_advance() {
+        let mut io = IoSpace::new();
+        assert_eq!(io.clock(), 0);
+        io.inb(0x1).unwrap();
+        io.outb(0x1, 0).unwrap();
+        io.inw(0x1).unwrap();
+        assert_eq!(io.read_count(), 2);
+        assert_eq!(io.write_count(), 1);
+        assert_eq!(io.clock(), 3);
+    }
+
+    #[test]
+    fn device_downcast_works() {
+        let mut io = IoSpace::new();
+        let id = io.map(0x10, 2, Box::new(ScratchRegisters::new(2))).unwrap();
+        io.outb(0x10, 0x55).unwrap();
+        let dev: &ScratchRegisters = io.device(id).unwrap();
+        assert_eq!(dev.bytes()[0], 0x55);
+        assert!(io.device::<crate::devices::Busmouse>(id).is_none());
+    }
+
+    #[test]
+    fn device_fault_surfaces_message() {
+        let mut io = IoSpace::new();
+        // Window of 2 bytes but mapped over 4 ports: offsets 2..4 fault.
+        io.map(0x10, 4, Box::new(ScratchRegisters::new(2))).unwrap();
+        let err = io.inb(0x13).unwrap_err();
+        match err {
+            BusFault::Device { port, .. } => assert_eq!(port, 0x13),
+            other => panic!("expected device fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bus_trait_object_and_mut_ref_usable() {
+        fn poke<B: IoBus>(mut bus: B) -> u8 {
+            bus.outb(0x10, 3).unwrap();
+            bus.inb(0x10).unwrap()
+        }
+        let mut io = IoSpace::new();
+        io.map(0x10, 1, Box::new(ScratchRegisters::new(1))).unwrap();
+        assert_eq!(poke(&mut io), 3);
+    }
+}

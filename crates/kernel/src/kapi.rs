@@ -1,0 +1,92 @@
+//! The kernel's hardware environment for interpreted drivers.
+
+use devil_hwsim::{IoBus, IoSpace};
+use devil_minic::interp::Host;
+
+/// Adapts an [`IoSpace`] to the interpreter's [`Host`] interface.
+///
+/// Faults from device models (e.g. a word access to a byte register) do not
+/// stop the machine — exactly like ISA hardware, the read floats and the
+/// write vanishes; the *consequences* surface later as misbehaviour, which
+/// is the failure mode the experiments measure.
+#[derive(Debug)]
+pub struct MachineHost<'m> {
+    io: &'m mut IoSpace,
+    /// Captured `printk` output, in order.
+    pub console: Vec<String>,
+}
+
+impl<'m> MachineHost<'m> {
+    /// Wrap a machine's I/O space.
+    pub fn new(io: &'m mut IoSpace) -> Self {
+        MachineHost { io, console: Vec::new() }
+    }
+
+    /// The underlying I/O space.
+    pub fn io(&mut self) -> &mut IoSpace {
+        self.io
+    }
+}
+
+impl Host for MachineHost<'_> {
+    fn io_read(&mut self, port: u16, size: u8) -> i64 {
+        match size {
+            1 => self.io.inb(port).map(i64::from).unwrap_or(0xFF),
+            2 => self.io.inw(port).map(i64::from).unwrap_or(0xFFFF),
+            _ => self.io.inl(port).map(i64::from).unwrap_or(0xFFFF_FFFF),
+        }
+    }
+
+    fn io_write(&mut self, port: u16, size: u8, value: i64) {
+        let _ = match size {
+            1 => self.io.outb(port, value as u8),
+            2 => self.io.outw(port, value as u16),
+            _ => self.io.outl(port, value as u32),
+        };
+    }
+
+    fn console(&mut self, message: &str) {
+        self.console.push(message.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devil_hwsim::bus::ScratchRegisters;
+
+    #[test]
+    fn reads_and_writes_route_to_devices() {
+        let mut io = IoSpace::new();
+        io.map(0x100, 4, Box::new(ScratchRegisters::new(4))).unwrap();
+        let mut host = MachineHost::new(&mut io);
+        host.io_write(0x100, 1, 0x5A);
+        assert_eq!(host.io_read(0x100, 1), 0x5A);
+    }
+
+    #[test]
+    fn unmapped_reads_float() {
+        let mut io = IoSpace::new();
+        let mut host = MachineHost::new(&mut io);
+        assert_eq!(host.io_read(0x999, 1), 0xFF);
+        assert_eq!(host.io_read(0x999, 2), 0xFFFF);
+        host.io_write(0x999, 4, 0xDEAD_BEEF); // silently dropped
+    }
+
+    #[test]
+    fn device_refusals_float_instead_of_stopping() {
+        let mut io = IoSpace::new();
+        // 2-byte scratch window mapped over 4 ports: offsets 2..4 refuse.
+        io.map(0x10, 4, Box::new(ScratchRegisters::new(2))).unwrap();
+        let mut host = MachineHost::new(&mut io);
+        assert_eq!(host.io_read(0x13, 1), 0xFF);
+    }
+
+    #[test]
+    fn console_collects_printk() {
+        let mut io = IoSpace::new();
+        let mut host = MachineHost::new(&mut io);
+        host.console("hda: DEVIL SIMULATED DISK");
+        assert_eq!(host.console.len(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # devil-kernel — the simulated kernel boot harness
+//!
+//! The paper boots every surviving mutant inside a Linux kernel and
+//! observes the outcome (§4.2). This crate reproduces that experiment
+//! deterministically:
+//!
+//! * [`kapi::MachineHost`] exposes a simulated machine ([`devil_hwsim`]) to
+//!   interpreted driver code as the kernel I/O environment;
+//! * [`fs`] implements **DevilFS**, a tiny checksummed filesystem living on
+//!   the simulated IDE disk, with `mkfs` and a ground-truth `fsck`;
+//! * [`boot`] drives the boot sequence — probe the disk driver, mount the
+//!   root filesystem through it, run a write/read-back test — and maps
+//!   every result onto the paper's outcome classes
+//!   ([`boot::Outcome`]): run-time check, dead code, boot, crash,
+//!   infinite loop, halt, damaged boot (§4.2's cases 1–7), plus the
+//!   compile-time check of Table 3/4's first row.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boot;
+pub mod fs;
+pub mod kapi;
+
+pub use boot::{boot_ide, BootReport, Outcome};
+pub use fs::{fsck, mkfs, FsckReport, SECTORS_PER_FILE};
+pub use kapi::MachineHost;

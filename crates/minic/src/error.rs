@@ -1,0 +1,66 @@
+//! Error type shared by all `minic` phases.
+
+use std::fmt;
+
+/// Which phase rejected the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CPhase {
+    /// Preprocessing (`#define`, `#include`, ...).
+    Preprocess,
+    /// Tokenisation.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking — the paper's "compile-time" detection point.
+    Check,
+}
+
+impl fmt::Display for CPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CPhase::Preprocess => f.write_str("preprocess"),
+            CPhase::Lex => f.write_str("lex"),
+            CPhase::Parse => f.write_str("parse"),
+            CPhase::Check => f.write_str("type check"),
+        }
+    }
+}
+
+/// A compile-time error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CError {
+    /// Phase that rejected the input.
+    pub phase: CPhase,
+    /// File the offending token came from.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CError {
+    /// Construct an error.
+    pub fn new(phase: CPhase, file: impl Into<String>, line: u32, message: impl Into<String>) -> Self {
+        CError { phase, file: file.into(), line, message: message.into() }
+    }
+}
+
+impl fmt::Display for CError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: error ({}): {}", self.file, self.line, self.phase, self.message)
+    }
+}
+
+impl std::error::Error for CError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_gcc_like() {
+        let e = CError::new(CPhase::Check, "drv.c", 42, "incompatible types");
+        assert_eq!(e.to_string(), "drv.c:42: error (type check): incompatible types");
+    }
+}

@@ -1,0 +1,107 @@
+//! # devil-minic — a C-subset compiler and interpreter
+//!
+//! The Devil paper compiles mutated drivers with gcc and boots them in a
+//! real Linux kernel. This crate stands in for both: a faithful C-subset
+//! front end whose **type checker** reproduces the compile-time error
+//! detection of a kernel build (nominal struct types, pointer/integer
+//! discipline, arity checking — with warnings promoted to errors, as kernel
+//! builds do), and a fuel-bounded **interpreter** that executes the driver
+//! against simulated hardware so run-time outcomes (assertion, crash, hang,
+//! panic) can be observed deterministically.
+//!
+//! Pipeline: [`pp`] (preprocessor) → [`parser`] → [`check`] (the
+//! "compile") → [`interp`] (the "run").
+//!
+//! ```
+//! use devil_minic::{compile, interp::{Interpreter, NullHost}};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = compile("add.c", "int add(int a, int b) { return a + b; }")?;
+//! let mut host = NullHost::default();
+//! let mut interp = Interpreter::new(&program, &mut host, 10_000);
+//! let result = interp.call("add", &[2.into(), 40.into()])?;
+//! assert_eq!(result.as_int(), Some(42));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod check;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod pp;
+pub mod token;
+pub mod types;
+pub mod value;
+
+pub use error::{CError, CPhase};
+
+/// A fully checked program, ready to interpret.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The translation unit.
+    pub unit: ast::Unit,
+    /// Struct layouts resolved by the checker.
+    pub structs: types::StructTable,
+}
+
+/// Preprocess, parse and type-check one translation unit.
+///
+/// # Errors
+///
+/// Returns the first preprocessing or syntax error, or the full list of
+/// type errors, as a [`CError`].
+pub fn compile(file: &str, source: &str) -> Result<Program, CError> {
+    compile_with_includes(file, source, &[])
+}
+
+/// Like [`compile`], with a set of `(name, text)` virtual include files for
+/// `#include "name"` resolution — how CDevil drivers pull in their
+/// generated stub header.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with_includes(
+    file: &str,
+    source: &str,
+    includes: &[(&str, &str)],
+) -> Result<Program, CError> {
+    let tokens = pp::preprocess(file, source, includes)?;
+    let unit = parser::parse(tokens)?;
+    let structs = check::check(&unit)?;
+    Ok(Program { unit, structs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_compile() {
+        let p = compile("t.c", "int main(void) { return 7; }").unwrap();
+        assert_eq!(p.unit.functions().count(), 1);
+    }
+
+    #[test]
+    fn compile_reports_type_errors() {
+        let err = compile("t.c", "int f(void) { return g(); }").unwrap_err();
+        assert_eq!(err.phase, CPhase::Check);
+    }
+
+    #[test]
+    fn include_resolution() {
+        let p = compile_with_includes(
+            "drv.c",
+            "#include \"hdr.h\"\nint use(void) { return helper(); }",
+            &[("hdr.h", "static int helper(void) { return 3; }")],
+        )
+        .unwrap();
+        assert_eq!(p.unit.functions().count(), 2);
+    }
+}

@@ -1,0 +1,686 @@
+//! The C preprocessor.
+//!
+//! Supports the subset the drivers and generated stubs need: object-like
+//! and function-like `#define` (with argument substitution and recursion
+//! guard), `#undef`, `#include "file"` against a caller-provided virtual
+//! file set, `#ifdef`/`#ifndef`/`#else`/`#endif`, line continuations,
+//! block/line comments, and the `__FILE__`/`__LINE__` builtins (use-site
+//! semantics, which is what `dil_assert`'s panic message relies on).
+
+use crate::error::{CError, CPhase};
+use crate::lexer::lex_line;
+use crate::token::{CTok, CToken, Punct};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum Macro {
+    Object(Vec<CToken>),
+    Function { params: Vec<String>, body: Vec<CToken> },
+}
+
+/// Run the preprocessor over `source`, resolving `#include "name"` against
+/// `includes`.
+///
+/// Returns the expanded token stream and the list of participating file
+/// names; index `i` of that list is the `file_id` stamped on tokens from
+/// that file.
+///
+/// # Errors
+///
+/// Reports malformed directives, unknown includes, unbalanced conditionals
+/// and tokenisation failures.
+pub fn preprocess(
+    file: &str,
+    source: &str,
+    includes: &[(&str, &str)],
+) -> Result<(Vec<CToken>, Vec<String>), CError> {
+    let mut pp = Preprocessor {
+        includes,
+        macros: HashMap::new(),
+        raw: Vec::new(),
+        depth: 0,
+        files: vec![file.to_string()],
+    };
+    pp.file(file, 0, source)?;
+    let raw = std::mem::take(&mut pp.raw);
+    let mut out = Vec::new();
+    let mut i = 0;
+    pp.expand(&raw, &mut i, raw.len(), &mut out, &HashSet::new())?;
+    out.push(CToken {
+        tok: CTok::Eof,
+        file: file.to_string(),
+        file_id: 0,
+        line: source.lines().count() as u32 + 1,
+        pos: source.len(),
+        len: 0,
+    });
+    Ok((out, pp.files))
+}
+
+struct Preprocessor<'a> {
+    includes: &'a [(&'a str, &'a str)],
+    macros: HashMap<String, Macro>,
+    raw: Vec<CToken>,
+    depth: u32,
+    files: Vec<String>,
+}
+
+/// Strip `/* ... */` comments, preserving newlines so line numbers hold.
+fn strip_block_comments(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut in_comment = false;
+    let mut in_str = false;
+    while i < b.len() {
+        if in_comment {
+            if b[i] == b'\n' {
+                out.push('\n');
+                i += 1;
+            } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                in_comment = false;
+                out.push_str("  ");
+                i += 2;
+            } else {
+                out.push(' ');
+                i += 1;
+            }
+        } else if in_str {
+            out.push(b[i] as char);
+            if b[i] == b'\\' && i + 1 < b.len() {
+                out.push(b[i + 1] as char);
+                i += 1;
+            } else if b[i] == b'"' {
+                in_str = false;
+            }
+            i += 1;
+        } else if b[i] == b'"' {
+            in_str = true;
+            out.push('"');
+            i += 1;
+        } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+            in_comment = true;
+            out.push_str("  ");
+            i += 2;
+        } else if b[i] == b'/' && b.get(i + 1) == Some(&b'/') {
+            // Line comment: skip to newline.
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+        } else {
+            out.push(b[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+impl<'a> Preprocessor<'a> {
+    fn file(&mut self, name: &str, file_id: u16, source: &str) -> Result<(), CError> {
+        self.depth += 1;
+        if self.depth > 16 {
+            return Err(CError::new(CPhase::Preprocess, name, 1, "include depth exceeded"));
+        }
+        let text = strip_block_comments(source);
+        // Build logical lines with (start_line, start_offset).
+        let mut logical: Vec<(u32, usize, String)> = Vec::new();
+        let mut cur = String::new();
+        let mut cur_start_line = 1u32;
+        let mut cur_start_off = 0usize;
+        let mut line_no = 1u32;
+        let mut offset = 0usize;
+        let mut continuing = false;
+        #[allow(clippy::explicit_counter_loop)] // offset advances with line_no
+        for line in text.split('\n') {
+            if !continuing {
+                cur_start_line = line_no;
+                cur_start_off = offset;
+                cur.clear();
+            }
+            if let Some(stripped) = line.strip_suffix('\\') {
+                cur.push_str(stripped);
+                cur.push(' ');
+                continuing = true;
+            } else {
+                cur.push_str(line);
+                continuing = false;
+                logical.push((cur_start_line, cur_start_off, cur.clone()));
+            }
+            offset += line.len() + 1;
+            line_no += 1;
+        }
+        if continuing {
+            logical.push((cur_start_line, cur_start_off, cur.clone()));
+        }
+
+        // Conditional-inclusion stack: (parent_active, this_branch_taken).
+        let mut cond: Vec<(bool, bool)> = Vec::new();
+        for (line, off, text) in logical {
+            let trimmed = text.trim_start();
+            let active = cond.iter().all(|(p, t)| *p && *t);
+            if let Some(rest) = trimmed.strip_prefix('#') {
+                let rest = rest.trim_start();
+                let (directive, args) =
+                    rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+                match directive {
+                    "define" if active => self.define(name, file_id, line, off, args.trim())?,
+                    "undef" if active => {
+                        self.macros.remove(args.trim());
+                    }
+                    "include" if active => {
+                        let arg = args.trim();
+                        let inner = arg
+                            .strip_prefix('"')
+                            .and_then(|s| s.strip_suffix('"'))
+                            .ok_or_else(|| {
+                                CError::new(
+                                    CPhase::Preprocess,
+                                    name,
+                                    line,
+                                    format!("#include expects \"file\", got `{arg}`"),
+                                )
+                            })?;
+                        let Some((_, text)) =
+                            self.includes.iter().find(|(n, _)| *n == inner)
+                        else {
+                            return Err(CError::new(
+                                CPhase::Preprocess,
+                                name,
+                                line,
+                                format!("include file \"{inner}\" not found"),
+                            ));
+                        };
+                        let owned = text.to_string();
+                        let inner_name = inner.to_string();
+                        let inner_id = match self.files.iter().position(|f| f == &inner_name) {
+                            Some(i) => i as u16,
+                            None => {
+                                self.files.push(inner_name.clone());
+                                (self.files.len() - 1) as u16
+                            }
+                        };
+                        self.file(&inner_name, inner_id, &owned)?;
+                    }
+                    "ifdef" => {
+                        cond.push((active, self.macros.contains_key(args.trim())));
+                    }
+                    "ifndef" => {
+                        cond.push((active, !self.macros.contains_key(args.trim())));
+                    }
+                    "else" => {
+                        let Some((p, t)) = cond.pop() else {
+                            return Err(CError::new(
+                                CPhase::Preprocess,
+                                name,
+                                line,
+                                "#else without #if",
+                            ));
+                        };
+                        cond.push((p, !t));
+                    }
+                    "endif" => {
+                        if cond.pop().is_none() {
+                            return Err(CError::new(
+                                CPhase::Preprocess,
+                                name,
+                                line,
+                                "#endif without #if",
+                            ));
+                        }
+                    }
+                    _ if !active => {}
+                    other => {
+                        return Err(CError::new(
+                            CPhase::Preprocess,
+                            name,
+                            line,
+                            format!("unsupported directive `#{other}`"),
+                        ));
+                    }
+                }
+            } else if active {
+                let toks = lex_line(name, file_id, line, off, &text)?;
+                self.raw.extend(toks);
+            }
+        }
+        if !cond.is_empty() {
+            return Err(CError::new(CPhase::Preprocess, name, 1, "unterminated #if block"));
+        }
+        self.depth -= 1;
+        Ok(())
+    }
+
+    fn define(
+        &mut self,
+        file: &str,
+        file_id: u16,
+        line: u32,
+        off: usize,
+        text: &str,
+    ) -> Result<(), CError> {
+        let toks = lex_line(file, file_id, line, off, text)?;
+        if toks.is_empty() {
+            return Err(CError::new(CPhase::Preprocess, file, line, "#define needs a name"));
+        }
+        let CTok::Ident(name) = &toks[0].tok else {
+            return Err(CError::new(CPhase::Preprocess, file, line, "#define needs a name"));
+        };
+        let name = name.clone();
+        // Function-like iff '(' immediately follows the name in the source.
+        let fn_like = toks.len() > 1
+            && toks[1].tok == CTok::Punct(Punct::LParen)
+            && toks[1].pos == toks[0].pos + toks[0].len;
+        if fn_like {
+            let mut params = Vec::new();
+            let mut i = 2;
+            if toks.get(i).map(|t| &t.tok) == Some(&CTok::Punct(Punct::RParen)) {
+                i += 1;
+            } else {
+                loop {
+                    match toks.get(i).map(|t| &t.tok) {
+                        Some(CTok::Ident(p)) => params.push(p.clone()),
+                        _ => {
+                            return Err(CError::new(
+                                CPhase::Preprocess,
+                                file,
+                                line,
+                                "malformed macro parameter list",
+                            ));
+                        }
+                    }
+                    i += 1;
+                    match toks.get(i).map(|t| &t.tok) {
+                        Some(CTok::Punct(Punct::Comma)) => i += 1,
+                        Some(CTok::Punct(Punct::RParen)) => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {
+                            return Err(CError::new(
+                                CPhase::Preprocess,
+                                file,
+                                line,
+                                "malformed macro parameter list",
+                            ));
+                        }
+                    }
+                }
+            }
+            let body = toks[i..].to_vec();
+            if let Some(Macro::Function { params: p0, body: b0 }) = self.macros.get(&name) {
+                if *p0 != params || !same_tokens(b0, &body) {
+                    return Err(CError::new(
+                        CPhase::Preprocess,
+                        file,
+                        line,
+                        format!("macro `{name}` redefined with a different body"),
+                    ));
+                }
+            }
+            self.macros.insert(name, Macro::Function { params, body });
+        } else {
+            let body = toks[1..].to_vec();
+            if let Some(Macro::Object(b0)) = self.macros.get(&name) {
+                if !same_tokens(b0, &body) {
+                    return Err(CError::new(
+                        CPhase::Preprocess,
+                        file,
+                        line,
+                        format!("macro `{name}` redefined with a different body"),
+                    ));
+                }
+            }
+            self.macros.insert(name, Macro::Object(body));
+        }
+        Ok(())
+    }
+
+    /// Expand `input[*i..end]` into `out`.
+    fn expand(
+        &self,
+        input: &[CToken],
+        i: &mut usize,
+        end: usize,
+        out: &mut Vec<CToken>,
+        hidden: &HashSet<String>,
+    ) -> Result<(), CError> {
+        while *i < end {
+            let t = &input[*i];
+            *i += 1;
+            let CTok::Ident(name) = &t.tok else {
+                out.push(t.clone());
+                continue;
+            };
+            if name == "__FILE__" {
+                out.push(CToken::synthesized(CTok::Str(t.file.clone()), t));
+                continue;
+            }
+            if name == "__LINE__" {
+                out.push(CToken::synthesized(
+                    CTok::Int { value: t.line as u64, text: t.line.to_string() },
+                    t,
+                ));
+                continue;
+            }
+            if hidden.contains(name) {
+                out.push(t.clone());
+                continue;
+            }
+            match self.macros.get(name) {
+                Some(Macro::Object(body)) => {
+                    let mut sub_hidden = hidden.clone();
+                    sub_hidden.insert(name.clone());
+                    let relocated = relocate(body, t);
+                    let mut j = 0;
+                    self.expand(&relocated, &mut j, relocated.len(), out, &sub_hidden)?;
+                }
+                Some(Macro::Function { params, body }) => {
+                    // Only a call if '(' follows; otherwise plain identifier.
+                    if input.get(*i).map(|n| &n.tok) != Some(&CTok::Punct(Punct::LParen)) {
+                        out.push(t.clone());
+                        continue;
+                    }
+                    *i += 1; // consume '('
+                    let args = collect_args(input, i, t)?;
+                    if args.len() != params.len() && !(params.is_empty() && args.len() == 1 && args[0].is_empty())
+                    {
+                        return Err(CError::new(
+                            CPhase::Preprocess,
+                            &t.file,
+                            t.line,
+                            format!(
+                                "macro `{name}` expects {} argument(s), got {}",
+                                params.len(),
+                                args.len()
+                            ),
+                        ));
+                    }
+                    // Substitute parameters (arguments are substituted
+                    // unexpanded, then the whole body is rescanned — close
+                    // enough to C for this subset).
+                    let mut substituted = Vec::new();
+                    for bt in relocate(body, t) {
+                        if let CTok::Ident(p) = &bt.tok {
+                            if let Some(idx) = params.iter().position(|q| q == p) {
+                                substituted.extend(relocate(&args[idx], t));
+                                continue;
+                            }
+                        }
+                        substituted.push(bt);
+                    }
+                    let mut sub_hidden = hidden.clone();
+                    sub_hidden.insert(name.clone());
+                    let mut j = 0;
+                    self.expand(&substituted, &mut j, substituted.len(), out, &sub_hidden)?;
+                }
+                None => out.push(t.clone()),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Token-sequence equality ignoring positions (for redefinition checks —
+/// gcc accepts identical redefinitions, rejects differing ones under
+/// `-Werror`).
+fn same_tokens(a: &[CToken], b: &[CToken]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.tok == y.tok)
+}
+
+/// Prepare macro-body tokens for splicing at a use site.
+///
+/// Ordinary body tokens keep their *definition* location — this is what
+/// lets the interpreter's line coverage attribute execution to the
+/// `#define` line itself, so a mutation inside an exercised macro body is
+/// correctly seen as executed. Only the `__FILE__`/`__LINE__` builtins are
+/// re-stamped to the use site, preserving their standard C semantics
+/// (which `dil_assert`'s panic message depends on).
+fn relocate(body: &[CToken], site: &CToken) -> Vec<CToken> {
+    body.iter()
+        .map(|t| {
+            let is_location_builtin =
+                matches!(&t.tok, CTok::Ident(n) if n == "__FILE__" || n == "__LINE__");
+            if is_location_builtin {
+                CToken {
+                    tok: t.tok.clone(),
+                    file: site.file.clone(),
+                    file_id: site.file_id,
+                    line: site.line,
+                    pos: t.pos,
+                    len: t.len,
+                }
+            } else {
+                t.clone()
+            }
+        })
+        .collect()
+}
+
+/// Collect macro-call arguments; `*i` sits just past the '('.
+fn collect_args(
+    input: &[CToken],
+    i: &mut usize,
+    site: &CToken,
+) -> Result<Vec<Vec<CToken>>, CError> {
+    let mut args: Vec<Vec<CToken>> = vec![Vec::new()];
+    let mut depth = 0u32;
+    loop {
+        let Some(t) = input.get(*i) else {
+            return Err(CError::new(
+                CPhase::Preprocess,
+                &site.file,
+                site.line,
+                "unterminated macro call",
+            ));
+        };
+        *i += 1;
+        match &t.tok {
+            CTok::Punct(Punct::LParen) => {
+                depth += 1;
+                args.last_mut().expect("non-empty").push(t.clone());
+            }
+            CTok::Punct(Punct::RParen) => {
+                if depth == 0 {
+                    return Ok(args);
+                }
+                depth -= 1;
+                args.last_mut().expect("non-empty").push(t.clone());
+            }
+            CTok::Punct(Punct::Comma) if depth == 0 => args.push(Vec::new()),
+            CTok::Eof => {
+                return Err(CError::new(
+                    CPhase::Preprocess,
+                    &site.file,
+                    site.line,
+                    "unterminated macro call",
+                ));
+            }
+            _ => args.last_mut().expect("non-empty").push(t.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<CTok> {
+        preprocess("t.c", src, &[])
+            .unwrap()
+            .0
+            .into_iter()
+            .map(|t| t.tok)
+            .filter(|t| *t != CTok::Eof)
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        run(src)
+            .into_iter()
+            .filter_map(|t| match t {
+                CTok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn object_macro_expands() {
+        let ts = run("#define PORT 0x23c\nx = PORT;");
+        assert!(ts.contains(&CTok::Int { value: 0x23c, text: "0x23c".into() }));
+    }
+
+    #[test]
+    fn object_macro_chains() {
+        let ts = run("#define A B\n#define B 7\nA;");
+        assert!(ts.contains(&CTok::Int { value: 7, text: "7".into() }));
+    }
+
+    #[test]
+    fn function_macro_substitutes_args() {
+        let ts = run("#define SHIFT(x, n) ((x) << (n))\ny = SHIFT(v, 4);");
+        let rendered: Vec<String> = ts.iter().map(|t| format!("{t}")).collect();
+        let joined = rendered.join(" ");
+        assert_eq!(joined, "`y` `=` `(` `(` `v` `)` `<<` `(` `4` `)` `)` `;`");
+    }
+
+    #[test]
+    fn function_macro_without_parens_is_plain() {
+        let ids = idents("#define F(x) x\nint F;");
+        assert_eq!(ids, vec!["int", "F"]);
+    }
+
+    #[test]
+    fn recursion_guard_stops_self_reference() {
+        let ids = idents("#define X X\nX;");
+        assert_eq!(ids, vec!["X"]);
+    }
+
+    #[test]
+    fn file_and_line_builtins() {
+        let ts = preprocess("drv.c", "a\nb __LINE__ __FILE__", &[]).unwrap().0;
+        let line_tok = ts.iter().find(|t| matches!(t.tok, CTok::Int { .. })).unwrap();
+        assert_eq!(line_tok.tok, CTok::Int { value: 2, text: "2".into() });
+        assert!(ts.iter().any(|t| t.tok == CTok::Str("drv.c".into())));
+    }
+
+    #[test]
+    fn line_macro_through_define_uses_call_site() {
+        let src = "#define HERE __LINE__\nx;\ny = HERE;";
+        let ts = preprocess("t.c", src, &[]).unwrap().0;
+        let line_tok = ts.iter().find(|t| matches!(t.tok, CTok::Int { .. })).unwrap();
+        assert_eq!(line_tok.tok, CTok::Int { value: 3, text: "3".into() });
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let ids = idents("#define LONG a \\\n b\nLONG;");
+        assert_eq!(ids, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn block_comments_stripped_with_lines_kept() {
+        let ts = preprocess("t.c", "/* one\ntwo */ x", &[]).unwrap().0;
+        let x = ts.iter().find(|t| t.tok == CTok::Ident("x".into())).unwrap();
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn comment_inside_string_preserved() {
+        let ts = run("s = \"/* not a comment */\";");
+        assert!(ts.contains(&CTok::Str("/* not a comment */".into())));
+    }
+
+    #[test]
+    fn ifdef_blocks() {
+        let ids = idents("#define YES 1\n#ifdef YES\nin;\n#else\nout;\n#endif");
+        assert_eq!(ids, vec!["in"]);
+        let ids = idents("#ifdef NO\nin;\n#else\nout;\n#endif");
+        assert_eq!(ids, vec!["out"]);
+        let ids = idents("#ifndef NO\na;\n#endif");
+        assert_eq!(ids, vec!["a"]);
+    }
+
+    #[test]
+    fn nested_ifdef() {
+        let ids = idents("#ifdef NO\n#ifdef ALSO\nx;\n#endif\ny;\n#endif\nz;");
+        assert_eq!(ids, vec!["z"]);
+    }
+
+    #[test]
+    fn undef_removes_macro() {
+        let ids = idents("#define A b\n#undef A\nA;");
+        assert_eq!(ids, vec!["A"]);
+    }
+
+    #[test]
+    fn include_splices_tokens() {
+        let ts = preprocess("m.c", "#include \"h.h\"\nafter;", &[("h.h", "inside;")]).unwrap().0;
+        let ids: Vec<&str> = ts
+            .iter()
+            .filter_map(|t| match &t.tok {
+                CTok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec!["inside", "after"]);
+        // Included tokens carry their own file name.
+        let inside = ts.iter().find(|t| t.tok == CTok::Ident("inside".into())).unwrap();
+        assert_eq!(inside.file, "h.h");
+    }
+
+    #[test]
+    fn missing_include_is_error() {
+        let err = preprocess("m.c", "#include \"gone.h\"", &[]).unwrap_err();
+        assert_eq!(err.phase, CPhase::Preprocess);
+        assert!(err.message.contains("gone.h"));
+    }
+
+    #[test]
+    fn include_defines_visible_after() {
+        let (ts, _) = preprocess(
+            "m.c",
+            "#include \"h.h\"\nx = K;",
+            &[("h.h", "#define K 9")],
+        )
+        .unwrap();
+        assert!(ts.iter().any(|t| t.tok == CTok::Int { value: 9, text: "9".into() }));
+    }
+
+    #[test]
+    fn wrong_arity_macro_call_is_error() {
+        let err = preprocess("t.c", "#define F(a, b) a\nF(1);", &[]).unwrap_err();
+        assert!(err.message.contains("expects 2"));
+    }
+
+    #[test]
+    fn unbalanced_endif_is_error() {
+        assert!(preprocess("t.c", "#endif", &[]).is_err());
+        assert!(preprocess("t.c", "#ifdef A\nx;", &[]).is_err());
+    }
+
+    #[test]
+    fn nested_parens_in_macro_args() {
+        let ts = run("#define ID(x) x\ny = ID((a, b));");
+        // The inner (a, b) stays one argument.
+        let commas = ts.iter().filter(|t| **t == CTok::Punct(Punct::Comma)).count();
+        assert_eq!(commas, 1);
+    }
+
+    #[test]
+    fn dil_assert_shape_expands() {
+        let src = "#define dil_assert(expr) ((expr) ? 0 : \\\n panic(\"fail %s %d\", __FILE__, __LINE__))\ndil_assert(x == 1);";
+        let ts = preprocess("t.c", src, &[]).unwrap().0;
+        let has_panic = ts.iter().any(|t| t.tok == CTok::Ident("panic".into()));
+        assert!(has_panic);
+        // __LINE__ resolves to the use line (3rd source line... use is line 3).
+        let line_vals: Vec<u64> = ts
+            .iter()
+            .filter_map(|t| match &t.tok {
+                CTok::Int { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert!(line_vals.contains(&3), "{line_vals:?}");
+    }
+}

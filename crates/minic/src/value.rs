@@ -1,0 +1,138 @@
+//! Runtime values for the interpreter.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifier of a heap object (a global, local or string allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjId(pub usize);
+
+/// An element address: object plus element index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Place {
+    /// Owning object.
+    pub obj: ObjId,
+    /// Element index within the object.
+    pub idx: usize,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Any integer (width/signedness applied on store).
+    Int(i64),
+    /// A struct value: ordered field values.
+    Struct(Rc<Vec<Value>>),
+    /// A pointer; `None` is the null pointer.
+    Ptr(Option<Place>),
+    /// A string literal (the runtime shape of `const char *` literals).
+    Str(Rc<str>),
+}
+
+impl Value {
+    /// The integer inside, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// C truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(i) => *i != 0,
+            Value::Ptr(p) => p.is_some(),
+            Value::Str(_) => true,
+            Value::Struct(_) => true,
+        }
+    }
+
+    /// Zero value of the "same shape" (used for default initialisation).
+    pub fn zero_like(&self) -> Value {
+        match self {
+            Value::Int(_) => Value::Int(0),
+            Value::Ptr(_) => Value::Ptr(None),
+            Value::Str(_) => Value::Str(Rc::from("")),
+            Value::Struct(fields) => {
+                Value::Struct(Rc::new(fields.iter().map(Value::zero_like).collect()))
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Struct(fs) => write!(f, "{{{} fields}}", fs.len()),
+            Value::Ptr(None) => f.write_str("NULL"),
+            Value::Ptr(Some(p)) => write!(f, "&obj{}[{}]", p.obj.0, p.idx),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Truncate an integer to `bits` with the given signedness — what a C store
+/// into a typed object does.
+pub fn wrap_int(v: i64, bits: u8, signed: bool) -> i64 {
+    if bits >= 64 {
+        return v;
+    }
+    let mask = (1i64 << bits) - 1;
+    let t = v & mask;
+    if signed && t & (1i64 << (bits - 1)) != 0 {
+        t | !mask
+    } else {
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_unsigned_and_signed() {
+        assert_eq!(wrap_int(0x1FF, 8, false), 0xFF);
+        assert_eq!(wrap_int(0xFF, 8, true), -1);
+        assert_eq!(wrap_int(0x7F, 8, true), 127);
+        assert_eq!(wrap_int(-1, 16, false), 0xFFFF);
+        assert_eq!(wrap_int(0x12345, 16, false), 0x2345);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Ptr(None).truthy());
+        assert!(Value::Ptr(Some(Place { obj: ObjId(0), idx: 0 })).truthy());
+        assert!(Value::Str(Rc::from("x")).truthy());
+    }
+
+    #[test]
+    fn zero_like_struct() {
+        let s = Value::Struct(Rc::new(vec![Value::Int(5), Value::Str(Rc::from("f"))]));
+        let z = s.zero_like();
+        let Value::Struct(fields) = z else { panic!() };
+        assert_eq!(fields[0], Value::Int(0));
+    }
+}

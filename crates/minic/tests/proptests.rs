@@ -1,0 +1,128 @@
+//! Property tests for minic: a differential check of expression semantics
+//! against Rust's own 32-bit integer arithmetic, plus front-end totality.
+
+use devil_minic::interp::{Interpreter, NullHost};
+use devil_minic::value::wrap_int;
+use proptest::prelude::*;
+
+/// A random arithmetic expression over two variables, as C text and as a
+/// Rust closure, for differential evaluation.
+#[derive(Debug, Clone)]
+enum E {
+    A,
+    B,
+    Lit(i32),
+    Bin(&'static str, Box<E>, Box<E>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::A),
+        Just(E::B),
+        (0i32..1000).prop_map(E::Lit),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (
+            prop::sample::select(vec!["+", "-", "*", "&", "|", "^"]),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| E::Bin(op, Box::new(l), Box::new(r)))
+    })
+}
+
+impl E {
+    fn to_c(&self) -> String {
+        match self {
+            E::A => "a".into(),
+            E::B => "b".into(),
+            E::Lit(v) => v.to_string(),
+            E::Bin(op, l, r) => format!("({} {} {})", l.to_c(), op, r.to_c()),
+        }
+    }
+
+    fn eval(&self, a: i32, b: i32) -> i32 {
+        match self {
+            E::A => a,
+            E::B => b,
+            E::Lit(v) => *v,
+            E::Bin(op, l, r) => {
+                let (x, y) = (l.eval(a, b), r.eval(a, b));
+                match *op {
+                    "+" => x.wrapping_add(y),
+                    "-" => x.wrapping_sub(y),
+                    "*" => x.wrapping_mul(y),
+                    "&" => x & y,
+                    "|" => x | y,
+                    _ => x ^ y,
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// minic evaluates arbitrary integer arithmetic exactly like a 32-bit
+    /// C compiler (differential against Rust's wrapping semantics).
+    #[test]
+    fn arithmetic_matches_c_semantics(e in expr_strategy(), a in any::<i16>(), b in any::<i16>()) {
+        let src = format!("int f(int a, int b) {{ return {}; }}", e.to_c());
+        let program = devil_minic::compile("t.c", &src).unwrap();
+        let mut host = NullHost::default();
+        let mut interp = Interpreter::new(&program, &mut host, 1_000_000);
+        let got = interp
+            .call("f", &[(a as i64).into(), (b as i64).into()])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let want = e.eval(a as i32, b as i32);
+        // minic computes in i64 and wraps on the typed return boundary.
+        prop_assert_eq!(wrap_int(got, 32, true) as i32, want, "{}", src);
+    }
+
+    /// Shifts match x86 semantics for in-range counts.
+    #[test]
+    fn shifts_match(x in any::<u16>(), n in 0u32..16) {
+        let src = format!("int f(void) {{ return ({x} << {n}) | ({x} >> {n}); }}");
+        let program = devil_minic::compile("t.c", &src).unwrap();
+        let mut host = NullHost::default();
+        let mut interp = Interpreter::new(&program, &mut host, 100_000);
+        let got = interp.call("f", &[]).unwrap().as_int().unwrap();
+        let want = ((x as i64) << n) | ((x as i64) >> n);
+        prop_assert_eq!(got, want);
+    }
+
+    /// wrap_int is a proper truncation: stable under repetition and
+    /// agrees with Rust's `as` casts.
+    #[test]
+    fn wrap_int_matches_rust_casts(v in any::<i64>()) {
+        prop_assert_eq!(wrap_int(v, 8, false), (v as u8) as i64);
+        prop_assert_eq!(wrap_int(v, 8, true), (v as i8) as i64);
+        prop_assert_eq!(wrap_int(v, 16, false), (v as u16) as i64);
+        prop_assert_eq!(wrap_int(v, 16, true), (v as i16) as i64);
+        prop_assert_eq!(wrap_int(v, 32, true), (v as i32) as i64);
+        let once = wrap_int(v, 16, true);
+        prop_assert_eq!(wrap_int(once, 16, true), once);
+    }
+
+    /// The preprocessor and parser never panic on printable garbage.
+    #[test]
+    fn frontend_totality(src in "[ -~\\n]{0,300}") {
+        let _ = devil_minic::compile("fuzz.c", &src);
+    }
+
+    /// Comparison chains produce strictly 0/1.
+    #[test]
+    fn comparisons_are_boolean(a in any::<i32>(), b in any::<i32>()) {
+        let src = "int f(int a, int b) { return (a < b) + (a > b) + (a == b); }";
+        let program = devil_minic::compile("t.c", src).unwrap();
+        let mut host = NullHost::default();
+        let mut interp = Interpreter::new(&program, &mut host, 100_000);
+        let got = interp
+            .call("f", &[(a as i64).into(), (b as i64).into()])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        prop_assert_eq!(got, 1, "exactly one of <, >, == holds");
+    }
+}

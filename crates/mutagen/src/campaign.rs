@@ -1,0 +1,141 @@
+//! Campaign execution: seeded sampling and parallel classification.
+//!
+//! The paper's Table 3/4 experiment generates ~2000 mutants and randomly
+//! tests 25% of them; each test compiles the mutant and (when it compiles)
+//! boots a kernel with it. [`sample`] reproduces the seeded random
+//! selection; [`run_parallel`] fans the classification function out over
+//! worker threads, since every mutant run is independent.
+
+use crate::site::Mutant;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministically sample `fraction` (0..=1) of `mutants` with `seed`.
+///
+/// The selection is stable for a given `(mutants, fraction, seed)` triple,
+/// so experiments are reproducible run to run.
+pub fn sample(mutants: Vec<Mutant>, fraction: f64, seed: u64) -> Vec<Mutant> {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let keep = ((mutants.len() as f64) * fraction).round() as usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..mutants.len()).collect();
+    indices.shuffle(&mut rng);
+    indices.truncate(keep);
+    indices.sort_unstable();
+    let mut iter = mutants.into_iter();
+    let mut out = Vec::with_capacity(keep);
+    let mut next = 0usize;
+    for want in indices {
+        for skipped in iter.by_ref() {
+            if next == want {
+                out.push(skipped);
+                next += 1;
+                break;
+            }
+            next += 1;
+        }
+    }
+    out
+}
+
+/// Classify every mutant in parallel, preserving order.
+///
+/// `classify` must be pure per mutant (each call gets its own state); the
+/// outcome type is anything sendable.
+pub fn run_parallel<O, F>(mutants: &[Mutant], threads: usize, classify: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(&Mutant) -> O + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || mutants.len() < 2 {
+        return mutants.iter().map(&classify).collect();
+    }
+    let mut results: Vec<Option<O>> = (0..mutants.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= mutants.len() {
+                    break;
+                }
+                let out = classify(&mutants[i]);
+                results_mutex.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+    results
+        .into_iter()
+        .map(|o| o.expect("every index classified"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{make_mutant, MutationSite, SiteKind};
+
+    fn mutants(n: usize) -> Vec<Mutant> {
+        let src = "x".repeat(n.max(1));
+        let sites: Vec<MutationSite> = (0..n)
+            .map(|i| MutationSite {
+                pos: i,
+                len: 1,
+                line: 1,
+                kind: SiteKind::Literal,
+                original: "x".into(),
+            })
+            .collect();
+        (0..n).map(|i| make_mutant(&src, &sites, i, "y".into())).collect()
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let a = sample(mutants(100), 0.25, 42);
+        let b = sample(mutants(100), 0.25, 42);
+        assert_eq!(a.len(), 25);
+        let ka: Vec<usize> = a.iter().map(|m| m.site).collect();
+        let kb: Vec<usize> = b.iter().map(|m| m.site).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<usize> = sample(mutants(100), 0.25, 1).iter().map(|m| m.site).collect();
+        let b: Vec<usize> = sample(mutants(100), 0.25, 2).iter().map(|m| m.site).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sample_full_and_empty() {
+        assert_eq!(sample(mutants(10), 1.0, 7).len(), 10);
+        assert_eq!(sample(mutants(10), 0.0, 7).len(), 0);
+        assert_eq!(sample(mutants(0), 0.5, 7).len(), 0);
+    }
+
+    #[test]
+    fn sample_preserves_order() {
+        let s = sample(mutants(50), 0.5, 3);
+        let sites: Vec<usize> = s.iter().map(|m| m.site).collect();
+        let mut sorted = sites.clone();
+        sorted.sort_unstable();
+        assert_eq!(sites, sorted);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let ms = mutants(64);
+        let serial = run_parallel(&ms, 1, |m| m.site * 2);
+        let parallel = run_parallel(&ms, 8, |m| m.site * 2);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_handles_empty() {
+        let out: Vec<usize> = run_parallel(&[], 4, |m| m.site);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Literal mutation operators (§3.1).
+//!
+//! A typographical error in a literal is one extra character, one missing
+//! character, or one replaced character — always within the literal's
+//! semantic class. The paper's worked example: a 2-digit decimal number has
+//! 2 removals + 30 insertions + 18 replacements = 50 mutants.
+//!
+//! Candidates equal in *value* to the original (e.g. `5` → `05` in Devil)
+//! are discarded, since mutants must differ semantically.
+
+/// The semantic class of a literal, determining its alphabet and which part
+/// of the text is mutable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiteralClass {
+    /// Base-10 integer.
+    Decimal,
+    /// `0x...` integer; the prefix is fixed, digits mutate.
+    Hex,
+    /// `0...` octal integer; the leading 0 is fixed, digits mutate.
+    Octal,
+    /// Devil bit string over `{0, 1, *}` (variable patterns).
+    BitString,
+    /// Devil bit pattern over `{0, 1, *, .}` (register masks).
+    BitPattern,
+}
+
+impl LiteralClass {
+    /// The character alphabet of this class.
+    pub fn alphabet(self) -> &'static [char] {
+        match self {
+            LiteralClass::Decimal => &['0', '1', '2', '3', '4', '5', '6', '7', '8', '9'],
+            LiteralClass::Hex => &[
+                '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', 'a', 'b', 'c', 'd', 'e', 'f',
+            ],
+            LiteralClass::Octal => &['0', '1', '2', '3', '4', '5', '6', '7'],
+            LiteralClass::BitString => &['0', '1', '*'],
+            LiteralClass::BitPattern => &['0', '1', '*', '.'],
+        }
+    }
+
+    /// Classify a C/Devil number literal's text. Returns the class plus the
+    /// fixed prefix length (`0x` for hex, the leading `0` for octal).
+    pub fn classify_number(text: &str) -> (LiteralClass, usize) {
+        let lower = text.to_ascii_lowercase();
+        if lower.starts_with("0x") {
+            (LiteralClass::Hex, 2)
+        } else if text.len() > 1 && text.starts_with('0') && text.bytes().all(|b| b.is_ascii_digit())
+        {
+            (LiteralClass::Octal, 1)
+        } else {
+            (LiteralClass::Decimal, 0)
+        }
+    }
+
+    /// Parse a numeric literal of this class to its value (`None` for the
+    /// bit classes or unparsable text).
+    pub fn value_of(self, digits: &str) -> Option<u64> {
+        match self {
+            LiteralClass::Decimal => digits.parse().ok(),
+            LiteralClass::Hex => u64::from_str_radix(digits, 16).ok(),
+            LiteralClass::Octal => {
+                if digits.is_empty() {
+                    Some(0)
+                } else {
+                    u64::from_str_radix(digits, 8).ok()
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// All single-character typo variants of `text` within `class`.
+///
+/// `prefix_len` bytes are held fixed (e.g. the `0x`). Variants that parse
+/// to the same numeric value as the original are dropped; bit-class
+/// variants are value-distinct whenever the text differs, except that a
+/// removal from a 1-character literal (which would empty it) is skipped.
+pub fn literal_mutations(text: &str, class: LiteralClass, prefix_len: usize) -> Vec<String> {
+    // Split off any integer suffix (u/U/l/L) — fixed, like the prefix.
+    let body_end = text
+        .bytes()
+        .rposition(|b| !matches!(b | 0x20, b'u' | b'l'))
+        .map(|i| i + 1)
+        .unwrap_or(text.len());
+    let prefix = &text[..prefix_len];
+    let digits = &text[prefix_len..body_end];
+    let suffix = &text[body_end..];
+    let original_value = class.value_of(digits);
+    let mut out = Vec::new();
+    let chars: Vec<char> = digits.chars().collect();
+    let mut push = |candidate: String| {
+        if candidate == digits {
+            return;
+        }
+        if let (Some(ov), Some(nv)) = (original_value, class.value_of(&candidate)) {
+            // Semantically identical (e.g. leading-zero insertion in a
+            // context where it does not change the value class).
+            if ov == nv && prefix_len > 0 {
+                return;
+            }
+            if ov == nv && !candidate.starts_with('0') {
+                return;
+            }
+            // A decimal gaining a leading zero becomes octal in C —
+            // semantically different unless the value coincides.
+            if ov == nv
+                && candidate.starts_with('0')
+                && class == LiteralClass::Decimal
+                && u64::from_str_radix(&candidate, 8).ok() == Some(ov)
+            {
+                return;
+            }
+        }
+        let full = format!("{prefix}{candidate}{suffix}");
+        if !out.contains(&full) {
+            out.push(full);
+        }
+    };
+    // Removals.
+    if chars.len() > 1 {
+        for i in 0..chars.len() {
+            let mut c = chars.clone();
+            c.remove(i);
+            push(c.into_iter().collect());
+        }
+    }
+    // Insertions.
+    for i in 0..=chars.len() {
+        for &a in class.alphabet() {
+            let mut c = chars.clone();
+            c.insert(i, a);
+            push(c.into_iter().collect());
+        }
+    }
+    // Replacements.
+    for i in 0..chars.len() {
+        for &a in class.alphabet() {
+            if a == chars[i] {
+                continue;
+            }
+            let mut c = chars.clone();
+            c[i] = a;
+            push(c.into_iter().collect());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_two_digit_decimal_yields_fifty() {
+        // "given a 2-digit base-10 number, 50 mutants can be generated:
+        //  2 for removing a digit, 30 for inserting a new digit, and 18
+        //  for replacing a digit" — §3.1. A handful of the 50 collapse to
+        //  the same value (e.g. inserting the duplicate digit) and are
+        //  dropped; the bound is 50.
+        let ms = literal_mutations("50", LiteralClass::Decimal, 0);
+        assert!(ms.len() <= 50, "{}", ms.len());
+        assert!(ms.len() >= 45, "{} -> {ms:?}", ms.len());
+        assert!(ms.contains(&"5".to_string()));
+        assert!(ms.contains(&"0".to_string()));
+        assert!(ms.contains(&"150".to_string()));
+        assert!(ms.contains(&"51".to_string()));
+        assert!(!ms.contains(&"50".to_string()));
+    }
+
+    #[test]
+    fn hex_prefix_is_fixed() {
+        let (class, plen) = LiteralClass::classify_number("0x1F");
+        assert_eq!(class, LiteralClass::Hex);
+        let ms = literal_mutations("0x1F", class, plen);
+        assert!(ms.iter().all(|m| m.starts_with("0x")), "{ms:?}");
+        assert!(ms.iter().any(|m| m == "0x1"), "{ms:?}");
+        // The paper's own example: dropped/extra f characters.
+        let ms = literal_mutations("0xfffff", LiteralClass::Hex, 2);
+        assert!(ms.contains(&"0xffffff".to_string()));
+        assert!(ms.contains(&"0xffff".to_string()));
+    }
+
+    #[test]
+    fn octal_keeps_leading_zero() {
+        let (class, plen) = LiteralClass::classify_number("017");
+        assert_eq!(class, LiteralClass::Octal);
+        let ms = literal_mutations("017", class, plen);
+        assert!(ms.iter().all(|m| m.starts_with('0')), "{ms:?}");
+        assert!(ms.iter().all(|m| !m.contains('8') && !m.contains('9')), "{ms:?}");
+    }
+
+    #[test]
+    fn suffix_is_preserved() {
+        let ms = literal_mutations("0x10u", LiteralClass::Hex, 2);
+        assert!(ms.iter().all(|m| m.ends_with('u')), "{ms:?}");
+        assert!(ms.contains(&"0x11u".to_string()));
+    }
+
+    #[test]
+    fn bit_pattern_class_uses_four_symbols() {
+        let ms = literal_mutations("1.", LiteralClass::BitPattern, 0);
+        // Replacements of '.' include '0', '1', '*'.
+        assert!(ms.contains(&"10".to_string()));
+        assert!(ms.contains(&"1*".to_string()));
+        assert!(ms.contains(&"11".to_string()));
+        // Insertions can lengthen the mask (caught by the size check).
+        assert!(ms.contains(&"1..".to_string()));
+        // Removals can shorten it.
+        assert!(ms.contains(&"1".to_string()));
+    }
+
+    #[test]
+    fn bit_string_class_excludes_dot() {
+        let ms = literal_mutations("10", LiteralClass::BitString, 0);
+        assert!(ms.iter().all(|m| !m.contains('.')), "{ms:?}");
+        assert!(ms.contains(&"1*".to_string()));
+    }
+
+    #[test]
+    fn single_digit_is_not_emptied() {
+        let ms = literal_mutations("5", LiteralClass::Decimal, 0);
+        assert!(ms.iter().all(|m| !m.is_empty()));
+        // 9 replacements + insertions.
+        assert!(ms.contains(&"4".to_string()));
+        assert!(ms.contains(&"55".to_string()));
+    }
+
+    #[test]
+    fn value_identical_candidates_dropped() {
+        // Inserting a leading zero into "0x01" gives "0x001" — same value,
+        // same class: dropped.
+        let ms = literal_mutations("0x01", LiteralClass::Hex, 2);
+        assert!(!ms.contains(&"0x001".to_string()), "{ms:?}");
+    }
+
+    #[test]
+    fn decimal_to_octal_reinterpretation_kept() {
+        // "50" -> "050" is value 40 in C: a classic silent typo; must stay.
+        let ms = literal_mutations("50", LiteralClass::Decimal, 0);
+        assert!(ms.contains(&"050".to_string()), "{ms:?}");
+    }
+
+    #[test]
+    fn classify_decimal() {
+        assert_eq!(LiteralClass::classify_number("42"), (LiteralClass::Decimal, 0));
+        assert_eq!(LiteralClass::classify_number("0"), (LiteralClass::Decimal, 0));
+        assert_eq!(LiteralClass::classify_number("0X10"), (LiteralClass::Hex, 2));
+    }
+}

@@ -1,0 +1,110 @@
+//! Operator mutation operators.
+//!
+//! C operators mutate within the classes of Table 1 of the paper (the
+//! published scan is partially garbled; the classes are reconstructed from
+//! §3.3's prose — bitwise habits, `&` vs `&&` confusion — and the classic C
+//! mutation-operator sets \[2\]):
+//!
+//! | class | members |
+//! |---|---|
+//! | bitwise | `\|` `&` `^` |
+//! | shift | `<<` `>>` |
+//! | additive | `+` `-` |
+//! | logical | `&&` `\|\|` |
+//! | bitwise/logical confusion | `&`↔`&&`, `\|`↔`\|\|` |
+//! | equality | `==` `!=` |
+//! | unary | `~` `!` |
+//! | compound assignment | `\|=` `&=` `^=` ; `<<=` `>>=` ; `+=` `-=` |
+//!
+//! Devil operators mutate within: integer range/set (`,` `..`) and value
+//! mapping arrows (`=>` `<=` `<=>`).
+
+/// All same-class alternatives for a C operator spelling.
+pub fn c_operator_mutants(op: &str) -> &'static [&'static str] {
+    match op {
+        "|" => &["&", "^", "||"],
+        "&" => &["|", "^", "&&"],
+        "^" => &["|", "&"],
+        "<<" => &[">>"],
+        ">>" => &["<<"],
+        "+" => &["-"],
+        "-" => &["+"],
+        "&&" => &["||", "&"],
+        "||" => &["&&", "|"],
+        "==" => &["!="],
+        "!=" => &["=="],
+        "~" => &["!"],
+        "!" => &["~"],
+        "|=" => &["&=", "^="],
+        "&=" => &["|=", "^="],
+        "^=" => &["|=", "&="],
+        "<<=" => &[">>="],
+        ">>=" => &["<<="],
+        "+=" => &["-="],
+        "-=" => &["+="],
+        _ => &[],
+    }
+}
+
+/// All same-class alternatives for a Devil operator spelling.
+pub fn devil_operator_mutants(op: &str) -> &'static [&'static str] {
+    match op {
+        "," => &[".."],
+        ".." => &[","],
+        "=>" => &["<=", "<=>"],
+        "<=" => &["=>", "<=>"],
+        "<=>" => &["=>", "<="],
+        _ => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwise_class_is_closed() {
+        for op in ["|", "&", "^"] {
+            for m in c_operator_mutants(op) {
+                assert_ne!(*m, op);
+                assert!(["|", "&", "^", "||", "&&"].contains(m), "{op} -> {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn amp_and_ampamp_confusable() {
+        // §3.3: "expressing a bit mask is commonly done by using the binary
+        // operator '&', but some programmers prefer the operator '&&'".
+        assert!(c_operator_mutants("&").contains(&"&&"));
+        assert!(c_operator_mutants("&&").contains(&"&"));
+    }
+
+    #[test]
+    fn shifts_swap() {
+        assert_eq!(c_operator_mutants("<<"), &[">>"]);
+        assert_eq!(c_operator_mutants(">>"), &["<<"]);
+        assert_eq!(c_operator_mutants("<<="), &[">>="]);
+    }
+
+    #[test]
+    fn no_cross_class_mutation() {
+        assert!(!c_operator_mutants("+").contains(&"*"));
+        assert!(!c_operator_mutants("==").contains(&"<"));
+        assert!(c_operator_mutants("*").is_empty());
+        assert!(c_operator_mutants("=").is_empty());
+    }
+
+    #[test]
+    fn devil_arrows_are_a_three_way_class() {
+        assert_eq!(devil_operator_mutants("=>").len(), 2);
+        assert_eq!(devil_operator_mutants("<=>").len(), 2);
+        assert!(devil_operator_mutants("<=").contains(&"<=>"));
+    }
+
+    #[test]
+    fn devil_range_and_comma_swap() {
+        assert_eq!(devil_operator_mutants(","), &[".."]);
+        assert_eq!(devil_operator_mutants(".."), &[","]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Mutation sites and mutants.
+
+use std::fmt;
+
+/// What kind of construct a mutation site covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// A literal constant (decimal/hex/octal number, bit string/pattern).
+    Literal,
+    /// An operator.
+    Operator,
+    /// An identifier use (or definition, where the model allows it).
+    Identifier,
+}
+
+impl fmt::Display for SiteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiteKind::Literal => f.write_str("literal"),
+            SiteKind::Operator => f.write_str("operator"),
+            SiteKind::Identifier => f.write_str("identifier"),
+        }
+    }
+}
+
+/// One mutable location in a source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationSite {
+    /// Byte offset of the construct.
+    pub pos: usize,
+    /// Byte length of the original text.
+    pub len: usize,
+    /// 1-based source line (for dead-code classification).
+    pub line: u32,
+    /// Site kind.
+    pub kind: SiteKind,
+    /// The original text at the site.
+    pub original: String,
+}
+
+/// A generated mutant: one site, one replacement.
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// Index into the site list this mutant came from.
+    pub site: usize,
+    /// Replacement text spliced over the site.
+    pub replacement: String,
+    /// The full mutated source.
+    pub source: String,
+    /// 1-based line of the mutated site.
+    pub line: u32,
+    /// Human-readable description (`0x23c -> 0x23d`).
+    pub description: String,
+}
+
+/// Splice `replacement` over `[pos, pos + len)` of `source`.
+pub fn splice(source: &str, pos: usize, len: usize, replacement: &str) -> String {
+    let mut out = String::with_capacity(source.len() + replacement.len());
+    out.push_str(&source[..pos]);
+    out.push_str(replacement);
+    out.push_str(&source[pos + len..]);
+    out
+}
+
+/// Build a [`Mutant`] for `site_idx` of `sites` with the given replacement.
+pub fn make_mutant(
+    source: &str,
+    sites: &[MutationSite],
+    site_idx: usize,
+    replacement: String,
+) -> Mutant {
+    let s = &sites[site_idx];
+    Mutant {
+        site: site_idx,
+        source: splice(source, s.pos, s.len, &replacement),
+        line: s.line,
+        description: format!("{} `{}` -> `{}`", s.kind, s.original, replacement),
+        replacement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splice_replaces_exactly() {
+        assert_eq!(splice("abc def", 4, 3, "xyz!"), "abc xyz!");
+        assert_eq!(splice("abc", 0, 1, ""), "bc");
+        assert_eq!(splice("abc", 3, 0, "d"), "abcd");
+    }
+
+    #[test]
+    fn make_mutant_describes_change() {
+        let sites = vec![MutationSite {
+            pos: 4,
+            len: 5,
+            line: 1,
+            kind: SiteKind::Literal,
+            original: "0x23c".into(),
+        }];
+        let m = make_mutant("x = 0x23c;", &sites, 0, "0x23d".into());
+        assert_eq!(m.source, "x = 0x23d;");
+        assert!(m.description.contains("0x23c"));
+        assert!(m.description.contains("0x23d"));
+    }
+}

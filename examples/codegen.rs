@@ -1,0 +1,38 @@
+//! Show the Devil compiler's two backends side by side for one variable:
+//! the Figure-4 debug stub (struct-encoded, asserted) versus the lean
+//! production stub.
+//!
+//! ```text
+//! cargo run --example codegen [spec.dil]
+//! ```
+//!
+//! With an argument, compiles that specification file from disk instead of
+//! the bundled IDE spec.
+
+use devil::core::codegen::{generate, CodegenMode};
+use devil::core::Spec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (name, source) = match std::env::args().nth(1) {
+        Some(path) => (path.clone(), std::fs::read_to_string(&path)?),
+        None => (
+            "ide_piix4.dil".to_string(),
+            devil::drivers::specs::IDE_PIIX4.to_string(),
+        ),
+    };
+    let checked = Spec::parse(&name, &source)?.check()?;
+    println!("device {}:\n", checked.device_name());
+    println!("{}", checked.render_schematic());
+    for mode in [CodegenMode::Debug, CodegenMode::Production] {
+        let c = generate(&checked, mode);
+        println!("=== {mode:?} mode: {} lines ===", c.lines().count());
+        // Print the API surface only (stub signatures).
+        for line in c.lines() {
+            if line.starts_with("static") && line.contains('(') && !line.ends_with(';') {
+                println!("  {}", line.trim_end_matches('{').trim_end());
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Run a miniature mutation campaign (a 5% sample) against both IDE
+//! drivers and print the outcome distribution — a fast preview of
+//! Tables 3 and 4. The full campaigns live in `devil-bench`.
+//!
+//! ```text
+//! cargo run --release --example mutation_campaign
+//! ```
+
+use devil::kernel::boot::Outcome;
+use devil::kernel::{boot, fs};
+use devil::mutagen::c::{CMutationModel, CStyle};
+use devil::mutagen::{run_parallel, sample};
+use std::collections::BTreeMap;
+
+fn campaign(label: &str, file: &str, source: &str, headers: &[(String, String)], style: CStyle) {
+    let header_texts: Vec<&str> = headers.iter().map(|(_, t)| t.as_str()).collect();
+    let model = CMutationModel::new(source, &header_texts, style);
+    let mutants = sample(model.mutants(), 0.05, 42);
+    let incs: Vec<(&str, &str)> =
+        headers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let files = fs::standard_files();
+    let outcomes = run_parallel(&mutants, 8, |m| {
+        boot::run_mutant(file, &m.source, &incs, Some(m.line), &files, boot::DEFAULT_FUEL).0
+    });
+    let mut tally: BTreeMap<Outcome, usize> = BTreeMap::new();
+    for o in outcomes {
+        *tally.entry(o).or_default() += 1;
+    }
+    println!("{label}: {} sites, {} mutants evaluated", model.sites().len(), mutants.len());
+    for outcome in Outcome::table_order() {
+        if let Some(n) = tally.get(&outcome) {
+            println!(
+                "  {outcome:<20} {n:>5}  ({:.1}%)",
+                100.0 * *n as f64 / mutants.len() as f64
+            );
+        }
+    }
+    let detected: usize = tally
+        .iter()
+        .filter(|(o, _)| o.is_detected())
+        .map(|(_, n)| n)
+        .sum();
+    println!(
+        "  detected at compile or run time: {:.1}%\n",
+        100.0 * detected as f64 / mutants.len() as f64
+    );
+}
+
+fn main() {
+    let ide = devil::drivers::ide::IDE_C_DRIVER;
+    campaign("C driver", devil::drivers::ide::IDE_C_FILE, ide, &[], CStyle::PlainC);
+    let headers = devil::drivers::ide::cdevil_includes();
+    campaign(
+        "CDevil driver",
+        devil::drivers::ide::IDE_CDEVIL_FILE,
+        devil::drivers::ide::IDE_CDEVIL_DRIVER,
+        &headers,
+        CStyle::CDevil,
+    );
+}

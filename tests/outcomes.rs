@@ -1,0 +1,139 @@
+//! One hand-written faulty driver per outcome class: documents exactly
+//! what kind of mutant lands in each row of Tables 3/4.
+
+use devil::drivers::ide;
+use devil::kernel::boot::{run_mutant, Outcome, DEFAULT_FUEL};
+use devil::kernel::fs;
+
+fn classify(source: &str) -> (Outcome, String) {
+    run_mutant(ide::IDE_C_FILE, source, &[], None, &fs::standard_files(), DEFAULT_FUEL)
+}
+
+fn classify_with_line(source: &str, line: u32) -> (Outcome, String) {
+    run_mutant(
+        ide::IDE_C_FILE,
+        source,
+        &[],
+        Some(line),
+        &fs::standard_files(),
+        DEFAULT_FUEL,
+    )
+}
+
+#[test]
+fn compile_check_row() {
+    // An identifier typo that lands on an undeclared name.
+    let bad = ide::IDE_C_DRIVER.replace("insw(HD_DATA, io_buf, 256);", "insw(HD_DATA, io_bufX, 256);");
+    assert_ne!(bad, ide::IDE_C_DRIVER);
+    let (o, d) = classify(&bad);
+    assert_eq!(o, Outcome::CompileCheck, "{d}");
+}
+
+#[test]
+fn crash_row() {
+    // A wild pointer: the classic silent killer.
+    let bad = ide::IDE_C_DRIVER.replace(
+        "insw(HD_DATA, io_buf, 256);",
+        "insw(HD_DATA, (void *)0xdead0000, 256);",
+    );
+    assert_ne!(bad, ide::IDE_C_DRIVER);
+    let (o, d) = classify(&bad);
+    assert_eq!(o, Outcome::Crash, "{d}");
+}
+
+#[test]
+fn infinite_loop_row() {
+    // Poll a status bit that never rises (write-fault instead of DRQ):
+    // the unbounded DRQ wait spins forever.
+    let bad = ide::IDE_C_DRIVER.replace(
+        "if (inb(HD_STATUS) & ERR_STAT) return HD_FAIL(\"hd: read error\", -1);\n    while (!(inb(HD_STATUS) & DRQ_STAT)) inb(HD_STATUS);",
+        "if (inb(HD_STATUS) & ERR_STAT) return HD_FAIL(\"hd: read error\", -1);\n    while (!(inb(HD_STATUS) & WRERR_STAT)) inb(HD_STATUS);",
+    );
+    assert_ne!(bad, ide::IDE_C_DRIVER);
+    let (o, d) = classify(&bad);
+    assert_eq!(o, Outcome::InfiniteLoop, "{d}");
+}
+
+#[test]
+fn halt_row() {
+    // A command-byte typo the drive aborts: the driver reports an I/O
+    // error, the kernel cannot mount root and panics.
+    let bad = ide::IDE_C_DRIVER.replace("#define WIN_READ     0x20", "#define WIN_READ     0x2f");
+    assert_ne!(bad, ide::IDE_C_DRIVER);
+    let (o, d) = classify(&bad);
+    assert_eq!(o, Outcome::Halt, "{d}");
+}
+
+#[test]
+fn damaged_boot_row() {
+    // The write path targets a constant sector: the log lands on top of a
+    // file — ground-truth fsck damage.
+    let bad = ide::IDE_C_DRIVER.replace(
+        "int ide_write(int lba)\n{\n    hd_out(1, lba & 0xff,",
+        "int ide_write(int lba)\n{\n    hd_out(1, 1003 & 0xff,",
+    );
+    assert_ne!(bad, ide::IDE_C_DRIVER);
+    let (o, d) = classify(&bad);
+    assert_eq!(o, Outcome::DamagedBoot, "{d}");
+}
+
+#[test]
+fn boot_row_latent_error() {
+    // A mask typo that is harmless for every LBA the boot touches — the
+    // worst case: nothing notices.
+    let bad = ide::IDE_C_DRIVER.replace("(lba >> 16) & 0xff,", "(lba >> 16) & 0xf7,");
+    assert_ne!(bad, ide::IDE_C_DRIVER);
+    let (o, d) = classify(&bad);
+    assert_eq!(o, Outcome::Boot, "{d}");
+}
+
+#[test]
+fn dead_code_row() {
+    // Mutate a line that never executes on a clean boot.
+    let marker = "return (status & DRQ_STAT) ? 0 : HD_FAIL(\"hd: drive not responding\", -1);";
+    let line = ide::IDE_C_DRIVER
+        .lines()
+        .position(|l| l.contains("hd: drive not responding"))
+        .unwrap() as u32
+        + 1;
+    // The DRQ wait line itself executes; pick the unreachable diagnostics
+    // in reset_controller instead? That line executes too. Use a new
+    // never-taken branch to be explicit:
+    let bad = ide::IDE_C_DRIVER.replace(
+        marker,
+        "if (retries == -12345) {\n        printk(\"hd: impossible\");\n    }\n    return (status & DRQ_STAT) ? 0 : HD_FAIL(\"hd: drive not responding\", -1);",
+    );
+    assert_ne!(bad, ide::IDE_C_DRIVER);
+    let dead_line = bad
+        .lines()
+        .position(|l| l.contains("hd: impossible"))
+        .unwrap() as u32
+        + 1;
+    let (o, d) = classify_with_line(&bad, dead_line);
+    assert_eq!(o, Outcome::DeadCode, "{d}");
+    let _ = line;
+}
+
+#[test]
+fn runtime_check_row_needs_devil() {
+    // No C mutant can land in the run-time-check row; only the CDevil
+    // driver's dil_* machinery produces it.
+    let bad = ide::IDE_CDEVIL_DRIVER.replace(
+        "if (dil_eq(get_drq(), DRQ_OFF))\n        return -1;",
+        "if (dil_eq(get_drq(), SRST_ON))\n        return -1;",
+    );
+    assert_ne!(bad, ide::IDE_CDEVIL_DRIVER);
+    let incs = ide::cdevil_includes();
+    let incs_ref: Vec<(&str, &str)> =
+        incs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let (o, d) = run_mutant(
+        ide::IDE_CDEVIL_FILE,
+        &bad,
+        &incs_ref,
+        None,
+        &fs::standard_files(),
+        DEFAULT_FUEL,
+    );
+    assert_eq!(o, Outcome::RuntimeCheck, "{d}");
+    assert!(d.contains("Devil assertion failed"), "{d}");
+}

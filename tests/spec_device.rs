@@ -1,0 +1,206 @@
+//! Every bundled specification, executed against its own device model
+//! through the stub runtime — the five Table 2 specs are not just
+//! checkable text, they drive the hardware they describe.
+
+use devil::core::runtime::{DeviceInstance, StubMode};
+use devil::core::CheckedSpec;
+use devil::drivers::specs;
+use devil::hwsim::devices::{
+    BusMasterIde, Busmouse, IdeController, IdeDisk, Ne2000, Permedia2,
+};
+use devil::hwsim::IoSpace;
+
+fn checked(file: &str, src: &str) -> CheckedSpec {
+    specs::compile(file, src).expect("bundled spec compiles")
+}
+
+#[test]
+fn busmouse_spec_drives_the_mouse() {
+    let spec = checked("busmouse.dil", specs::BUSMOUSE);
+    let mut io = IoSpace::new();
+    let id = io.map(0x23C, 4, Box::new(Busmouse::new())).unwrap();
+    io.device_mut::<Busmouse>(id).unwrap().inject_motion(-100, 100, 0b111);
+    let mut dev = DeviceInstance::new(&spec, &[0x23C], StubMode::Debug);
+    assert_eq!(dev.get(&mut io, "dx").unwrap().as_signed(8), -100);
+    assert_eq!(dev.get(&mut io, "dy").unwrap().as_signed(8), 100);
+    assert_eq!(dev.get(&mut io, "buttons").unwrap().raw, 0b111);
+}
+
+#[test]
+fn ide_spec_reads_a_sector_from_the_drive() {
+    let spec = checked("ide_piix4.dil", specs::IDE_PIIX4);
+    let mut io = IoSpace::new();
+    let mut disk = IdeDisk::small();
+    let mut sector = [0u8; 512];
+    sector[0] = 0xAB;
+    sector[1] = 0xCD;
+    disk.write_sector(7, &sector);
+    io.map(0x1F0, 9, Box::new(IdeController::new(disk))).unwrap();
+    // Secondary channel ports are unmapped; the spec still binds them.
+    let mut dev = DeviceInstance::new(&spec, &[0x1F0, 0x1F0, 0x170, 0x170], StubMode::Debug);
+
+    // Program the task file through typed variables.
+    dev.set(&mut io, "sector_count", dev.int_value("sector_count", 1).unwrap()).unwrap();
+    dev.set(&mut io, "sector_number", dev.int_value("sector_number", 7).unwrap()).unwrap();
+    dev.set(&mut io, "cyl_low", dev.int_value("cyl_low", 0).unwrap()).unwrap();
+    dev.set(&mut io, "cyl_high", dev.int_value("cyl_high", 0).unwrap()).unwrap();
+    dev.set(&mut io, "Lba_mode", dev.value_of("Lba_mode", "LBA").unwrap()).unwrap();
+    dev.set(&mut io, "Drive", dev.value_of("Drive", "MASTER").unwrap()).unwrap();
+    dev.set(&mut io, "head", dev.int_value("head", 0).unwrap()).unwrap();
+    dev.set(&mut io, "Command", dev.value_of("Command", "READ_SECTORS").unwrap()).unwrap();
+
+    // Poll the typed status bits.
+    for _ in 0..10_000 {
+        let busy = dev.get(&mut io, "busy").unwrap();
+        if busy.raw == 0 {
+            break;
+        }
+    }
+    assert_eq!(dev.get(&mut io, "error_bit").unwrap().raw, 0);
+    assert_eq!(dev.get(&mut io, "drq").unwrap().raw, 1);
+    let w0 = dev.get(&mut io, "io_data").unwrap().raw;
+    assert_eq!(w0, 0xCDAB, "little-endian first word of the sector");
+}
+
+#[test]
+fn ide_spec_drive_select_readback_matches_figure4() {
+    let spec = checked("ide_piix4.dil", specs::IDE_PIIX4);
+    let mut io = IoSpace::new();
+    io.map(0x1F0, 9, Box::new(IdeController::new(IdeDisk::small()))).unwrap();
+    let mut dev = DeviceInstance::new(&spec, &[0x1F0, 0x1F0, 0x170, 0x170], StubMode::Debug);
+    let master = dev.value_of("Drive", "MASTER").unwrap();
+    dev.set(&mut io, "Drive", master).unwrap();
+    let back = dev.get(&mut io, "Drive").unwrap();
+    // dil_eq semantics: same type id, same value.
+    assert_eq!(back.type_id, master.type_id);
+    assert_eq!(back.raw, master.raw);
+    // The mask '1.1.....' read-back assertion passed implicitly (the model
+    // keeps bits 7 and 5 high); selecting SLAVE and reading also works.
+    let slave = dev.value_of("Drive", "SLAVE").unwrap();
+    dev.set(&mut io, "Drive", slave).unwrap();
+    assert_eq!(dev.get(&mut io, "Drive").unwrap().raw, slave.raw);
+}
+
+#[test]
+fn pci_spec_runs_a_bus_master_transfer() {
+    let spec = checked("pci82371.dil", specs::PCI82371);
+    let mut io = IoSpace::new();
+    let id = io.map(0xF000, 16, Box::new(BusMasterIde::new())).unwrap();
+    let mut dev = DeviceInstance::new(&spec, &[0xF000, 0xF000], StubMode::Debug);
+
+    // Program the descriptor table pointer (bits 31..2 of the register).
+    let dtp = dev.int_value("descriptor_table", 0x0010_0000 >> 2).unwrap();
+    dev.set(&mut io, "descriptor_table", dtp).unwrap();
+    assert_eq!(io.device::<BusMasterIde>(id).unwrap().descriptor_pointer(0), 0x0010_0000);
+
+    // Start the engine in read direction.
+    dev.set(&mut io, "dma_direction", dev.value_of("dma_direction", "DMA_FROM_DEVICE").unwrap())
+        .unwrap();
+    dev.set(&mut io, "dma_engine", dev.value_of("dma_engine", "ENGINE_START").unwrap()).unwrap();
+    assert_eq!(dev.get(&mut io, "dma_active").unwrap().raw, 1);
+
+    // Poll until the transfer completes and the interrupt bit latches.
+    for _ in 0..64 {
+        if dev.get(&mut io, "dma_active").unwrap().raw == 0 {
+            break;
+        }
+    }
+    assert_eq!(dev.get(&mut io, "dma_active").unwrap().raw, 0);
+    assert_eq!(dev.get(&mut io, "dma_interrupt").unwrap().raw, 1);
+}
+
+#[test]
+fn pci_spec_null_descriptor_sets_error() {
+    let spec = checked("pci82371.dil", specs::PCI82371);
+    let mut io = IoSpace::new();
+    io.map(0xF000, 16, Box::new(BusMasterIde::new())).unwrap();
+    let mut dev = DeviceInstance::new(&spec, &[0xF000, 0xF000], StubMode::Debug);
+    dev.set(&mut io, "dma_engine", dev.value_of("dma_engine", "ENGINE_START").unwrap()).unwrap();
+    assert_eq!(dev.get(&mut io, "dma_error").unwrap().raw, 1);
+}
+
+#[test]
+fn permedia2_spec_plots_a_pixel() {
+    let spec = checked("permedia2.dil", specs::PERMEDIA2);
+    let mut io = IoSpace::new();
+    let id = io.map(0xC000, 13, Box::new(Permedia2::new())).unwrap();
+    let mut dev = DeviceInstance::new(&spec, &[0xC000], StubMode::Debug);
+
+    dev.set(&mut io, "fb_writes", dev.value_of("fb_writes", "WRITES_ON").unwrap()).unwrap();
+    // Respect the FIFO protocol: check free space, then push the command.
+    let free = dev.get(&mut io, "fifo_free").unwrap();
+    assert!(free.raw >= 4);
+    for word in [0x01u64, 9, 3, 0x00FF_00FF] {
+        dev.set(&mut io, "fifo_in", dev.int_value("fifo_in", word).unwrap()).unwrap();
+    }
+    // Drain by polling space; then verify through the model.
+    for _ in 0..32 {
+        dev.get(&mut io, "fifo_free").unwrap();
+    }
+    assert_eq!(io.device::<Permedia2>(id).unwrap().pixel(9, 3), 0x00FF_00FF);
+    assert!(!io.device::<Permedia2>(id).unwrap().overrun());
+
+    // Sync tag round trip through the typed FIFO variables.
+    dev.set(&mut io, "sync_tag", dev.int_value("sync_tag", 0xBEEF).unwrap()).unwrap();
+    for _ in 0..16 {
+        dev.get(&mut io, "fifo_free").unwrap();
+    }
+    assert_eq!(dev.get(&mut io, "fifo_pending").unwrap().raw, 1);
+    assert_eq!(dev.get(&mut io, "fifo_out").unwrap().raw, 0xBEEF);
+}
+
+#[test]
+fn permedia2_spec_reads_chip_id() {
+    let spec = checked("permedia2.dil", specs::PERMEDIA2);
+    let mut io = IoSpace::new();
+    io.map(0xC000, 13, Box::new(Permedia2::new())).unwrap();
+    let mut dev = DeviceInstance::new(&spec, &[0xC000], StubMode::Debug);
+    assert_eq!(dev.get(&mut io, "chip_id").unwrap().raw, 2);
+    dev.set(&mut io, "display", dev.value_of("display", "DISPLAY_ON").unwrap()).unwrap();
+    assert_eq!(dev.get(&mut io, "display").unwrap().raw, 1);
+}
+
+#[test]
+fn ne2000_spec_reads_the_prom_and_programs_par() {
+    let spec = checked("ne2000.dil", specs::NE2000);
+    let mac = [0x02u8, 0x60, 0x8C, 0x12, 0x34, 0x56];
+    let mut io = IoSpace::new();
+    let id = io.map(0x300, 0x20, Box::new(Ne2000::new(mac))).unwrap();
+    let mut dev = DeviceInstance::new(&spec, &[0x300], StubMode::Debug);
+
+    dev.set(&mut io, "remote_count_lo", dev.int_value("remote_count_lo", 12).unwrap()).unwrap();
+    dev.set(&mut io, "remote_count_hi", dev.int_value("remote_count_hi", 0).unwrap()).unwrap();
+    dev.set(&mut io, "remote_addr_lo", dev.int_value("remote_addr_lo", 0).unwrap()).unwrap();
+    dev.set(&mut io, "remote_addr_hi", dev.int_value("remote_addr_hi", 0).unwrap()).unwrap();
+    dev.set(&mut io, "remote_op", dev.int_value("remote_op", 1).unwrap()).unwrap();
+    let mut got = [0u8; 6];
+    for b in got.iter_mut() {
+        *b = dev.get(&mut io, "remote_data").unwrap().raw as u8;
+        let _ = dev.get(&mut io, "remote_data").unwrap(); // doubled byte
+    }
+    assert_eq!(got, mac);
+    assert_eq!(dev.get(&mut io, "dma_done").unwrap().raw, 1);
+
+    for (i, b) in mac.iter().enumerate() {
+        let var = format!("mac{i}");
+        dev.set(&mut io, &var, dev.int_value(&var, *b as u64).unwrap()).unwrap();
+    }
+    assert_eq!(io.device::<Ne2000>(id).unwrap().programmed_mac(), mac);
+}
+
+#[test]
+fn debug_mode_catches_device_misbehaviour_via_fixed_bits() {
+    // An IDE model is mapped at the WRONG base: select_reg reads float to
+    // 0xFF which *happens* to satisfy '1.1.....'; status-typed variables
+    // still work. Map nothing and read a variable whose register mask has
+    // fixed ZERO bits — the control register is write-only, so use the PCI
+    // spec's bmicx (mask '0000.00.', fixed zeros at bits 7..4, 2, 1).
+    let spec = checked("pci82371.dil", specs::PCI82371);
+    let mut io = IoSpace::new(); // nothing mapped: reads float to 0xFF
+    let mut dev = DeviceInstance::new(&spec, &[0xF000, 0xF000], StubMode::Debug);
+    let err = dev.get(&mut io, "dma_engine").unwrap_err();
+    assert!(
+        err.to_string().contains("violates mask"),
+        "the §2.3 mask assertion must flag the misbehaving device: {err}"
+    );
+}
