@@ -1,0 +1,230 @@
+//! Bus dispatch throughput: the O(1) port routing table + lazy ticking of
+//! [`devil_hwsim::IoSpace`] against the pre-refactor baseline preserved in
+//! [`devil_hwsim::reference::LinearIoSpace`] (linear mapping scan, eager
+//! per-device tick fan-out).
+//!
+//! Besides the criterion groups, a full (non `--test`) run rewrites
+//! `BENCH_dispatch.json` at the repository root with the measured
+//! numbers and speedups, so the perf trajectory is committed alongside
+//! the code. The stub fast-path comparison measured by the
+//! `stub_fastpath` bench is included in the same file.
+
+use criterion::{criterion_group, BenchResult, Criterion};
+use devil_core::runtime::{DeviceInstance, StubMode};
+use devil_core::CheckedSpec;
+use devil_drivers::specs;
+use devil_hwsim::devices::Busmouse;
+use devil_hwsim::reference::{LinearIoSpace, NullDevice};
+use devil_hwsim::{IoBus, IoSpace};
+
+/// Windows used for the dispatch workload: 16 devices spread across the
+/// port space, the shape of a fully populated ISA machine.
+const WINDOWS: [(u16, u16); 16] = [
+    (0x060, 8),
+    (0x170, 16),
+    (0x1F0, 16),
+    (0x220, 16),
+    (0x238, 8),
+    (0x278, 8),
+    (0x2E8, 8),
+    (0x300, 32),
+    (0x330, 8),
+    (0x378, 8),
+    (0x3B0, 16),
+    (0x3C0, 16),
+    (0x3E8, 8),
+    (0x3F0, 8),
+    (0x3F8, 8),
+    (0xCF8, 8),
+];
+
+fn fast_machine() -> IoSpace {
+    let mut io = IoSpace::new();
+    for (base, len) in WINDOWS {
+        io.map(base, len, Box::new(NullDevice::new())).unwrap();
+    }
+    io
+}
+
+fn slow_machine() -> LinearIoSpace {
+    let mut io = LinearIoSpace::new();
+    for (base, len) in WINDOWS {
+        io.map(base, len, Box::new(NullDevice::new())).unwrap();
+    }
+    io
+}
+
+/// The probe sequence: one write + one read per window, round robin, plus
+/// a floating unmapped access — the mix a polling driver produces.
+fn pound<B: IoBus>(bus: &mut B) -> u32 {
+    let mut acc = 0u32;
+    for (base, _) in WINDOWS {
+        bus.outb(base + 1, 0x5A).unwrap();
+        acc = acc.rotate_left(1) ^ bus.inb(base + 1).unwrap() as u32;
+    }
+    acc ^ bus.inb(0x8000).unwrap() as u32
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bus_dispatch");
+    g.bench_function("table_o1", |b| {
+        let mut io = fast_machine();
+        b.iter(|| std::hint::black_box(pound(&mut io)));
+    });
+    g.bench_function("linear_reference", |b| {
+        let mut io = slow_machine();
+        b.iter(|| std::hint::black_box(pound(&mut io)));
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------- stubs
+
+const BASE: u16 = 0x23C;
+
+fn mouse_machine() -> IoSpace {
+    let mut io = IoSpace::new();
+    let id = io.map(BASE, 4, Box::new(Busmouse::new())).unwrap();
+    io.device_mut::<Busmouse>(id).unwrap().inject_motion(5, -9, 0b011);
+    io
+}
+
+/// The pre-refactor stub path, reproduced faithfully: linear name scan
+/// over the spec plus per-access `VariableDef`/`RegisterDef` clones —
+/// what `DeviceInstance::get` did before the compiled access plans.
+fn legacy_get(
+    spec: &CheckedSpec,
+    bases: &[u16],
+    io: &mut IoSpace,
+    cache: &mut [u64],
+    name: &str,
+) -> u64 {
+    let (_, v) = spec.variable(name).expect("variable exists");
+    let v = v.clone();
+    let mut raw = 0u64;
+    for frag in &v.frags {
+        let r = spec.registers[frag.reg.0].clone();
+        for (pvid, pval) in r.pre.clone() {
+            let pv = spec.variables[pvid.0].clone();
+            let mut remaining = pv.width;
+            for pfrag in &pv.frags {
+                let pr = spec.registers[pfrag.reg.0].clone();
+                let w = pfrag.width();
+                remaining -= w;
+                let bits = (pval >> remaining) & ((1u64 << w) - 1);
+                let frag_mask = ((1u64 << w) - 1) << pfrag.lsb;
+                let value = if frag_mask == pr.mask.relevant() {
+                    bits << pfrag.lsb
+                } else {
+                    (cache[pfrag.reg.0] & !frag_mask) | (bits << pfrag.lsb)
+                };
+                let (port, offset) = pr.write_port.unwrap();
+                let wire = pr.mask.apply_write(value);
+                let addr = bases[port.0].wrapping_add(offset as u16);
+                io.outb(addr, wire as u8).unwrap();
+                cache[pfrag.reg.0] = value & pr.mask.relevant();
+            }
+        }
+        let (port, offset) = r.read_port.expect("readable");
+        let addr = bases[port.0].wrapping_add(offset as u16);
+        let value = io.inb(addr).unwrap() as u64;
+        assert!(r.mask.read_respects_fixed(value));
+        let w = frag.width();
+        raw = (raw << w) | ((value >> frag.lsb) & ((1u64 << w) - 1));
+    }
+    raw
+}
+
+fn bench_stub_paths(c: &mut Criterion) {
+    let checked = specs::compile("busmouse.dil", specs::BUSMOUSE).unwrap();
+    let mut g = c.benchmark_group("stub_access");
+
+    g.bench_function("legacy_clone_path", |b| {
+        let mut io = mouse_machine();
+        let mut cache = vec![0u64; checked.registers.len()];
+        b.iter(|| {
+            let dx = legacy_get(&checked, &[BASE], &mut io, &mut cache, "dx");
+            let dy = legacy_get(&checked, &[BASE], &mut io, &mut cache, "dy");
+            let bt = legacy_get(&checked, &[BASE], &mut io, &mut cache, "buttons");
+            std::hint::black_box((dx, dy, bt))
+        });
+    });
+
+    g.bench_function("string_keyed", |b| {
+        let mut io = mouse_machine();
+        let mut dev = DeviceInstance::new(&checked, &[BASE], StubMode::Debug);
+        b.iter(|| {
+            let dx = dev.get(&mut io, "dx").unwrap().raw;
+            let dy = dev.get(&mut io, "dy").unwrap().raw;
+            let bt = dev.get(&mut io, "buttons").unwrap().raw;
+            std::hint::black_box((dx, dy, bt))
+        });
+    });
+
+    g.bench_function("id_fast_path", |b| {
+        let mut io = mouse_machine();
+        let mut dev = DeviceInstance::new(&checked, &[BASE], StubMode::Debug);
+        let dx_id = dev.var_id("dx").unwrap();
+        let dy_id = dev.var_id("dy").unwrap();
+        let bt_id = dev.var_id("buttons").unwrap();
+        b.iter(|| {
+            let dx = dev.get_by_id(&mut io, dx_id).unwrap().raw;
+            let dy = dev.get_by_id(&mut io, dy_id).unwrap().raw;
+            let bt = dev.get_by_id(&mut io, bt_id).unwrap().raw;
+            std::hint::black_box((dx, dy, bt))
+        });
+    });
+
+    g.finish();
+}
+
+fn find(results: &[BenchResult], id: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.id == id)
+        .map(|r| r.ns_per_iter)
+        .unwrap_or(f64::NAN)
+}
+
+fn emit_json(c: &mut Criterion) {
+    if c.is_test_mode() {
+        return;
+    }
+    let rs = c.results();
+    let table = find(rs, "bus_dispatch/table_o1");
+    let linear = find(rs, "bus_dispatch/linear_reference");
+    let legacy = find(rs, "stub_access/legacy_clone_path");
+    let string_keyed = find(rs, "stub_access/string_keyed");
+    let fast = find(rs, "stub_access/id_fast_path");
+    let mut entries = String::new();
+    for r in rs {
+        entries.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters_per_sec\": {:.0}}},\n",
+            r.id,
+            r.ns_per_iter,
+            r.throughput()
+        ));
+    }
+    let entries = entries.trim_end_matches(",\n").to_string();
+    let json = format!(
+        "{{\n  \"bench\": \"bus_dispatch + stub_fastpath\",\n  \"workload\": {{\n    \"bus_dispatch\": \"16 mapped devices, 1 write + 1 read per window + 1 unmapped read per iter (33 accesses)\",\n    \"stub_access\": \"busmouse dx/dy/buttons state read through debug stubs (11 port accesses)\"\n  }},\n  \"results\": [\n{entries}\n  ],\n  \"speedup\": {{\n    \"bus_dispatch_table_vs_linear\": {:.2},\n    \"stub_fastpath_vs_legacy\": {:.2},\n    \"stub_string_keyed_vs_legacy\": {:.2}\n  }}\n}}\n",
+        linear / table,
+        legacy / fast,
+        legacy / string_keyed,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("\nwrote {path}");
+        println!("{json}");
+    }
+}
+
+criterion_group!(benches, bench_dispatch, bench_stub_paths);
+
+fn main() {
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    emit_json(&mut c);
+}

@@ -1,0 +1,151 @@
+//! Stub fast-path throughput across all five bundled specifications:
+//! dense-ID `get_by_id`/`set_by_id` and plan-compiled register access
+//! against the string-keyed wrappers, in production and debug modes.
+//!
+//! The headline numbers (new path vs the reproduced pre-refactor clone
+//! path) are measured together with the bus dispatch comparison in the
+//! `bus_dispatch` bench, which also records them in `BENCH_dispatch.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use devil_core::runtime::{DeviceInstance, StubMode};
+use devil_drivers::specs;
+use devil_hwsim::devices::{Busmouse, IdeController, IdeDisk};
+use devil_hwsim::IoSpace;
+
+const MOUSE: u16 = 0x23C;
+const IDE: u16 = 0x1F0;
+
+fn mouse_machine() -> IoSpace {
+    let mut io = IoSpace::new();
+    let id = io.map(MOUSE, 4, Box::new(Busmouse::new())).unwrap();
+    io.device_mut::<Busmouse>(id).unwrap().inject_motion(5, -9, 0b011);
+    io
+}
+
+fn ide_machine() -> IoSpace {
+    let mut io = IoSpace::new();
+    io.map(IDE, 9, Box::new(IdeController::new(IdeDisk::small()))).unwrap();
+    io
+}
+
+/// Mouse state read (3 variables, 11 port accesses) in both stub modes,
+/// string-keyed vs dense-ID.
+fn bench_mouse_read(c: &mut Criterion) {
+    let checked = specs::compile("busmouse.dil", specs::BUSMOUSE).unwrap();
+    let mut g = c.benchmark_group("stub_fastpath/mouse_read");
+    for (mode, label) in [(StubMode::Production, "production"), (StubMode::Debug, "debug")] {
+        g.bench_function(format!("{label}/string"), |b| {
+            let mut io = mouse_machine();
+            let mut dev = DeviceInstance::new(&checked, &[MOUSE], mode);
+            b.iter(|| {
+                let dx = dev.get(&mut io, "dx").unwrap().raw;
+                let dy = dev.get(&mut io, "dy").unwrap().raw;
+                let bt = dev.get(&mut io, "buttons").unwrap().raw;
+                std::hint::black_box((dx, dy, bt))
+            });
+        });
+        g.bench_function(format!("{label}/by_id"), |b| {
+            let mut io = mouse_machine();
+            let mut dev = DeviceInstance::new(&checked, &[MOUSE], mode);
+            let ids = [
+                dev.var_id("dx").unwrap(),
+                dev.var_id("dy").unwrap(),
+                dev.var_id("buttons").unwrap(),
+            ];
+            b.iter(|| {
+                let dx = dev.get_by_id(&mut io, ids[0]).unwrap().raw;
+                let dy = dev.get_by_id(&mut io, ids[1]).unwrap().raw;
+                let bt = dev.get_by_id(&mut io, ids[2]).unwrap().raw;
+                std::hint::black_box((dx, dy, bt))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// IDE status poll — the single hottest driver operation (one register
+/// read through the typed `busy` bit) — plus a raw register read by ID.
+fn bench_ide_poll(c: &mut Criterion) {
+    let checked = specs::compile("ide_piix4.dil", specs::IDE_PIIX4).unwrap();
+    let bases = [IDE, IDE, 0x170, 0x170];
+    let mut g = c.benchmark_group("stub_fastpath/ide_poll");
+    g.bench_function("busy_string", |b| {
+        let mut io = ide_machine();
+        let mut dev = DeviceInstance::new(&checked, &bases, StubMode::Debug);
+        b.iter(|| std::hint::black_box(dev.get(&mut io, "busy").unwrap().raw));
+    });
+    g.bench_function("busy_by_id", |b| {
+        let mut io = ide_machine();
+        let mut dev = DeviceInstance::new(&checked, &bases, StubMode::Debug);
+        let busy = dev.var_id("busy").unwrap();
+        b.iter(|| std::hint::black_box(dev.get_by_id(&mut io, busy).unwrap().raw));
+    });
+    g.bench_function("status_register_by_id", |b| {
+        let mut io = ide_machine();
+        let mut dev = DeviceInstance::new(&checked, &bases, StubMode::Debug);
+        let status = dev.register_id("status_reg").unwrap();
+        b.iter(|| std::hint::black_box(dev.read_register(&mut io, status).unwrap()));
+    });
+    g.finish();
+}
+
+/// Task-file programming: 8 typed writes, the LBA setup sequence of the
+/// CDevil driver, string-keyed vs dense-ID.
+fn bench_ide_taskfile(c: &mut Criterion) {
+    let checked = specs::compile("ide_piix4.dil", specs::IDE_PIIX4).unwrap();
+    let bases = [IDE, IDE, 0x170, 0x170];
+    let names = ["sector_count", "sector_number", "cyl_low", "cyl_high", "head"];
+    let mut g = c.benchmark_group("stub_fastpath/ide_taskfile");
+    g.bench_function("string", |b| {
+        let mut io = ide_machine();
+        let mut dev = DeviceInstance::new(&checked, &bases, StubMode::Debug);
+        b.iter(|| {
+            for (i, name) in names.iter().enumerate() {
+                let v = dev.int_value(name, i as u64).unwrap();
+                dev.set(&mut io, name, v).unwrap();
+            }
+        });
+    });
+    g.bench_function("by_id", |b| {
+        let mut io = ide_machine();
+        let mut dev = DeviceInstance::new(&checked, &bases, StubMode::Debug);
+        let ids: Vec<_> = names.iter().map(|n| dev.var_id(n).unwrap()).collect();
+        let vals: Vec<_> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| dev.int_value(n, i as u64).unwrap())
+            .collect();
+        b.iter(|| {
+            for (id, v) in ids.iter().zip(&vals) {
+                dev.set_by_id(&mut io, *id, *v).unwrap();
+            }
+        });
+    });
+    g.finish();
+}
+
+/// All five specs: instance construction cost (plan compilation included)
+/// — must stay cheap since campaigns build thousands of instances.
+fn bench_bind_all_specs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stub_fastpath/bind");
+    for (name, file, src) in specs::all() {
+        let checked = specs::compile(file, src).unwrap();
+        let nports = checked.ports.len();
+        let bases: Vec<u16> = (0..nports as u16).map(|i| 0x100 + 0x100 * i).collect();
+        g.bench_function(name.split(' ').next().unwrap_or(name).to_lowercase(), |b| {
+            b.iter(|| {
+                std::hint::black_box(DeviceInstance::new(&checked, &bases, StubMode::Debug))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mouse_read,
+    bench_ide_poll,
+    bench_ide_taskfile,
+    bench_bind_all_specs
+);
+criterion_main!(benches);

@@ -1,0 +1,270 @@
+//! A small, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `criterion` cannot be fetched. This crate implements the subset the
+//! workspace benches use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed in
+//! doubling batches until the measurement window is filled; the per-
+//! iteration mean of the largest batch is reported. `--test` on the
+//! command line (as passed by `cargo bench -- --test` or `cargo test
+//! --benches`) switches to smoke mode: every closure runs exactly once and
+//! nothing is measured.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each measurement aims to run.
+const MEASURE_WINDOW: Duration = Duration::from_millis(120);
+const WARMUP_WINDOW: Duration = Duration::from_millis(30);
+
+/// One benchmark result: label and mean nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/label` identifier.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the mean.
+    pub fn throughput(&self) -> f64 {
+        if self.ns_per_iter > 0.0 {
+            1e9 / self.ns_per_iter
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    test_mode: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Build from the process arguments (`--test` selects smoke mode).
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode, results: Vec::new() }
+    }
+
+    /// Whether `--test` smoke mode is active.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(id, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { test_mode: self.test_mode, ns_per_iter: 0.0 };
+        f(&mut b);
+        if self.test_mode {
+            println!("{id}: ok (smoke)");
+        } else {
+            let r = BenchResult { id: id.clone(), ns_per_iter: b.ns_per_iter };
+            println!(
+                "{id:<40} {:>12.1} ns/iter {:>14.0} iter/s",
+                r.ns_per_iter,
+                r.throughput()
+            );
+            self.results.push(r);
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure under `group/label`.
+    pub fn bench_function<F>(&mut self, label: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, label.into().0);
+        self.criterion.run_one(id, f);
+        self
+    }
+
+    /// Benchmark a closure with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(id, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+
+    /// Set the sample count (accepted for API compatibility; the simple
+    /// measurement loop sizes itself by wall clock instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("label", parameter)`.
+    pub fn new(label: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{label}/{parameter}"))
+    }
+
+    /// `BenchmarkId::from_parameter(parameter)`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    test_mode: bool,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, keeping its return value alive via `black_box`.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            black_box(f());
+        }
+        // Doubling batches until the window is filled.
+        let mut batch: u64 = 1;
+        let mut best;
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            best = (batch, dt);
+            if start.elapsed() >= MEASURE_WINDOW {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        self.ns_per_iter = best.1.as_nanos() as f64 / best.0.max(1) as f64;
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { test_mode: true, results: Vec::new() };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("one", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+        assert!(c.results().is_empty());
+    }
+
+    #[test]
+    fn measurement_records_result() {
+        let mut c = Criterion { test_mode: false, results: Vec::new() };
+        c.bench_function("spin", |b| b.iter(|| black_box(1u64 + 1)));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("a", "b").0, "a/b");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+}

@@ -1,0 +1,574 @@
+//! A small, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `proptest` cannot be fetched. This crate implements the subset of its
+//! API that the workspace's property tests use — `proptest!`, the
+//! `Strategy` trait with `prop_map`/`prop_recursive`/`boxed`, integer
+//! ranges, `any`, tuples, `prop::collection::vec`, `prop::sample::select`,
+//! simple character-class string patterns, `Just`, `prop_oneof!` and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate: sampling is deterministic per test
+//! (seeded from the test name), there is no shrinking, and string
+//! strategies support only `[class]{m,n}` patterns (which is all the
+//! test-suite uses). Failing cases print their inputs before panicking.
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Number of accepted cases each `proptest!` test runs by default.
+pub const CASES: usize = 96;
+
+/// Per-block configuration, set with `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Accepted cases to run per test.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases per test.
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Marker returned by `prop_assume!` when the case must be discarded.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// Deterministic split-mix RNG used for all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a), so runs are reproducible by
+    /// default. Set `PROPTEST_SEED=<u64>` to mix a session seed in and
+    /// explore a different slice of the input space (CI can rotate it);
+    /// a failing seed is printed so the run can be replayed.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = extra.trim().parse::<u64>() {
+                h ^= seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+        TestRng(h | 1)
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// A source of random values of one type.
+///
+/// Unlike the real proptest there is no shrinking: a strategy is just a
+/// deterministic sampler over a [`TestRng`].
+pub trait Strategy {
+    /// The type of value produced.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `recurse` receives the strategy for the
+    /// sub-level and returns the strategy for one level up. `depth` bounds
+    /// the recursion; the size/branch hints are accepted for compatibility
+    /// and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(level).boxed();
+            let l = leaf.clone();
+            level = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                // 2:1 in favour of recursing keeps trees non-trivial while
+                // the depth bound keeps them finite.
+                if rng.below(3) == 0 {
+                    l.sample(rng)
+                } else {
+                    branch.sample(rng)
+                }
+            }));
+        }
+        level
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.sample(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Result of [`prop_oneof!`]: uniform choice between alternatives.
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].sample(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                if span <= 0 {
+                    return self.start;
+                }
+                (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let frac = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + frac * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_strategies!(f32, f64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Debug {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Produce any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! { (A, B) (A, B, C) (A, B, C, D) }
+
+/// String strategies from `[class]{m,n}` patterns.
+///
+/// Supports one or more groups of a bracketed character class followed by
+/// an optional `{m,n}` / `{n}` repetition. Classes support `\n`, `\\`,
+/// `\[`-style escapes and `a-z` ranges. This covers every pattern in the
+/// repository's tests; anything else panics loudly.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+        let c = match c {
+            ']' => break,
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            }
+            other => other,
+        };
+        // `a-z` range (a `-` right before `]` is a literal dash).
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            if ahead.peek().is_some() && ahead.peek() != Some(&']') {
+                chars.next(); // the dash
+                let hi = chars.next().unwrap();
+                for v in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(v) {
+                        out.push(ch);
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+    }
+    assert!(!out.is_empty(), "empty character class in pattern {pattern:?}");
+    out
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '[' => parse_class(&mut chars, pattern),
+            // `\PC`: proptest's "any non-control character" class; sample
+            // from printable ASCII plus a couple of non-ASCII probes.
+            '\\' if chars.peek() == Some(&'P') => {
+                chars.next();
+                assert_eq!(chars.next(), Some('C'), "unsupported \\P class in {pattern:?}");
+                let mut cls: Vec<char> = (' '..='~').collect();
+                cls.extend(['é', 'λ', '→', '\u{00A0}']);
+                cls
+            }
+            other => panic!(
+                "unsupported pattern {pattern:?} at {other:?}: only `[class]{{m,n}}` and `\\PC{{m,n}}` groups are implemented"
+            ),
+        };
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                None => {
+                    let n: usize = spec.trim().parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1usize, 1usize)
+        };
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..len {
+            out.push(class[rng.below(class.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Strategy for vectors whose length is drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `prop::collection::vec(element, len_range)`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.sample(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::*;
+
+        /// Strategy choosing uniformly from a fixed list.
+        pub struct Select<T>(Vec<T>);
+
+        /// `prop::sample::select(options)`.
+        pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+            Select(options)
+        }
+
+        impl<T: Clone + Debug> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Define property tests. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg).cases; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::CASES; $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cases:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let cases: usize = $cases;
+                let mut accepted = 0usize;
+                let mut attempts = 0usize;
+                while accepted < cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < cases * 30,
+                        "too many rejected cases in {}",
+                        stringify!($name)
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let dbg_inputs = {
+                        let mut s = String::new();
+                        $(s.push_str(&format!("{} = {:?}; ", stringify!($arg), $arg));)*
+                        s
+                    };
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::Rejected> {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        },
+                    ));
+                    match outcome {
+                        Ok(Ok(())) => accepted += 1,
+                        Ok(Err($crate::Rejected)) => continue,
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest case failed in {} with inputs: {} (PROPTEST_SEED={})",
+                                stringify!($name),
+                                dbg_inputs,
+                                ::std::env::var("PROPTEST_SEED").unwrap_or_else(|_| "unset".into()),
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// Assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_sampler_respects_class_and_len() {
+        let mut rng = crate::TestRng::from_name("pattern");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[01*.]{1,24}", &mut rng);
+            assert!((1..=24).contains(&s.len()));
+            assert!(s.chars().all(|c| "01*.".contains(c)));
+            let t = Strategy::sample(&"[ -~\\n]{0,300}", &mut rng);
+            assert!(t.len() <= 300);
+            assert!(t.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+            let r = Strategy::sample(&"[a-z0-9 @{}()\\[\\]:;,=#<>.']{0,120}", &mut rng);
+            assert!(r
+                .chars()
+                .all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || " @{}()[]:;,=#<>.'".contains(c)));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(5u16..17), &mut rng);
+            assert!((5..17).contains(&v));
+            let w = Strategy::sample(&(-3i32..4), &mut rng);
+            assert!((-3..4).contains(&w));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_round_trip(xs in prop::collection::vec(any::<u8>(), 0..8), n in 0u32..5) {
+            prop_assume!(n != 4);
+            prop_assert!(xs.len() < 8);
+            prop_assert_ne!(n, 4);
+        }
+    }
+}

@@ -115,8 +115,11 @@ impl Mask {
     }
 
     fn fold(&self, pred: impl Fn(MaskBit) -> bool) -> u64 {
+        // Bits beyond 63 cannot be represented in the u64 views; they only
+        // arise from invalid sizes the checker rejects separately.
         self.bits
             .iter()
+            .take(64)
             .enumerate()
             .filter(|(_, b)| pred(**b))
             .fold(0u64, |acc, (i, _)| acc | (1 << i))

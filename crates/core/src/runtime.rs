@@ -11,9 +11,30 @@
 //! experiments use the generated C interpreted by `devil-minic`. A
 //! differential test in the facade crate checks the two agree access for
 //! access.
+//!
+//! # The compiled access-plan layer
+//!
+//! The paper's central performance claim is that checked register access
+//! is cheap enough to leave enabled in production drivers. To honour that,
+//! [`DeviceInstance::new`] *compiles* the bound specification once:
+//!
+//! * every register gets a [`RegPlan`] — its resolved port address and
+//!   width (base + offset folded together) and its mask pre-split into
+//!   `relevant` / `fixed_ones` / `fixed_zeros` bit words;
+//! * variable and register names are interned into index tables sorted by
+//!   name, so the string-keyed API resolves a name with a binary search
+//!   over dense IDs instead of a linear scan over `String`s.
+//!
+//! After construction, the hot paths — [`DeviceInstance::get_by_id`],
+//! [`DeviceInstance::set_by_id`], [`DeviceInstance::read_register`] and
+//! [`DeviceInstance::write_register`] — operate entirely on borrowed spec
+//! data and `Copy` plans: no `clone()`, no `String`, zero heap allocation
+//! on success (error paths may allocate; they are off the fast path by
+//! definition). The string-keyed [`DeviceInstance::get`] /
+//! [`DeviceInstance::set`] remain as thin resolve-then-dispatch wrappers.
 
 use crate::ast::MappingDir;
-use crate::ir::{CheckedSpec, RegId, VarId, VarType};
+use crate::ir::{CheckedSpec, RegId, VarId, VarType, VariableDef};
 use devil_hwsim::{BusFault, IoBus};
 use std::fmt;
 
@@ -63,6 +84,8 @@ impl fmt::Display for TypedValue {
 pub enum StubError {
     /// The variable does not exist in the specification.
     UnknownVariable(String),
+    /// The register does not exist in the specification.
+    UnknownRegister(String),
     /// The symbol does not exist in the variable's enumerated type.
     UnknownSymbol {
         /// Variable name.
@@ -96,6 +119,7 @@ impl fmt::Display for StubError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StubError::UnknownVariable(v) => write!(f, "unknown device variable `{v}`"),
+            StubError::UnknownRegister(r) => write!(f, "unknown device register `{r}`"),
             StubError::UnknownSymbol { variable, symbol } => {
                 write!(f, "`{symbol}` is not a symbol of variable `{variable}`")
             }
@@ -121,18 +145,51 @@ impl From<BusFault> for StubError {
     }
 }
 
+/// One resolved port endpoint of a register: absolute address and width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PortAccess {
+    /// Absolute port address (base + offset, folded at bind time).
+    addr: u16,
+    /// Data width in bits (8, 16 or 32).
+    width: u8,
+}
+
+/// A register's compiled access plan: everything the hot path needs,
+/// precomputed at [`DeviceInstance::new`] time into `Copy` scalars.
+#[derive(Debug, Clone, Copy)]
+struct RegPlan {
+    /// Resolved read endpoint, if readable.
+    read: Option<PortAccess>,
+    /// Resolved write endpoint, if writable.
+    write: Option<PortAccess>,
+    /// Mask bits carrying information (`.`).
+    relevant: u64,
+    /// Mask bits forced to one on writes / asserted on reads.
+    fixed_ones: u64,
+    /// Mask bits forced to zero on writes / asserted on reads.
+    fixed_zeros: u64,
+    /// Whether the register has pre-actions (cheap skip when not).
+    has_pre: bool,
+}
+
 /// An instantiated device interface: a checked specification bound to
-/// concrete base ports, with per-register write caches.
+/// concrete base ports, with per-register write caches and compiled
+/// access plans (see the module docs).
 #[derive(Debug, Clone)]
 pub struct DeviceInstance<'s> {
     spec: &'s CheckedSpec,
-    bases: Vec<u16>,
     mode: StubMode,
     cache: Vec<u64>,
+    plans: Vec<RegPlan>,
+    /// Variable indices sorted by variable name (dense-ID interning).
+    vars_by_name: Vec<u32>,
+    /// Register indices sorted by register name.
+    regs_by_name: Vec<u32>,
 }
 
 impl<'s> DeviceInstance<'s> {
-    /// Bind `spec` to one base port per port parameter.
+    /// Bind `spec` to one base port per port parameter, compiling the
+    /// per-register access plans and the name-interning tables.
     ///
     /// # Panics
     ///
@@ -144,11 +201,39 @@ impl<'s> DeviceInstance<'s> {
             spec.ports.len(),
             "expected one base port per port parameter"
         );
+        let resolve = |end: Option<(crate::ir::PortId, u64)>| {
+            end.map(|(pid, off)| PortAccess {
+                addr: bases[pid.0].wrapping_add(off as u16),
+                width: spec.ports[pid.0].width as u8,
+            })
+        };
+        let plans = spec
+            .registers
+            .iter()
+            .map(|r| RegPlan {
+                read: resolve(r.read_port),
+                write: resolve(r.write_port),
+                relevant: r.mask.relevant(),
+                fixed_ones: r.mask.fixed_ones(),
+                fixed_zeros: r.mask.fixed_zeros(),
+                has_pre: !r.pre.is_empty(),
+            })
+            .collect();
+        let mut vars_by_name: Vec<u32> = (0..spec.variables.len() as u32).collect();
+        vars_by_name.sort_by(|&a, &b| {
+            spec.variables[a as usize].name.cmp(&spec.variables[b as usize].name)
+        });
+        let mut regs_by_name: Vec<u32> = (0..spec.registers.len() as u32).collect();
+        regs_by_name.sort_by(|&a, &b| {
+            spec.registers[a as usize].name.cmp(&spec.registers[b as usize].name)
+        });
         DeviceInstance {
             spec,
-            bases: bases.to_vec(),
             mode,
             cache: vec![0; spec.registers.len()],
+            plans,
+            vars_by_name,
+            regs_by_name,
         }
     }
 
@@ -162,6 +247,32 @@ impl<'s> DeviceInstance<'s> {
         self.mode
     }
 
+    /// Resolve a variable name to its dense ID without allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`StubError::UnknownVariable`] when no variable has this name.
+    pub fn var_id(&self, name: &str) -> Result<VarId, StubError> {
+        let spec = self.spec;
+        self.vars_by_name
+            .binary_search_by(|&i| spec.variables[i as usize].name.as_str().cmp(name))
+            .map(|pos| VarId(self.vars_by_name[pos] as usize))
+            .map_err(|_| StubError::UnknownVariable(name.into()))
+    }
+
+    /// Resolve a register name to its dense ID without allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`StubError::UnknownRegister`] when no register has this name.
+    pub fn register_id(&self, name: &str) -> Result<RegId, StubError> {
+        let spec = self.spec;
+        self.regs_by_name
+            .binary_search_by(|&i| spec.registers[i as usize].name.as_str().cmp(name))
+            .map(|pos| RegId(self.regs_by_name[pos] as usize))
+            .map_err(|_| StubError::UnknownRegister(name.into()))
+    }
+
     /// Construct the typed value for an enumerated symbol, e.g.
     /// `value_of("Drive", "MASTER")`.
     ///
@@ -169,10 +280,7 @@ impl<'s> DeviceInstance<'s> {
     ///
     /// Fails when the variable or symbol does not exist.
     pub fn value_of(&self, variable: &str, symbol: &str) -> Result<TypedValue, StubError> {
-        let (_, v) = self
-            .spec
-            .variable(variable)
-            .ok_or_else(|| StubError::UnknownVariable(variable.into()))?;
+        let v = &self.spec.variables[self.var_id(variable)?.0];
         match &v.ty {
             VarType::Enum { arms } => arms
                 .iter()
@@ -196,14 +304,13 @@ impl<'s> DeviceInstance<'s> {
     ///
     /// Fails when the variable does not exist.
     pub fn int_value(&self, variable: &str, value: u64) -> Result<TypedValue, StubError> {
-        let (_, v) = self
-            .spec
-            .variable(variable)
-            .ok_or_else(|| StubError::UnknownVariable(variable.into()))?;
+        let v = &self.spec.variables[self.var_id(variable)?.0];
         Ok(TypedValue { type_id: v.type_id, raw: value })
     }
 
     /// Read a public device variable — the `get_<var>` stub.
+    ///
+    /// Thin wrapper over [`DeviceInstance::get_by_id`]: resolve, dispatch.
     ///
     /// # Errors
     ///
@@ -211,20 +318,13 @@ impl<'s> DeviceInstance<'s> {
     /// [`StubError::Assertion`] when the value read violates the variable's
     /// type or a register's fixed mask bits.
     pub fn get<B: IoBus>(&mut self, bus: &mut B, variable: &str) -> Result<TypedValue, StubError> {
-        let (vid, v) = self
-            .spec
-            .variable(variable)
-            .ok_or_else(|| StubError::UnknownVariable(variable.into()))?;
-        if v.private {
-            return Err(StubError::PrivateVariable(variable.into()));
-        }
-        if !v.readable {
-            return Err(StubError::DirectionViolation { variable: variable.into(), attempted: "read" });
-        }
+        let vid = self.var_id(variable)?;
         self.get_by_id(bus, vid)
     }
 
     /// Write a public device variable — the `set_<var>` stub.
+    ///
+    /// Thin wrapper over [`DeviceInstance::set_by_id`]: resolve, dispatch.
     ///
     /// # Errors
     ///
@@ -236,20 +336,62 @@ impl<'s> DeviceInstance<'s> {
         variable: &str,
         value: TypedValue,
     ) -> Result<(), StubError> {
-        let (vid, v) = self
-            .spec
-            .variable(variable)
-            .ok_or_else(|| StubError::UnknownVariable(variable.into()))?;
+        let vid = self.var_id(variable)?;
+        self.set_by_id(bus, vid, value)
+    }
+
+    fn variable_def(&self, vid: VarId) -> &'s VariableDef {
+        &self.spec.variables[vid.0]
+    }
+
+    /// Read a public device variable by dense ID — the allocation-free
+    /// fast path behind [`DeviceInstance::get`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects private or non-readable variables; propagates bus faults;
+    /// in debug mode raises [`StubError::Assertion`] on illegal values.
+    pub fn get_by_id<B: IoBus>(&mut self, bus: &mut B, vid: VarId) -> Result<TypedValue, StubError> {
+        let v = self.variable_def(vid);
         if v.private {
-            return Err(StubError::PrivateVariable(variable.into()));
+            return Err(StubError::PrivateVariable(v.name.clone()));
+        }
+        if !v.readable {
+            return Err(StubError::DirectionViolation {
+                variable: v.name.clone(),
+                attempted: "read",
+            });
+        }
+        self.read_var(bus, vid)
+    }
+
+    /// Write a public device variable by dense ID — the allocation-free
+    /// fast path behind [`DeviceInstance::set`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects private or non-writable variables and (in debug mode) type
+    /// tag or value violations; propagates bus faults.
+    pub fn set_by_id<B: IoBus>(
+        &mut self,
+        bus: &mut B,
+        vid: VarId,
+        value: TypedValue,
+    ) -> Result<(), StubError> {
+        let v = self.variable_def(vid);
+        if v.private {
+            return Err(StubError::PrivateVariable(v.name.clone()));
         }
         if !v.writable {
-            return Err(StubError::DirectionViolation { variable: variable.into(), attempted: "write" });
+            return Err(StubError::DirectionViolation {
+                variable: v.name.clone(),
+                attempted: "write",
+            });
         }
         if self.mode == StubMode::Debug {
             if value.type_id != v.type_id {
                 return Err(StubError::Assertion {
-                    subject: variable.into(),
+                    subject: v.name.clone(),
                     message: format!(
                         "type tag mismatch: value has type #{}, variable has type #{}",
                         value.type_id, v.type_id
@@ -258,15 +400,13 @@ impl<'s> DeviceInstance<'s> {
             }
             self.assert_value_legal(v.name.as_str(), &v.ty, v.width, value.raw, false)?;
         }
-        self.set_by_id(bus, vid, value.raw)
+        self.write_var(bus, vid, value.raw)
     }
 
-    fn variable_def(&self, vid: VarId) -> &crate::ir::VariableDef {
-        &self.spec.variables[vid.0]
-    }
-
-    fn get_by_id<B: IoBus>(&mut self, bus: &mut B, vid: VarId) -> Result<TypedValue, StubError> {
-        let v = self.variable_def(vid).clone();
+    /// Fragment-concatenating read, shared by the public paths and the
+    /// pre-action machinery (which may touch private variables).
+    fn read_var<B: IoBus>(&mut self, bus: &mut B, vid: VarId) -> Result<TypedValue, StubError> {
+        let v = self.variable_def(vid);
         let mut raw = 0u64;
         for frag in &v.frags {
             let reg_val = self.read_register(bus, frag.reg)?;
@@ -280,8 +420,10 @@ impl<'s> DeviceInstance<'s> {
         Ok(TypedValue { type_id: v.type_id, raw })
     }
 
-    fn set_by_id<B: IoBus>(&mut self, bus: &mut B, vid: VarId, raw: u64) -> Result<(), StubError> {
-        let v = self.variable_def(vid).clone();
+    /// Fragment-scattering write, shared by the public paths and the
+    /// pre-action machinery (which may touch private variables).
+    fn write_var<B: IoBus>(&mut self, bus: &mut B, vid: VarId, raw: u64) -> Result<(), StubError> {
+        let v = self.variable_def(vid);
         let mut remaining = v.width;
         for frag in &v.frags {
             let w = frag.width();
@@ -295,26 +437,33 @@ impl<'s> DeviceInstance<'s> {
     /// Read a register through its read port, honouring pre-actions and
     /// debug-mode fixed-bit assertions — the `reg_get_<r>` stub.
     ///
+    /// Operates on the compiled [`RegPlan`]: no clones, no allocation on
+    /// success.
+    ///
     /// # Errors
     ///
     /// Fails when the register is not readable, on bus faults, or on a
     /// debug-mode mask violation.
     pub fn read_register<B: IoBus>(&mut self, bus: &mut B, reg: RegId) -> Result<u64, StubError> {
-        let r = self.spec.registers[reg.0].clone();
-        let Some((port, offset)) = r.read_port else {
+        let plan = self.plans[reg.0];
+        let Some(pa) = plan.read else {
             return Err(StubError::DirectionViolation {
-                variable: r.name.clone(),
+                variable: self.spec.registers[reg.0].name.clone(),
                 attempted: "read",
             });
         };
-        self.run_pre_actions(bus, reg)?;
-        let addr = self.bases[port.0].wrapping_add(offset as u16);
-        let value = match self.spec.ports[port.0].width {
-            8 => bus.inb(addr)? as u64,
-            16 => bus.inw(addr)? as u64,
-            _ => bus.inl(addr)? as u64,
+        if plan.has_pre {
+            self.run_pre_actions(bus, reg)?;
+        }
+        let value = match pa.width {
+            8 => bus.inb(pa.addr)? as u64,
+            16 => bus.inw(pa.addr)? as u64,
+            _ => bus.inl(pa.addr)? as u64,
         };
-        if self.mode == StubMode::Debug && !r.mask.read_respects_fixed(value) {
+        if self.mode == StubMode::Debug
+            && ((value & plan.fixed_ones) != plan.fixed_ones || (value & plan.fixed_zeros) != 0)
+        {
+            let r = &self.spec.registers[reg.0];
             return Err(StubError::Assertion {
                 subject: r.name.clone(),
                 message: format!(
@@ -329,6 +478,9 @@ impl<'s> DeviceInstance<'s> {
     /// Write a whole register through its write port (mask applied) — the
     /// `reg_set_<r>` stub.
     ///
+    /// Operates on the compiled [`RegPlan`]: no clones, no allocation on
+    /// success.
+    ///
     /// # Errors
     ///
     /// Fails when the register is not writable or on bus faults.
@@ -338,22 +490,23 @@ impl<'s> DeviceInstance<'s> {
         reg: RegId,
         value: u64,
     ) -> Result<(), StubError> {
-        let r = self.spec.registers[reg.0].clone();
-        let Some((port, offset)) = r.write_port else {
+        let plan = self.plans[reg.0];
+        let Some(pa) = plan.write else {
             return Err(StubError::DirectionViolation {
-                variable: r.name.clone(),
+                variable: self.spec.registers[reg.0].name.clone(),
                 attempted: "write",
             });
         };
-        self.run_pre_actions(bus, reg)?;
-        let wire = r.mask.apply_write(value);
-        let addr = self.bases[port.0].wrapping_add(offset as u16);
-        match self.spec.ports[port.0].width {
-            8 => bus.outb(addr, wire as u8)?,
-            16 => bus.outw(addr, wire as u16)?,
-            _ => bus.outl(addr, wire as u32)?,
+        if plan.has_pre {
+            self.run_pre_actions(bus, reg)?;
         }
-        self.cache[reg.0] = value & r.mask.relevant();
+        let wire = (value & plan.relevant) | plan.fixed_ones;
+        match pa.width {
+            8 => bus.outb(pa.addr, wire as u8)?,
+            16 => bus.outw(pa.addr, wire as u16)?,
+            _ => bus.outl(pa.addr, wire as u32)?,
+        }
+        self.cache[reg.0] = value & plan.relevant;
         Ok(())
     }
 
@@ -365,9 +518,8 @@ impl<'s> DeviceInstance<'s> {
         width: u32,
         bits: u64,
     ) -> Result<(), StubError> {
-        let r = &self.spec.registers[reg.0];
         let frag_mask = mask_of(width) << lsb;
-        let full = frag_mask == r.mask.relevant();
+        let full = frag_mask == self.plans[reg.0].relevant;
         let value = if full {
             bits << lsb
         } else {
@@ -379,9 +531,9 @@ impl<'s> DeviceInstance<'s> {
     }
 
     fn run_pre_actions<B: IoBus>(&mut self, bus: &mut B, reg: RegId) -> Result<(), StubError> {
-        let pre = self.spec.registers[reg.0].pre.clone();
-        for (vid, value) in pre {
-            self.set_by_id(bus, vid, value)?;
+        let spec = self.spec;
+        for &(vid, value) in &spec.registers[reg.0].pre {
+            self.write_var(bus, vid, value)?;
         }
         Ok(())
     }

@@ -77,8 +77,49 @@ pub struct Access {
     pub value: u32,
 }
 
+/// A refusal raised by a device model, without heap allocation.
+///
+/// Devices reject accesses that are not meaningful for their register file
+/// (wrong width, offset outside the decoded window, or a protocol rule).
+/// The enum is `Copy`, so the success path of a port access never touches
+/// the allocator — the paper's core performance claim for generated stubs
+/// depends on the failure machinery being free when nothing fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceFault {
+    /// The access width is not supported at this offset.
+    Width {
+        /// Offset within the device window.
+        offset: u16,
+        /// Attempted width.
+        size: AccessSize,
+    },
+    /// The offset is outside the device's decoded window.
+    OutOfWindow {
+        /// Offset within the device window.
+        offset: u16,
+    },
+    /// A device-specific protocol rule was violated.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceFault::Width { offset, size } => {
+                write!(f, "{size} access unsupported at offset {offset:#x}")
+            }
+            DeviceFault::OutOfWindow { offset } => {
+                write!(f, "offset {offset:#x} is outside the device window")
+            }
+            DeviceFault::Protocol(rule) => f.write_str(rule),
+        }
+    }
+}
+
+impl std::error::Error for DeviceFault {}
+
 /// A fault raised by the bus fabric or a device.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BusFault {
     /// Access to a port with no mapped device under [`UnmappedPolicy::Fault`].
     Unmapped {
@@ -91,8 +132,8 @@ pub enum BusFault {
     Device {
         /// Faulting port.
         port: u16,
-        /// Device-provided message.
-        message: String,
+        /// The device's refusal.
+        fault: DeviceFault,
     },
 }
 
@@ -102,8 +143,8 @@ impl fmt::Display for BusFault {
             BusFault::Unmapped { port, size } => {
                 write!(f, "unmapped {size} access at port {port:#06x}")
             }
-            BusFault::Device { port, message } => {
-                write!(f, "device fault at port {port:#06x}: {message}")
+            BusFault::Device { port, fault } => {
+                write!(f, "device fault at port {port:#06x}: {fault}")
             }
         }
     }
@@ -146,6 +187,9 @@ pub enum MapError {
         /// Requested window length.
         len: u16,
     },
+    /// The packed routing table is full: 65 535 devices are already
+    /// mapped (device indices above `0xFFFE` cannot be encoded).
+    TooManyDevices,
 }
 
 impl fmt::Display for MapError {
@@ -156,6 +200,9 @@ impl fmt::Display for MapError {
             }
             MapError::BadWindow { base, len } => {
                 write!(f, "window {base:#06x}+{len} is empty or exceeds the port space")
+            }
+            MapError::TooManyDevices => {
+                f.write_str("routing table is full: 65535 devices already mapped")
             }
         }
     }
@@ -176,21 +223,29 @@ pub trait IoDevice: Any {
     ///
     /// # Errors
     ///
-    /// Returns a message when the access is not meaningful for the device
-    /// (e.g. a dword read of a byte-only register) and the bus should fault.
-    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, String>;
+    /// Returns a [`DeviceFault`] when the access is not meaningful for the
+    /// device (e.g. a dword read of a byte-only register) and the bus
+    /// should fault.
+    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, DeviceFault>;
 
     /// Handle a port write at `offset` (relative to the mapping base).
     ///
     /// # Errors
     ///
-    /// Returns a message when the access is not meaningful for the device.
-    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), String>;
+    /// Returns a [`DeviceFault`] when the access is not meaningful for the
+    /// device.
+    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), DeviceFault>;
 
     /// Advance internal time by `ticks` bus cycles.
     ///
     /// Devices use this for busy timers (e.g. the IDE controller staying BSY
     /// for a few polls after a command). The default does nothing.
+    ///
+    /// The bus delivers ticks *lazily*: a device sees its accumulated clock
+    /// delta immediately before each of its own accesses (and on
+    /// [`IoSpace::sync`]), not one call per bus cycle. Timer logic must
+    /// therefore handle multi-tick deltas — which every model does, since
+    /// the signature always carried a count.
     fn tick(&mut self, ticks: u64) {
         let _ = ticks;
     }
@@ -269,19 +324,55 @@ impl<B: IoBus + ?Sized> IoBus for &mut B {
     }
 }
 
-struct Mapping {
-    base: u16,
-    len: u16,
-    device: usize,
+/// One entry of the flat port routing table: packed `(device index + 1,
+/// base port)`, or [`EMPTY_SLOT`] when no device decodes the port.
+type PortSlot = u32;
+
+/// Slot value for unmapped ports.
+const EMPTY_SLOT: PortSlot = 0;
+
+/// Number of ports in the x86 I/O space.
+const PORT_SPACE: usize = 0x1_0000;
+
+#[inline]
+fn pack_slot(device: usize, base: u16) -> PortSlot {
+    ((device as u32 + 1) << 16) | base as u32
 }
+
+#[inline]
+fn unpack_slot(slot: PortSlot) -> (usize, u16) {
+    ((slot >> 16) as usize - 1, (slot & 0xFFFF) as u16)
+}
+
+/// Initial capacity reserved when tracing is enabled, so long traced runs
+/// do not pay reallocation churn from the first few thousand accesses.
+const TRACE_INITIAL_CAPACITY: usize = 16 * 1024;
 
 /// The machine's port-mapped I/O space.
 ///
 /// Owns all peripheral models, routes accesses by port, keeps a monotonic
 /// clock, counts accesses, and (optionally) records a full access trace.
+///
+/// # Dispatch
+///
+/// Routing uses a flat 64 K-entry table built at [`IoSpace::map`] time:
+/// one load per access resolves the owning device and its base port, so
+/// dispatch is O(1) in the number of mapped devices and allocation-free.
+///
+/// # Time
+///
+/// The bus clock still advances once per access, but tick delivery to
+/// devices is *lazy*: each device accumulates its clock delta and receives
+/// it in one [`IoDevice::tick`] call immediately before its next access
+/// (or when [`IoSpace::sync`] is called, or before a
+/// [`IoSpace::device_mut`] inspection). A device polled in a loop
+/// therefore observes exactly the same tick sequence as under eager
+/// delivery, while devices not involved in an access burst cost nothing.
 pub struct IoSpace {
-    mappings: Vec<Mapping>,
+    table: Box<[PortSlot; PORT_SPACE]>,
     devices: Vec<Box<dyn IoDevice>>,
+    /// Per-device clock value at which ticks were last delivered.
+    last_sync: Vec<u64>,
     policy: UnmappedPolicy,
     clock: u64,
     reads: u64,
@@ -292,7 +383,7 @@ pub struct IoSpace {
 impl fmt::Debug for IoSpace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("IoSpace")
-            .field("mappings", &self.mappings.len())
+            .field("devices", &self.devices.len())
             .field("clock", &self.clock)
             .field("reads", &self.reads)
             .field("writes", &self.writes)
@@ -310,9 +401,11 @@ impl Default for IoSpace {
 impl IoSpace {
     /// Create an empty I/O space with the default (floating) unmapped policy.
     pub fn new() -> Self {
+        let table: Box<[PortSlot]> = vec![EMPTY_SLOT; PORT_SPACE].into_boxed_slice();
         IoSpace {
-            mappings: Vec::new(),
+            table: table.try_into().expect("table has PORT_SPACE entries"),
             devices: Vec::new(),
+            last_sync: Vec::new(),
             policy: UnmappedPolicy::default(),
             clock: 0,
             reads: 0,
@@ -326,10 +419,15 @@ impl IoSpace {
         self.policy = policy;
     }
 
-    /// Start recording every access. Any previously recorded trace is kept.
+    /// Start recording every access.
+    ///
+    /// If tracing is already enabled the accesses recorded so far are kept;
+    /// a trace previously removed with [`IoSpace::take_trace`] is gone and
+    /// recording restarts from an empty buffer. Capacity is pre-reserved so
+    /// long traced runs do not pay per-access reallocation churn.
     pub fn enable_trace(&mut self) {
         if self.trace.is_none() {
-            self.trace = Some(Vec::new());
+            self.trace = Some(Vec::with_capacity(TRACE_INITIAL_CAPACITY));
         }
     }
 
@@ -355,95 +453,133 @@ impl IoSpace {
 
     /// Map `device` at `[base, base + len)`.
     ///
+    /// Builds the O(1) routing entries for the window. Costs O(`len`);
+    /// dispatch afterwards is one table load regardless of how many
+    /// devices are mapped.
+    ///
     /// # Errors
     ///
     /// Returns [`MapError`] if the range overlaps an existing mapping, is
-    /// empty, or runs past the end of the port space. The device is dropped.
+    /// empty, runs past the end of the port space, or the routing table is
+    /// full (65 535 devices). The device is dropped on error.
     pub fn map(
         &mut self,
         base: u16,
         len: u16,
         device: Box<dyn IoDevice>,
     ) -> Result<DeviceId, MapError> {
-        if len == 0 || (base as u32) + (len as u32) > 0x1_0000 {
+        if len == 0 || (base as u32) + (len as u32) > PORT_SPACE as u32 {
             return Err(MapError::BadWindow { base, len });
         }
-        let new_end = base as u32 + len as u32;
-        for m in &self.mappings {
-            let end = m.base as u32 + m.len as u32;
-            if (base as u32) < end && (m.base as u32) < new_end {
-                return Err(MapError::Overlap { base, len });
-            }
+        let window = base as usize..base as usize + len as usize;
+        if self.table[window.clone()].iter().any(|&s| s != EMPTY_SLOT) {
+            return Err(MapError::Overlap { base, len });
         }
         let idx = self.devices.len();
+        if idx > 0xFFFE {
+            // `pack_slot` stores `idx + 1` in 16 bits, so 0xFFFE is the
+            // largest representable index.
+            return Err(MapError::TooManyDevices);
+        }
+        let slot = pack_slot(idx, base);
+        self.table[window].fill(slot);
         self.devices.push(device);
-        self.mappings.push(Mapping { base, len, device: idx });
+        self.last_sync.push(self.clock);
         Ok(DeviceId(idx))
     }
 
     /// Borrow a mapped device, downcast to its concrete type.
     ///
     /// Returns `None` when the id is stale or the type does not match.
+    /// Pending ticks are *not* delivered (this takes `&self`); call
+    /// [`IoSpace::sync`] first when inspecting timer-driven state outside
+    /// an access sequence.
     pub fn device<T: IoDevice>(&self, id: DeviceId) -> Option<&T> {
         self.devices.get(id.0)?.as_any().downcast_ref::<T>()
     }
 
     /// Mutably borrow a mapped device, downcast to its concrete type.
+    ///
+    /// Delivers the device's pending clock delta first, so timer-driven
+    /// state is current.
     pub fn device_mut<T: IoDevice>(&mut self, id: DeviceId) -> Option<&mut T> {
+        if id.0 < self.devices.len() {
+            self.touch(id.0);
+        }
         self.devices.get_mut(id.0)?.as_any_mut().downcast_mut::<T>()
     }
 
-    fn lookup(&self, port: u16) -> Option<(usize, u16)> {
-        for m in &self.mappings {
-            if port >= m.base && (port as u32) < m.base as u32 + m.len as u32 {
-                return Some((m.device, port - m.base));
-            }
-        }
-        None
-    }
-
-    fn advance(&mut self) {
-        self.clock += 1;
-        for d in &mut self.devices {
-            d.tick(1);
+    /// Deliver every device's accumulated clock delta now.
+    ///
+    /// Equivalent to the old eager behaviour at a point in time: after
+    /// `sync()` all devices have observed the full bus clock.
+    pub fn sync(&mut self) {
+        for idx in 0..self.devices.len() {
+            self.touch(idx);
         }
     }
 
+    /// Deliver device `idx`'s pending ticks.
+    #[inline]
+    fn touch(&mut self, idx: usize) {
+        let delta = self.clock - self.last_sync[idx];
+        if delta > 0 {
+            self.last_sync[idx] = self.clock;
+            self.devices[idx].tick(delta);
+        }
+    }
+
+    #[inline]
     fn record(&mut self, port: u16, size: AccessSize, kind: AccessKind, value: u32) {
         if let Some(trace) = &mut self.trace {
             trace.push(Access { time: self.clock, port, size, kind, value });
         }
     }
 
-    fn read_any(&mut self, port: u16, size: AccessSize) -> Result<u32, BusFault> {
-        self.advance();
+    /// Width-generic read: the single hot path behind `inb`/`inw`/`inl`.
+    ///
+    /// Allocation-free on success: one table load, one lazy tick delivery,
+    /// one device call.
+    pub(crate) fn read_any(&mut self, port: u16, size: AccessSize) -> Result<u32, BusFault> {
+        self.clock += 1;
         self.reads += 1;
-        let value = match self.lookup(port) {
-            Some((idx, offset)) => self.devices[idx]
-                .read(offset, size)
-                .map_err(|message| BusFault::Device { port, message })?,
-            None => match self.policy {
+        let slot = self.table[port as usize];
+        let value = if slot != EMPTY_SLOT {
+            let (idx, base) = unpack_slot(slot);
+            self.touch(idx);
+            self.devices[idx]
+                .read(port - base, size)
+                .map_err(|fault| BusFault::Device { port, fault })?
+        } else {
+            match self.policy {
                 UnmappedPolicy::Float => size.mask(),
                 UnmappedPolicy::Fault => return Err(BusFault::Unmapped { port, size }),
-            },
+            }
         } & size.mask();
         self.record(port, size, AccessKind::Read, value);
         Ok(value)
     }
 
-    fn write_any(&mut self, port: u16, size: AccessSize, value: u32) -> Result<(), BusFault> {
-        self.advance();
+    /// Width-generic write: the single hot path behind `outb`/`outw`/`outl`.
+    ///
+    /// Allocation-free on success (see [`IoSpace::read_any`]).
+    pub(crate) fn write_any(&mut self, port: u16, size: AccessSize, value: u32) -> Result<(), BusFault> {
+        self.clock += 1;
         self.writes += 1;
         let value = value & size.mask();
         self.record(port, size, AccessKind::Write, value);
-        match self.lookup(port) {
-            Some((idx, offset)) => self.devices[idx]
-                .write(offset, size, value)
-                .map_err(|message| BusFault::Device { port, message }),
-            None => match self.policy {
+        let slot = self.table[port as usize];
+        if slot != EMPTY_SLOT {
+            let (idx, base) = unpack_slot(slot);
+            self.touch(idx);
+            self.devices[idx]
+                .write(port - base, size, value)
+                .map_err(|fault| BusFault::Device { port, fault })
+        } else {
+            match self.policy {
                 UnmappedPolicy::Float => Ok(()),
                 UnmappedPolicy::Fault => Err(BusFault::Unmapped { port, size }),
-            },
+            }
         }
     }
 }
@@ -499,11 +635,15 @@ impl IoDevice for ScratchRegisters {
         "scratch"
     }
 
-    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, String> {
+    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, DeviceFault> {
         let n = (size.bits() / 8) as usize;
         let start = offset as usize;
+        if start >= self.bytes.len() {
+            return Err(DeviceFault::OutOfWindow { offset });
+        }
         if start + n > self.bytes.len() {
-            return Err(format!("scratch read past window at offset {offset:#x}"));
+            // The offset decodes, but the access width spills past the end.
+            return Err(DeviceFault::Width { offset, size });
         }
         let mut v = 0u32;
         for i in 0..n {
@@ -512,11 +652,14 @@ impl IoDevice for ScratchRegisters {
         Ok(v)
     }
 
-    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), String> {
+    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), DeviceFault> {
         let n = (size.bits() / 8) as usize;
         let start = offset as usize;
+        if start >= self.bytes.len() {
+            return Err(DeviceFault::OutOfWindow { offset });
+        }
         if start + n > self.bytes.len() {
-            return Err(format!("scratch write past window at offset {offset:#x}"));
+            return Err(DeviceFault::Width { offset, size });
         }
         for i in 0..n {
             self.bytes[start + i] = (value >> (8 * i)) as u8;
@@ -552,6 +695,25 @@ mod tests {
         assert!(io.map(0xFFFF, 2, Box::new(ScratchRegisters::new(2))).is_err());
         assert!(io.map(0x10, 0, Box::new(ScratchRegisters::new(1))).is_err());
         io.map(0xFFFF, 1, Box::new(ScratchRegisters::new(1))).unwrap();
+    }
+
+    #[test]
+    fn map_fills_the_table_and_reports_exhaustion() {
+        // 65 535 one-port devices fit (indices 0..=0xFFFE); the 65 536th
+        // cannot be encoded and must fail cleanly, not panic.
+        let mut io = IoSpace::new();
+        for port in 0..0xFFFFu32 {
+            io.map(port as u16, 1, Box::new(ScratchRegisters::new(1))).unwrap();
+        }
+        assert_eq!(
+            io.map(0xFFFF, 1, Box::new(ScratchRegisters::new(1))).unwrap_err(),
+            MapError::TooManyDevices
+        );
+        // The full table still dispatches correctly at both ends.
+        io.outb(0x0000, 0x11).unwrap();
+        io.outb(0xFFFE, 0x22).unwrap();
+        assert_eq!(io.inb(0x0000).unwrap(), 0x11);
+        assert_eq!(io.inb(0xFFFE).unwrap(), 0x22);
     }
 
     #[test]

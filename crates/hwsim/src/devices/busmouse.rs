@@ -22,7 +22,7 @@
 //! Linux `busmouse.c` interrupt handler relies on. Re-enabling interrupts
 //! discards the latch.
 
-use crate::bus::{AccessSize, IoDevice};
+use crate::bus::{AccessSize, DeviceFault, IoDevice};
 use std::any::Any;
 
 /// Behavioural Logitech busmouse (see module docs for the register map).
@@ -118,9 +118,9 @@ impl IoDevice for Busmouse {
         "logitech-busmouse"
     }
 
-    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, String> {
+    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, DeviceFault> {
         if size != AccessSize::Byte {
-            return Err(format!("busmouse supports byte access only, got {size}"));
+            return Err(DeviceFault::Width { offset, size });
         }
         self.reads += 1;
         match offset {
@@ -128,13 +128,13 @@ impl IoDevice for Busmouse {
             1 => Ok(self.signature as u32),
             // Control and config are write-only; reads float.
             2 | 3 => Ok(0xFF),
-            _ => Err(format!("busmouse has 4 ports, offset {offset} out of range")),
+            _ => Err(DeviceFault::OutOfWindow { offset }),
         }
     }
 
-    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), String> {
+    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), DeviceFault> {
         if size != AccessSize::Byte {
-            return Err(format!("busmouse supports byte access only, got {size}"));
+            return Err(DeviceFault::Width { offset, size });
         }
         let v = value as u8;
         match offset {
@@ -165,7 +165,7 @@ impl IoDevice for Busmouse {
                 self.config = v & 0x91;
                 Ok(())
             }
-            _ => Err(format!("busmouse has 4 ports, offset {offset} out of range")),
+            _ => Err(DeviceFault::OutOfWindow { offset }),
         }
     }
 

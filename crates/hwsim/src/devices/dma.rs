@@ -18,7 +18,7 @@
 //! channel is unmasked with a valid mode, setting the terminal-count bit in
 //! the status register — enough for the DMA setup sequences drivers perform.
 
-use crate::bus::{AccessSize, IoDevice};
+use crate::bus::{AccessSize, DeviceFault, IoDevice};
 use std::any::Any;
 
 /// 8237 DMA controller model.
@@ -106,9 +106,9 @@ impl IoDevice for Dma8237 {
         "dma-8237"
     }
 
-    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, String> {
+    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, DeviceFault> {
         if size != AccessSize::Byte {
-            return Err(format!("8237 registers are byte-wide, got {size}"));
+            return Err(DeviceFault::Width { offset, size });
         }
         let v = match offset {
             0 | 2 | 4 | 6 => {
@@ -132,9 +132,9 @@ impl IoDevice for Dma8237 {
         Ok(v as u32)
     }
 
-    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), String> {
+    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), DeviceFault> {
         if size != AccessSize::Byte {
-            return Err(format!("8237 registers are byte-wide, got {size}"));
+            return Err(DeviceFault::Width { offset, size });
         }
         let v = value as u8;
         match offset {

@@ -33,7 +33,7 @@
 //! of iterations. A driver that polls for the wrong status bit will spin
 //! forever — the "infinite loop" outcome class of the paper.
 
-use crate::bus::{AccessSize, IoDevice};
+use crate::bus::{AccessSize, DeviceFault, IoDevice};
 use std::any::Any;
 
 /// Bytes per ATA sector.
@@ -452,11 +452,11 @@ impl IoDevice for IdeController {
         "ide-piix4"
     }
 
-    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, String> {
+    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, DeviceFault> {
         match offset {
             0 => Ok(self.data_read(size)),
             1..=8 if size != AccessSize::Byte => {
-                Err(format!("IDE register {offset} is byte-wide, got {size}"))
+                Err(DeviceFault::Width { offset, size })
             }
             1 => Ok(self.error as u32),
             2 => Ok(self.sector_count as u32),
@@ -465,18 +465,18 @@ impl IoDevice for IdeController {
             5 => Ok(self.cyl_high as u32),
             6 => Ok((self.drive_head | 0xA0) as u32),
             7 | 8 => Ok(self.read_status() as u32),
-            _ => Err(format!("IDE window is 9 ports, offset {offset} out of range")),
+            _ => Err(DeviceFault::OutOfWindow { offset }),
         }
     }
 
-    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), String> {
+    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), DeviceFault> {
         match offset {
             0 => {
                 self.data_write(size, value);
                 Ok(())
             }
             1..=8 if size != AccessSize::Byte => {
-                Err(format!("IDE register {offset} is byte-wide, got {size}"))
+                Err(DeviceFault::Width { offset, size })
             }
             1 => {
                 self.feature = value as u8;
@@ -520,7 +520,7 @@ impl IoDevice for IdeController {
                 }
                 Ok(())
             }
-            _ => Err(format!("IDE window is 9 ports, offset {offset} out of range")),
+            _ => Err(DeviceFault::OutOfWindow { offset }),
         }
     }
 

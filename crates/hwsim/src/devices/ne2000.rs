@@ -15,7 +15,7 @@
 //! `0x4000..0x8000` and the station-address PROM at remote addresses
 //! `0x0000..0x0020`, which is what the Linux probe routine reads.
 
-use crate::bus::{AccessSize, IoDevice};
+use crate::bus::{AccessSize, DeviceFault, IoDevice};
 use std::any::Any;
 
 const RAM_START: usize = 0x4000;
@@ -201,7 +201,7 @@ impl IoDevice for Ne2000 {
         "ne2000"
     }
 
-    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, String> {
+    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, DeviceFault> {
         match offset {
             0x10 => {
                 // Data port: byte or word per DCR word-transfer bit.
@@ -221,7 +221,7 @@ impl IoDevice for Ne2000 {
             _ => {}
         }
         if size != AccessSize::Byte {
-            return Err(format!("NE2000 register {offset:#x} is byte-wide, got {size}"));
+            return Err(DeviceFault::Width { offset, size });
         }
         let v = match (self.page(), offset) {
             (_, 0) => self.cr,
@@ -240,7 +240,7 @@ impl IoDevice for Ne2000 {
         Ok(v as u32)
     }
 
-    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), String> {
+    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), DeviceFault> {
         if offset == 0x10 {
             let n = (size.bits() / 8) as usize;
             for i in 0..n {
@@ -252,7 +252,7 @@ impl IoDevice for Ne2000 {
             return Ok(()); // reset port write: ignored
         }
         if size != AccessSize::Byte {
-            return Err(format!("NE2000 register {offset:#x} is byte-wide, got {size}"));
+            return Err(DeviceFault::Width { offset, size });
         }
         let v = value as u8;
         match (self.page(), offset) {

@@ -10,7 +10,7 @@
 //!   primary/secondary bus-master command, status and descriptor-pointer
 //!   registers that the paper's 27-line PCI Devil specification describes.
 
-use crate::bus::{AccessSize, IoDevice};
+use crate::bus::{AccessSize, DeviceFault, IoDevice};
 use std::any::Any;
 
 /// A single PCI function's 256-byte configuration header.
@@ -109,11 +109,11 @@ impl IoDevice for PciConfigSpace {
         "pci-config"
     }
 
-    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, String> {
+    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, DeviceFault> {
         match offset {
             0..=3 => {
                 if size != AccessSize::Dword || offset != 0 {
-                    return Err("CONFIG_ADDRESS requires aligned dword access".into());
+                    return Err(DeviceFault::Protocol("CONFIG_ADDRESS requires aligned dword access"));
                 }
                 Ok(self.address)
             }
@@ -125,15 +125,15 @@ impl IoDevice for PciConfigSpace {
                 let shift = 8 * (offset - 4) as u32;
                 Ok((dword >> shift) & size.mask())
             }
-            _ => Err(format!("PCI config window is 8 ports, offset {offset} out of range")),
+            _ => Err(DeviceFault::OutOfWindow { offset }),
         }
     }
 
-    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), String> {
+    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), DeviceFault> {
         match offset {
             0..=3 => {
                 if size != AccessSize::Dword || offset != 0 {
-                    return Err("CONFIG_ADDRESS requires aligned dword access".into());
+                    return Err(DeviceFault::Protocol("CONFIG_ADDRESS requires aligned dword access"));
                 }
                 self.address = value;
                 Ok(())
@@ -148,7 +148,7 @@ impl IoDevice for PciConfigSpace {
                 }
                 Ok(())
             }
-            _ => Err(format!("PCI config window is 8 ports, offset {offset} out of range")),
+            _ => Err(DeviceFault::OutOfWindow { offset }),
         }
     }
 
@@ -207,7 +207,7 @@ impl IoDevice for BusMasterIde {
         "piix-busmaster"
     }
 
-    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, String> {
+    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, DeviceFault> {
         let (ch, reg) = (usize::from(offset >= 8), offset % 8);
         let c = &self.channels[ch];
         match reg {
@@ -225,7 +225,7 @@ impl IoDevice for BusMasterIde {
         }
     }
 
-    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), String> {
+    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), DeviceFault> {
         let (ch, reg) = (usize::from(offset >= 8), offset % 8);
         let c = &mut self.channels[ch];
         match reg {

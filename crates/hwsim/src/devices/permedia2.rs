@@ -29,7 +29,7 @@
 //! overruns it — the overrun is latched and visible, mimicking the
 //! lost-command lockups graphics drivers are notorious for.
 
-use crate::bus::{AccessSize, IoDevice};
+use crate::bus::{AccessSize, DeviceFault, IoDevice};
 use std::any::Any;
 use std::collections::VecDeque;
 
@@ -129,9 +129,9 @@ impl IoDevice for Permedia2 {
         "permedia2"
     }
 
-    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, String> {
+    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, DeviceFault> {
         if size != AccessSize::Dword {
-            return Err(format!("Permedia 2 registers are dword-wide, got {size}"));
+            return Err(DeviceFault::Width { offset, size });
         }
         match offset {
             0 => Ok(u32::from(self.resetting > 0)),
@@ -147,13 +147,13 @@ impl IoDevice for Permedia2 {
             10 => Ok(self.fb_read_mode),
             11 => Ok(2), // chip identification
             12 => Ok(self.fifo_discon & 1),
-            _ => Err(format!("Permedia 2 window is 13 registers, offset {offset} out of range")),
+            _ => Err(DeviceFault::OutOfWindow { offset }),
         }
     }
 
-    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), String> {
+    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), DeviceFault> {
         if size != AccessSize::Dword {
-            return Err(format!("Permedia 2 registers are dword-wide, got {size}"));
+            return Err(DeviceFault::Width { offset, size });
         }
         match offset {
             0 => {
@@ -188,9 +188,7 @@ impl IoDevice for Permedia2 {
             12 => self.fifo_discon = value & 1,
             1 | 2 | 4 | 11 => {} // read-only: writes vanish
             _ => {
-                return Err(format!(
-                    "Permedia 2 window is 13 registers, offset {offset} out of range"
-                ));
+                return Err(DeviceFault::OutOfWindow { offset });
             }
         }
         Ok(())

@@ -9,7 +9,7 @@
 //! Interrupts are raised by the harness with [`Pic8259::raise_irq`] and
 //! fetched with [`Pic8259::ack`] (the INTA cycle).
 
-use crate::bus::{AccessSize, IoDevice};
+use crate::bus::{AccessSize, DeviceFault, IoDevice};
 use std::any::Any;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,20 +95,20 @@ impl IoDevice for Pic8259 {
         "pic-8259"
     }
 
-    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, String> {
+    fn read(&mut self, offset: u16, size: AccessSize) -> Result<u32, DeviceFault> {
         if size != AccessSize::Byte {
-            return Err(format!("8259 registers are byte-wide, got {size}"));
+            return Err(DeviceFault::Width { offset, size });
         }
         match offset {
             0 => Ok(if self.read_isr { self.isr } else { self.irr } as u32),
             1 => Ok(self.imr as u32),
-            _ => Err(format!("8259 has 2 ports, offset {offset} out of range")),
+            _ => Err(DeviceFault::OutOfWindow { offset }),
         }
     }
 
-    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), String> {
+    fn write(&mut self, offset: u16, size: AccessSize, value: u32) -> Result<(), DeviceFault> {
         if size != AccessSize::Byte {
-            return Err(format!("8259 registers are byte-wide, got {size}"));
+            return Err(DeviceFault::Width { offset, size });
         }
         let v = value as u8;
         match offset {
@@ -176,7 +176,7 @@ impl IoDevice for Pic8259 {
                 }
                 Ok(())
             }
-            _ => Err(format!("8259 has 2 ports, offset {offset} out of range")),
+            _ => Err(DeviceFault::OutOfWindow { offset }),
         }
     }
 

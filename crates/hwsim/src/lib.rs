@@ -26,7 +26,9 @@
 
 pub mod bus;
 pub mod devices;
+pub mod reference;
 
 pub use bus::{
-    Access, AccessKind, AccessSize, BusFault, DeviceId, IoBus, IoSpace, MapError, UnmappedPolicy,
+    Access, AccessKind, AccessSize, BusFault, DeviceFault, DeviceId, IoBus, IoSpace, MapError,
+    UnmappedPolicy,
 };

@@ -2,7 +2,8 @@
 
 use devil_hwsim::bus::ScratchRegisters;
 use devil_hwsim::devices::{IdeController, IdeDisk, SECTOR_SIZE};
-use devil_hwsim::{IoBus, IoSpace};
+use devil_hwsim::reference::{LinearIoSpace, NullDevice};
+use devil_hwsim::{IoBus, IoSpace, UnmappedPolicy};
 use proptest::prelude::*;
 
 const IDE: u16 = 0x1F0;
@@ -93,6 +94,60 @@ proptest! {
         let sect = [byte; SECTOR_SIZE];
         disk.write_sector(lba, &sect);
         prop_assert_eq!(disk.sector(lba), &sect[..]);
+    }
+
+    /// The O(1) routing table agrees with a reference linear-scan lookup
+    /// for arbitrary `map()` sequences: identical accept/reject decisions
+    /// (overlaps, empty windows, end-of-space wrap) and identical dispatch
+    /// for every probed port, under both unmapped policies.
+    #[test]
+    fn routing_table_matches_linear_reference(
+        windows in prop::collection::vec(
+            (
+                prop_oneof![0u16..96, 0xFFD0u16..0xFFFF, any::<u16>()],
+                0u16..48,
+            ),
+            0..24,
+        ),
+        probes in prop::collection::vec(any::<u16>(), 1..64),
+        strict in any::<bool>(),
+    ) {
+        let mut fast = IoSpace::new();
+        let mut slow = LinearIoSpace::new();
+        if strict {
+            fast.set_unmapped_policy(UnmappedPolicy::Fault);
+            slow.set_unmapped_policy(UnmappedPolicy::Fault);
+        }
+        for (base, len) in &windows {
+            let a = fast.map(*base, *len, Box::new(NullDevice::new()));
+            let b = slow.map(*base, *len, Box::new(NullDevice::new()));
+            prop_assert_eq!(a.is_ok(), b.is_ok(), "map({:#x}, {}) decisions differ", base, len);
+            if let (Err(ea), Err(eb)) = (a, b) {
+                prop_assert_eq!(ea, eb, "map({:#x}, {}) error kinds differ", base, len);
+            }
+        }
+        for &port in &probes {
+            // NullDevice echoes the window-relative offset, so agreement
+            // here proves both the routing decision and the base/offset
+            // arithmetic match.
+            prop_assert_eq!(fast.outb(port, port as u8), slow.outb(port, port as u8));
+            prop_assert_eq!(fast.inb(port), slow.inb(port), "port {:#x}", port);
+            prop_assert_eq!(fast.inw(port), slow.inw(port), "port {:#x}", port);
+        }
+    }
+
+    /// Probing windows right at the end of the port space: the table must
+    /// accept `[0xFFFF, 1]`, reject any wrap, and route the last port.
+    #[test]
+    fn routing_table_end_of_space(len in 1u16..4) {
+        let mut fast = IoSpace::new();
+        let mut slow = LinearIoSpace::new();
+        let base = 0xFFFFu16.saturating_sub(len - 1);
+        fast.map(base, len, Box::new(NullDevice::new())).unwrap();
+        slow.map(base, len, Box::new(NullDevice::new())).unwrap();
+        prop_assert!(fast.map(0xFFFF, 2, Box::new(NullDevice::new())).is_err());
+        prop_assert_eq!(fast.inb(0xFFFF).unwrap(), slow.inb(0xFFFF).unwrap());
+        prop_assert_eq!(fast.inb(0xFFFF).unwrap(), (len - 1) as u8);
     }
 
     /// The bus clock advances exactly once per access, for any access mix.

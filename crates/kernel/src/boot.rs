@@ -249,7 +249,9 @@ pub fn boot_ide(
     let console = std::mem::take(&mut host.console);
     drop(host);
 
-    // 5. Ground truth.
+    // 5. Ground truth. Deliver pending lazy ticks first so timer-driven
+    // device state is current when inspected outside an access sequence.
+    io.sync();
     let report = io
         .device::<IdeController>(ide)
         .map(|c| fs::fsck(c.disk(), files));

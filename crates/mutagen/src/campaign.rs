@@ -5,68 +5,114 @@
 //! boots a kernel with it. [`sample`] reproduces the seeded random
 //! selection; [`run_parallel`] fans the classification function out over
 //! worker threads, since every mutant run is independent.
+//!
+//! Both functions are dependency-free: sampling uses a splitmix64-seeded
+//! Fisher–Yates shuffle, and the worker pool is built on
+//! [`std::thread::scope`]. Workers pull indices from a shared atomic
+//! counter and push `(index, outcome)` pairs into a thread-local buffer,
+//! so the site list is never cloned or re-sorted per worker and there is
+//! no per-item lock on the hot path.
 
 use crate::site::Mutant;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+
+/// Minimal deterministic RNG (splitmix64) for reproducible sampling.
+#[derive(Debug, Clone)]
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
 
 /// Deterministically sample `fraction` (0..=1) of `mutants` with `seed`.
 ///
 /// The selection is stable for a given `(mutants, fraction, seed)` triple,
-/// so experiments are reproducible run to run.
+/// so experiments are reproducible run to run. The surviving mutants keep
+/// their original relative order.
 pub fn sample(mutants: Vec<Mutant>, fraction: f64, seed: u64) -> Vec<Mutant> {
     let fraction = fraction.clamp(0.0, 1.0);
     let keep = ((mutants.len() as f64) * fraction).round() as usize;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix(seed ^ 0xD5A6_1266_F0C9_16B5);
     let mut indices: Vec<usize> = (0..mutants.len()).collect();
-    indices.shuffle(&mut rng);
+    // Fisher–Yates shuffle, then keep the first `keep` positions.
+    for i in (1..indices.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        indices.swap(i, j);
+    }
     indices.truncate(keep);
     indices.sort_unstable();
-    let mut iter = mutants.into_iter();
-    let mut out = Vec::with_capacity(keep);
-    let mut next = 0usize;
-    for want in indices {
-        for skipped in iter.by_ref() {
-            if next == want {
-                out.push(skipped);
-                next += 1;
-                break;
-            }
-            next += 1;
-        }
+    let mut keep_flags = vec![false; mutants.len()];
+    for i in indices {
+        keep_flags[i] = true;
     }
-    out
+    mutants
+        .into_iter()
+        .zip(keep_flags)
+        .filter_map(|(m, keep)| keep.then_some(m))
+        .collect()
+}
+
+/// Resolve a requested worker count: 0 means "use all available cores".
+pub fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
 }
 
 /// Classify every mutant in parallel, preserving order.
 ///
 /// `classify` must be pure per mutant (each call gets its own state); the
-/// outcome type is anything sendable.
+/// outcome type is anything sendable. Passing `threads == 0` uses the
+/// machine's available parallelism.
 pub fn run_parallel<O, F>(mutants: &[Mutant], threads: usize, classify: F) -> Vec<O>
 where
     O: Send,
     F: Fn(&Mutant) -> O + Sync,
 {
-    let threads = threads.max(1);
+    let threads = effective_threads(threads).min(mutants.len().max(1));
     if threads == 1 || mutants.len() < 2 {
         return mutants.iter().map(&classify).collect();
     }
-    let mut results: Vec<Option<O>> = (0..mutants.len()).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= mutants.len() {
-                    break;
-                }
-                let out = classify(&mutants[i]);
-                results_mutex.lock()[i] = Some(out);
-            });
+    let classify = &classify;
+    let mut per_worker: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= mutants.len() {
+                            break;
+                        }
+                        local.push((i, classify(&mutants[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    let mut results: Vec<Option<O>> = (0..mutants.len()).map(|_| None).collect();
+    for chunk in &mut per_worker {
+        for (i, out) in chunk.drain(..) {
+            results[i] = Some(out);
         }
-    })
-    .expect("campaign worker panicked");
+    }
     results
         .into_iter()
         .map(|o| o.expect("every index classified"))
@@ -131,6 +177,15 @@ mod tests {
         let serial = run_parallel(&ms, 1, |m| m.site * 2);
         let parallel = run_parallel(&ms, 8, |m| m.site * 2);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_threads_uses_available_parallelism() {
+        assert!(effective_threads(0) >= 1);
+        let ms = mutants(16);
+        let auto = run_parallel(&ms, 0, |m| m.site + 1);
+        let serial = run_parallel(&ms, 1, |m| m.site + 1);
+        assert_eq!(auto, serial);
     }
 
     #[test]
