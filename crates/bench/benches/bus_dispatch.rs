@@ -9,7 +9,7 @@
 //! the code. The stub fast-path comparison measured by the
 //! `stub_fastpath` bench is included in the same file.
 
-use criterion::{criterion_group, BenchResult, Criterion};
+use criterion::{criterion_group, Criterion};
 use devil_core::runtime::{DeviceInstance, StubMode};
 use devil_core::CheckedSpec;
 use devil_drivers::specs;
@@ -178,46 +178,30 @@ fn bench_stub_paths(c: &mut Criterion) {
     g.finish();
 }
 
-fn find(results: &[BenchResult], id: &str) -> f64 {
-    results
-        .iter()
-        .find(|r| r.id == id)
-        .map(|r| r.ns_per_iter)
-        .unwrap_or(f64::NAN)
-}
-
 fn emit_json(c: &mut Criterion) {
     if c.is_test_mode() {
         return;
     }
     let rs = c.results();
-    let table = find(rs, "bus_dispatch/table_o1");
-    let linear = find(rs, "bus_dispatch/linear_reference");
-    let legacy = find(rs, "stub_access/legacy_clone_path");
-    let string_keyed = find(rs, "stub_access/string_keyed");
-    let fast = find(rs, "stub_access/id_fast_path");
-    let mut entries = String::new();
-    for r in rs {
-        entries.push_str(&format!(
-            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters_per_sec\": {:.0}}},\n",
-            r.id,
-            r.ns_per_iter,
-            r.throughput()
-        ));
-    }
-    let entries = entries.trim_end_matches(",\n").to_string();
-    let json = format!(
-        "{{\n  \"bench\": \"bus_dispatch + stub_fastpath\",\n  \"workload\": {{\n    \"bus_dispatch\": \"16 mapped devices, 1 write + 1 read per window + 1 unmapped read per iter (33 accesses)\",\n    \"stub_access\": \"busmouse dx/dy/buttons state read through debug stubs (11 port accesses)\"\n  }},\n  \"results\": [\n{entries}\n  ],\n  \"speedup\": {{\n    \"bus_dispatch_table_vs_linear\": {:.2},\n    \"stub_fastpath_vs_legacy\": {:.2},\n    \"stub_string_keyed_vs_legacy\": {:.2}\n  }}\n}}\n",
+    let table = criterion::ns_per_iter(rs, "bus_dispatch/table_o1");
+    let linear = criterion::ns_per_iter(rs, "bus_dispatch/linear_reference");
+    let legacy = criterion::ns_per_iter(rs, "stub_access/legacy_clone_path");
+    let string_keyed = criterion::ns_per_iter(rs, "stub_access/string_keyed");
+    let fast = criterion::ns_per_iter(rs, "stub_access/id_fast_path");
+    let entries = criterion::results_json(rs);
+    let section = format!(
+        "{{\"workload\": {{\"bus_dispatch\": \"16 mapped devices, 1 write + 1 read per window + 1 unmapped read per iter (33 accesses)\", \"stub_access\": \"busmouse dx/dy/buttons state read through debug stubs (11 port accesses)\"}}, \"results\": {entries}, \"speedup\": {{\"bus_dispatch_table_vs_linear\": {:.2}, \"stub_fastpath_vs_legacy\": {:.2}, \"stub_string_keyed_vs_legacy\": {:.2}}}}}",
         linear / table,
         legacy / fast,
         legacy / string_keyed,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
-    if let Err(e) = std::fs::write(path, &json) {
-        eprintln!("could not write {path}: {e}");
-    } else {
-        println!("\nwrote {path}");
-        println!("{json}");
+    match criterion::update_json_section(path, "bus_dispatch", &section) {
+        Err(e) => eprintln!("could not update {path}: {e}"),
+        Ok(()) => {
+            println!("\nupdated `bus_dispatch` in {path}");
+            println!("{section}");
+        }
     }
 }
 

@@ -17,6 +17,88 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Merge one bench binary's results into a shared JSON results file.
+///
+/// Several bench binaries record into the same committed file (e.g.
+/// `BENCH_dispatch.json`), so a plain `fs::write` from one would clobber
+/// the others. The file uses a deliberately line-oriented layout — one
+/// top-level key per bench, its value a *single-line* JSON object:
+///
+/// ```json
+/// {
+///   "bus_dispatch": {"results": [...], "speedup": {...}},
+///   "campaign_reset": {"results": [...], "speedup": {...}}
+/// }
+/// ```
+///
+/// `update_json_section` rewrites only `key`'s line, preserving every
+/// other section (and creating the file when missing). `section` must be
+/// a single-line JSON object. Lines that do not look like
+/// `"name": { ... }` are ignored, so a corrupt file degrades to a fresh
+/// one instead of an error.
+pub fn update_json_section(
+    path: &str,
+    key: &str,
+    section: &str,
+) -> std::io::Result<()> {
+    assert!(
+        !section.contains('\n'),
+        "section for `{key}` must be single-line JSON"
+    );
+    let mut sections: Vec<(String, String)> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        for line in text.lines() {
+            let t = line.trim().trim_end_matches(',');
+            let Some(rest) = t.strip_prefix('"') else { continue };
+            let Some((name, value)) = rest.split_once("\": ") else { continue };
+            if value.starts_with('{') && value.ends_with('}') {
+                sections.push((name.to_string(), value.to_string()));
+            }
+        }
+    }
+    match sections.iter_mut().find(|(name, _)| name == key) {
+        Some((_, value)) => *value = section.to_string(),
+        None => sections.push((key.to_string(), section.to_string())),
+    }
+    let mut out = String::from("{\n");
+    for (i, (name, value)) in sections.iter().enumerate() {
+        let comma = if i + 1 < sections.len() { "," } else { "" };
+        out.push_str(&format!("  \"{name}\": {value}{comma}\n"));
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// Render measured results as the single-line JSON array every section of
+/// the shared results file uses — the companion of
+/// [`update_json_section`], so all bench binaries emit one shape.
+pub fn results_json(results: &[BenchResult]) -> String {
+    let mut entries = String::from("[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(", ");
+        }
+        entries.push_str(&format!(
+            "{{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters_per_sec\": {:.0}}}",
+            r.id,
+            r.ns_per_iter,
+            r.throughput()
+        ));
+    }
+    entries.push(']');
+    entries
+}
+
+/// Look up one result's mean ns/iter by `group/label` id, for speedup
+/// ratios in the emitted JSON. `NaN` when the id was never measured.
+pub fn ns_per_iter(results: &[BenchResult], id: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.id == id)
+        .map(|r| r.ns_per_iter)
+        .unwrap_or(f64::NAN)
+}
+
 /// How long each measurement aims to run.
 const MEASURE_WINDOW: Duration = Duration::from_millis(120);
 const WARMUP_WINDOW: Duration = Duration::from_millis(30);
@@ -266,5 +348,25 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("a", "b").0, "a/b");
         assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+
+    #[test]
+    fn json_sections_merge_without_clobbering() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion-sections-{}.json",
+            std::process::id()
+        ));
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        update_json_section(path, "alpha", r#"{"x": 1}"#).unwrap();
+        update_json_section(path, "beta", r#"{"y": 2}"#).unwrap();
+        // Rewriting one section must keep the other.
+        update_json_section(path, "alpha", r#"{"x": 3}"#).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(
+            text,
+            "{\n  \"alpha\": {\"x\": 3},\n  \"beta\": {\"y\": 2}\n}\n"
+        );
+        std::fs::remove_file(path).unwrap();
     }
 }

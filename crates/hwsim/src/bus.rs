@@ -9,6 +9,7 @@
 //! ISA behaviour (reads float to `0xFF`, writes vanish) or a strict mode that
 //! reports a [`BusFault`], useful in unit tests.
 
+use crate::snap::{RestoreError, Snapshot, StateReader, StateWriter};
 use std::any::Any;
 use std::fmt;
 
@@ -248,6 +249,32 @@ pub trait IoDevice: Any {
     /// the signature always carried a count.
     fn tick(&mut self, ticks: u64) {
         let _ = ticks;
+    }
+
+    /// Serialize every piece of *mutable* device state into `w`.
+    ///
+    /// Part of the snapshot/restore campaign machinery (see
+    /// [`crate::snap`]): [`IoSpace::snapshot`] concatenates each device's
+    /// payload, and [`IoSpace::restore`] hands the exact same bytes back to
+    /// [`IoDevice::load`]. Construction-time configuration (geometry, MAC
+    /// address, window wiring) need not be saved — a snapshot is only ever
+    /// restored into the machine it was captured from.
+    ///
+    /// The default saves nothing, which is correct **only** for a fully
+    /// stateless device. Every stateful model must override `save` and
+    /// `load` as an exact pair.
+    fn save(&self, w: &mut StateWriter<'_>) {
+        let _ = w;
+    }
+
+    /// Restore the state written by [`IoDevice::save`] on this device.
+    ///
+    /// Must consume exactly the bytes `save` wrote and leave the device
+    /// bit-identical to the saved one, without allocating on the success
+    /// path (dynamic logs may allocate when the saved content exceeds the
+    /// live capacity — see [`crate::snap`]). The default loads nothing.
+    fn load(&mut self, r: &mut StateReader<'_>) {
+        let _ = r;
     }
 
     /// Upcast for state inspection in tests and the boot harness.
@@ -519,6 +546,101 @@ impl IoSpace {
         }
     }
 
+    /// Capture the machine's complete mutable state.
+    ///
+    /// Saves the clock, the access counters, the per-device lazy-tick
+    /// bookkeeping, the trace recorded so far (when tracing is on) and
+    /// every device's [`IoDevice::save`] payload. Pending ticks are *not*
+    /// delivered first — the lazy-delivery positions are part of the state,
+    /// so a restored machine is bit-identical to one that replayed the
+    /// same access prefix from scratch.
+    ///
+    /// Campaigns call this once on the freshly built machine and then
+    /// [`IoSpace::restore`] per mutant; see [`crate::snap`] for the full
+    /// lifecycle.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut state = Vec::new();
+        let mut spans = Vec::with_capacity(self.devices.len() + 1);
+        spans.push(0);
+        for dev in &self.devices {
+            {
+                let mut w = StateWriter::new(&mut state);
+                dev.save(&mut w);
+            }
+            spans.push(state.len());
+        }
+        Snapshot {
+            policy: self.policy,
+            clock: self.clock,
+            reads: self.reads,
+            writes: self.writes,
+            last_sync: self.last_sync.clone(),
+            state,
+            spans,
+            trace: self.trace.clone(),
+        }
+    }
+
+    /// Rewind the machine to a previously captured [`Snapshot`].
+    ///
+    /// Restores counters, clock, unmapped policy, trace, lazy-tick
+    /// bookkeeping and every device's state. The O(1) routing table is
+    /// *reused*, not rebuilt — the mapped device set must be exactly the
+    /// one the snapshot was taken from. Allocation-free on success as long
+    /// as the snapshot's dynamic logs fit the live machine's capacity
+    /// (always true when the snapshot machine was freshly built).
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::DeviceSetChanged`] when the device count differs
+    /// (e.g. a device was mapped after the snapshot); the machine is left
+    /// untouched. [`RestoreError::StatePayloadMismatch`] when a device's
+    /// `load` does not consume exactly its saved payload, indicating an
+    /// inconsistent [`IoDevice::save`]/[`IoDevice::load`] pair; the rewind
+    /// still completes in full — per-device payloads are span-isolated, so
+    /// every other device, the counters and the trace are restored — but
+    /// the flagged device's own state is only as good as its broken codec.
+    /// This error means a device implementation bug, not a runtime
+    /// condition: fix the `save`/`load` pair rather than recovering.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), RestoreError> {
+        if snap.last_sync.len() != self.devices.len() {
+            return Err(RestoreError::DeviceSetChanged {
+                snapshot: snap.last_sync.len(),
+                machine: self.devices.len(),
+            });
+        }
+        self.policy = snap.policy;
+        self.clock = snap.clock;
+        self.reads = snap.reads;
+        self.writes = snap.writes;
+        self.last_sync.copy_from_slice(&snap.last_sync);
+        let mut mismatch = None;
+        for (idx, dev) in self.devices.iter_mut().enumerate() {
+            let payload = &snap.state[snap.spans[idx]..snap.spans[idx + 1]];
+            let mut r = StateReader::new(payload);
+            dev.load(&mut r);
+            if r.remaining() != 0 && mismatch.is_none() {
+                mismatch = Some(RestoreError::StatePayloadMismatch {
+                    device: idx,
+                    unread: r.remaining(),
+                });
+            }
+        }
+        match (&mut self.trace, &snap.trace) {
+            (Some(live), Some(saved)) => {
+                live.clear();
+                live.extend_from_slice(saved);
+            }
+            (live @ Some(_), None) => *live = None,
+            (live @ None, Some(saved)) => *live = Some(saved.clone()),
+            (None, None) => {}
+        }
+        match mismatch {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
     /// Deliver device `idx`'s pending ticks.
     #[inline]
     fn touch(&mut self, idx: usize) {
@@ -667,6 +789,14 @@ impl IoDevice for ScratchRegisters {
         Ok(())
     }
 
+    fn save(&self, w: &mut StateWriter<'_>) {
+        w.bytes(&self.bytes);
+    }
+
+    fn load(&mut self, r: &mut StateReader<'_>) {
+        r.fill(&mut self.bytes);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -797,6 +927,117 @@ mod tests {
             BusFault::Device { port, .. } => assert_eq!(port, 0x13),
             other => panic!("expected device fault, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_counters_and_state() {
+        let mut io = IoSpace::new();
+        io.map(0x100, 4, Box::new(ScratchRegisters::new(4))).unwrap();
+        io.enable_trace();
+        io.outb(0x100, 0x11).unwrap();
+        let snap = io.snapshot();
+        assert_eq!(snap.device_count(), 1);
+        assert_eq!(snap.clock(), 1);
+        // Diverge: more writes, more trace, more clock.
+        io.outb(0x101, 0x22).unwrap();
+        io.inb(0x101).unwrap();
+        io.restore(&snap).unwrap();
+        assert_eq!(io.clock(), 1);
+        assert_eq!(io.read_count(), 0);
+        assert_eq!(io.write_count(), 1);
+        assert_eq!(io.inb(0x101).unwrap(), 0, "scratch byte rewound");
+        assert_eq!(io.inb(0x100).unwrap(), 0x11, "pre-snapshot byte kept");
+        // The trace was rewound too: snapshot held 1 access, plus the two
+        // probe reads above.
+        assert_eq!(io.take_trace().len(), 3);
+    }
+
+    #[test]
+    fn restore_is_repeatable() {
+        let mut io = IoSpace::new();
+        io.map(0x10, 2, Box::new(ScratchRegisters::new(2))).unwrap();
+        let snap = io.snapshot();
+        for round in 0..3u8 {
+            io.outb(0x10, round.wrapping_add(7)).unwrap();
+            io.restore(&snap).unwrap();
+            assert_eq!(io.inb(0x10).unwrap(), 0);
+            io.restore(&snap).unwrap();
+        }
+        assert_eq!(io.snapshot(), snap, "machine is bit-identical again");
+    }
+
+    #[test]
+    fn restore_rejects_changed_device_set() {
+        let mut io = IoSpace::new();
+        io.map(0x10, 2, Box::new(ScratchRegisters::new(2))).unwrap();
+        let snap = io.snapshot();
+        io.map(0x20, 2, Box::new(ScratchRegisters::new(2))).unwrap();
+        assert_eq!(
+            io.restore(&snap).unwrap_err(),
+            crate::snap::RestoreError::DeviceSetChanged { snapshot: 1, machine: 2 }
+        );
+    }
+
+    /// A device whose `save`/`load` pair is deliberately inconsistent:
+    /// `save` writes two bytes, `load` consumes one.
+    struct BrokenCodec(u8);
+
+    impl IoDevice for BrokenCodec {
+        fn name(&self) -> &str {
+            "broken"
+        }
+        fn read(&mut self, _offset: u16, _size: AccessSize) -> Result<u32, DeviceFault> {
+            Ok(self.0 as u32)
+        }
+        fn write(&mut self, _offset: u16, _size: AccessSize, value: u32) -> Result<(), DeviceFault> {
+            self.0 = value as u8;
+            Ok(())
+        }
+        fn save(&self, w: &mut StateWriter<'_>) {
+            w.u8(self.0);
+            w.u8(0xEE);
+        }
+        fn load(&mut self, r: &mut StateReader<'_>) {
+            self.0 = r.u8();
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn restore_completes_the_rewind_despite_a_codec_mismatch() {
+        let mut io = IoSpace::new();
+        io.map(0x10, 1, Box::new(BrokenCodec(0x41))).unwrap();
+        io.map(0x20, 1, Box::new(ScratchRegisters::new(1))).unwrap();
+        io.outb(0x20, 0x11).unwrap();
+        let snap = io.snapshot();
+        io.outb(0x10, 0x42).unwrap();
+        io.outb(0x20, 0x22).unwrap();
+        assert_eq!(
+            io.restore(&snap).unwrap_err(),
+            crate::snap::RestoreError::StatePayloadMismatch { device: 0, unread: 1 }
+        );
+        // The error flags the broken pair, but the rewind still completed:
+        // the healthy device and the counters match the snapshot.
+        assert_eq!(io.clock(), snap.clock());
+        assert_eq!(io.inb(0x20).unwrap(), 0x11, "healthy device rewound");
+        assert_eq!(io.inb(0x10).unwrap(), 0x41, "broken device loaded what its codec read");
+    }
+
+    #[test]
+    fn restore_turns_tracing_back_off() {
+        let mut io = IoSpace::new();
+        io.map(0x10, 1, Box::new(ScratchRegisters::new(1))).unwrap();
+        let snap = io.snapshot(); // tracing off at capture
+        io.enable_trace();
+        io.outb(0x10, 1).unwrap();
+        io.restore(&snap).unwrap();
+        io.outb(0x10, 2).unwrap();
+        assert!(io.take_trace().is_empty(), "tracing state follows the snapshot");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! discards the latch.
 
 use crate::bus::{AccessSize, DeviceFault, IoDevice};
+use crate::snap::{StateReader, StateWriter};
 use std::any::Any;
 
 /// Behavioural Logitech busmouse (see module docs for the register map).
@@ -167,6 +168,42 @@ impl IoDevice for Busmouse {
             }
             _ => Err(DeviceFault::OutOfWindow { offset }),
         }
+    }
+
+    fn save(&self, w: &mut StateWriter<'_>) {
+        w.u8(self.signature);
+        w.u8(self.index);
+        w.bool(self.interrupts_disabled);
+        w.u8(self.config);
+        w.u8(self.dx as u8);
+        w.u8(self.dy as u8);
+        w.u8(self.buttons);
+        match self.held {
+            Some((dx, dy, buttons)) => {
+                w.bool(true);
+                w.u8(dx as u8);
+                w.u8(dy as u8);
+                w.u8(buttons);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.reads);
+    }
+
+    fn load(&mut self, r: &mut StateReader<'_>) {
+        self.signature = r.u8();
+        self.index = r.u8();
+        self.interrupts_disabled = r.bool();
+        self.config = r.u8();
+        self.dx = r.u8() as i8;
+        self.dy = r.u8() as i8;
+        self.buttons = r.u8();
+        self.held = if r.bool() {
+            Some((r.u8() as i8, r.u8() as i8, r.u8()))
+        } else {
+            None
+        };
+        self.reads = r.u64();
     }
 
     fn as_any(&self) -> &dyn Any {

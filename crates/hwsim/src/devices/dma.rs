@@ -19,6 +19,7 @@
 //! the status register — enough for the DMA setup sequences drivers perform.
 
 use crate::bus::{AccessSize, DeviceFault, IoDevice};
+use crate::snap::{StateReader, StateWriter};
 use std::any::Any;
 
 /// 8237 DMA controller model.
@@ -172,6 +173,34 @@ impl IoDevice for Dma8237 {
             _ => {}
         }
         Ok(())
+    }
+
+    fn save(&self, w: &mut StateWriter<'_>) {
+        for ch in 0..4 {
+            w.u16(self.address[ch]);
+            w.u16(self.count[ch]);
+            w.u8(self.mode[ch]);
+        }
+        w.u8(self.mask);
+        w.u8(self.status);
+        w.u8(self.command);
+        w.u8(self.request);
+        w.bool(self.flipflop);
+        w.u8(self.temp);
+    }
+
+    fn load(&mut self, r: &mut StateReader<'_>) {
+        for ch in 0..4 {
+            self.address[ch] = r.u16();
+            self.count[ch] = r.u16();
+            self.mode[ch] = r.u8();
+        }
+        self.mask = r.u8();
+        self.status = r.u8();
+        self.command = r.u8();
+        self.request = r.u8();
+        self.flipflop = r.bool();
+        self.temp = r.u8();
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -34,6 +34,7 @@
 //! forever — the "infinite loop" outcome class of the paper.
 
 use crate::bus::{AccessSize, DeviceFault, IoDevice};
+use crate::snap::{StateReader, StateWriter};
 use std::any::Any;
 
 /// Bytes per ATA sector.
@@ -142,12 +143,58 @@ enum Phase {
     DataOut, // host -> device (write)
 }
 
+impl Phase {
+    /// Three-byte wire encoding for snapshots: discriminant + pending-op
+    /// code + pending-op payload (zero except `Busy { Fail(bits) }`).
+    fn encode(self) -> [u8; 3] {
+        match self {
+            Phase::Idle => [0, 0, 0],
+            Phase::Busy { then } => {
+                let [code, payload] = then.encode();
+                [1, code, payload]
+            }
+            Phase::DataIn => [2, 0, 0],
+            Phase::DataOut => [3, 0, 0],
+        }
+    }
+
+    fn decode(bytes: [u8; 3]) -> Self {
+        match bytes[0] {
+            0 => Phase::Idle,
+            1 => Phase::Busy { then: PendingOp::decode([bytes[1], bytes[2]]) },
+            2 => Phase::DataIn,
+            _ => Phase::DataOut,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PendingOp {
     StartDataIn,
     StartDataOut,
     Complete,
     Fail(u8),
+}
+
+impl PendingOp {
+    /// Two-byte wire encoding: code + payload (the `Fail` error bits).
+    fn encode(self) -> [u8; 2] {
+        match self {
+            PendingOp::StartDataIn => [0, 0],
+            PendingOp::StartDataOut => [1, 0],
+            PendingOp::Complete => [2, 0],
+            PendingOp::Fail(bits) => [3, bits],
+        }
+    }
+
+    fn decode(bytes: [u8; 2]) -> Self {
+        match bytes[0] {
+            0 => PendingOp::StartDataIn,
+            1 => PendingOp::StartDataOut,
+            2 => PendingOp::Complete,
+            _ => PendingOp::Fail(bytes[1]),
+        }
+    }
 }
 
 /// One IDE channel with a master drive (and, optionally, nothing on the
@@ -533,6 +580,50 @@ impl IoDevice for IdeController {
                 self.busy_left -= ticks;
             }
         }
+    }
+
+    fn save(&self, w: &mut StateWriter<'_>) {
+        w.u8(self.feature);
+        w.u8(self.sector_count);
+        w.u8(self.sector_number);
+        w.u8(self.cyl_low);
+        w.u8(self.cyl_high);
+        w.u8(self.drive_head);
+        w.u8(self.status);
+        w.u8(self.error);
+        w.u8(self.control);
+        w.bytes(&self.phase.encode());
+        w.u64(self.busy_left);
+        w.bytes(&self.buffer);
+        w.u64(self.buf_pos as u64);
+        w.u32(self.sectors_left);
+        w.u32(self.current_lba);
+        w.len_bytes(&self.commands);
+        // The platter: geometry is construction-time, only the content and
+        // the wire-write log are mutable.
+        w.bytes(&self.disk.data);
+        w.len_u32s(&self.disk.writes);
+    }
+
+    fn load(&mut self, r: &mut StateReader<'_>) {
+        self.feature = r.u8();
+        self.sector_count = r.u8();
+        self.sector_number = r.u8();
+        self.cyl_low = r.u8();
+        self.cyl_high = r.u8();
+        self.drive_head = r.u8();
+        self.status = r.u8();
+        self.error = r.u8();
+        self.control = r.u8();
+        self.phase = Phase::decode([r.u8(), r.u8(), r.u8()]);
+        self.busy_left = r.u64();
+        r.fill(&mut self.buffer);
+        self.buf_pos = r.u64() as usize;
+        self.sectors_left = r.u32();
+        self.current_lba = r.u32();
+        r.fill_len_bytes(&mut self.commands);
+        r.fill(&mut self.disk.data);
+        r.fill_len_u32s(&mut self.disk.writes);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -16,6 +16,7 @@
 //! `0x0000..0x0020`, which is what the Linux probe routine reads.
 
 use crate::bus::{AccessSize, DeviceFault, IoDevice};
+use crate::snap::{StateReader, StateWriter};
 use std::any::Any;
 
 const RAM_START: usize = 0x4000;
@@ -288,6 +289,64 @@ impl IoDevice for Ne2000 {
             _ => {}
         }
         Ok(())
+    }
+
+    fn save(&self, w: &mut StateWriter<'_>) {
+        w.u8(self.cr);
+        w.u8(self.isr);
+        w.u8(self.imr);
+        w.u8(self.dcr);
+        w.u8(self.rcr);
+        w.u8(self.tcr);
+        w.u8(self.pstart);
+        w.u8(self.pstop);
+        w.u8(self.bnry);
+        w.u8(self.curr);
+        w.u8(self.tpsr);
+        w.u16(self.tbcr);
+        w.u16(self.rsar);
+        w.u16(self.rbcr);
+        w.bytes(&self.par);
+        w.bytes(&self.ram);
+        w.u64(self.tx_log.len() as u64);
+        for frame in &self.tx_log {
+            w.len_bytes(frame);
+        }
+        w.bool(self.stopped);
+        // mac and prom are construction-time constants: not saved.
+    }
+
+    fn load(&mut self, r: &mut StateReader<'_>) {
+        self.cr = r.u8();
+        self.isr = r.u8();
+        self.imr = r.u8();
+        self.dcr = r.u8();
+        self.rcr = r.u8();
+        self.tcr = r.u8();
+        self.pstart = r.u8();
+        self.pstop = r.u8();
+        self.bnry = r.u8();
+        self.curr = r.u8();
+        self.tpsr = r.u8();
+        self.tbcr = r.u16();
+        self.rsar = r.u16();
+        self.rbcr = r.u16();
+        r.fill(&mut self.par);
+        r.fill(&mut self.ram);
+        let frames = r.u64() as usize;
+        self.tx_log.truncate(frames);
+        for i in 0..frames {
+            let len = r.u64() as usize;
+            let bytes = r.bytes(len);
+            match self.tx_log.get_mut(i) {
+                Some(slot) => {
+                    slot.clear();
+                    slot.extend_from_slice(bytes);
+                }
+                None => self.tx_log.push(bytes.to_vec()),
+            }
+        }
+        self.stopped = r.bool();
     }
 
     fn as_any(&self) -> &dyn Any {

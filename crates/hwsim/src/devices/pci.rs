@@ -11,6 +11,7 @@
 //!   registers that the paper's 27-line PCI Devil specification describes.
 
 use crate::bus::{AccessSize, DeviceFault, IoDevice};
+use crate::snap::{StateReader, StateWriter};
 use std::any::Any;
 
 /// A single PCI function's 256-byte configuration header.
@@ -152,6 +153,22 @@ impl IoDevice for PciConfigSpace {
         }
     }
 
+    fn save(&self, w: &mut StateWriter<'_>) {
+        w.u32(self.address);
+        // The function set is construction-time topology; only each
+        // function's configuration header is mutable.
+        for f in &self.functions {
+            w.bytes(&f.config);
+        }
+    }
+
+    fn load(&mut self, r: &mut StateReader<'_>) {
+        self.address = r.u32();
+        for f in &mut self.functions {
+            r.fill(&mut f.config);
+        }
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -280,6 +297,24 @@ impl IoDevice for BusMasterIde {
                     c.active_left -= ticks;
                 }
             }
+        }
+    }
+
+    fn save(&self, w: &mut StateWriter<'_>) {
+        for c in &self.channels {
+            w.u8(c.command);
+            w.u8(c.status);
+            w.u32(c.dtp);
+            w.u64(c.active_left);
+        }
+    }
+
+    fn load(&mut self, r: &mut StateReader<'_>) {
+        for c in &mut self.channels {
+            c.command = r.u8();
+            c.status = r.u8();
+            c.dtp = r.u32();
+            c.active_left = r.u64();
         }
     }
 

@@ -30,6 +30,7 @@
 //! lost-command lockups graphics drivers are notorious for.
 
 use crate::bus::{AccessSize, DeviceFault, IoDevice};
+use crate::snap::{StateReader, StateWriter};
 use std::any::Any;
 use std::collections::VecDeque;
 
@@ -216,6 +217,52 @@ impl IoDevice for Permedia2 {
                 self.execute(word);
             }
         }
+    }
+
+    fn save(&self, w: &mut StateWriter<'_>) {
+        w.u64(self.in_fifo.len() as u64);
+        for word in &self.in_fifo {
+            w.u32(*word);
+        }
+        w.u64(self.out_fifo.len() as u64);
+        for word in &self.out_fifo {
+            w.u32(*word);
+        }
+        w.u64(self.resetting);
+        w.bool(self.overrun);
+        w.u32(self.fb_window_base);
+        w.u32(self.fb_write_mode);
+        w.u32(self.fb_pitch);
+        w.u32(self.fb_read_mode);
+        w.u32(self.fifo_discon);
+        w.u32(self.video_control);
+        w.u32s(&self.framebuffer);
+        w.len_u32s(&self.pending);
+        w.u64(self.drain_phase);
+    }
+
+    fn load(&mut self, r: &mut StateReader<'_>) {
+        let n = r.u64() as usize;
+        self.in_fifo.clear();
+        for _ in 0..n {
+            self.in_fifo.push_back(r.u32());
+        }
+        let n = r.u64() as usize;
+        self.out_fifo.clear();
+        for _ in 0..n {
+            self.out_fifo.push_back(r.u32());
+        }
+        self.resetting = r.u64();
+        self.overrun = r.bool();
+        self.fb_window_base = r.u32();
+        self.fb_write_mode = r.u32();
+        self.fb_pitch = r.u32();
+        self.fb_read_mode = r.u32();
+        self.fifo_discon = r.u32();
+        self.video_control = r.u32();
+        r.fill_u32s(&mut self.framebuffer);
+        r.fill_len_u32s(&mut self.pending);
+        self.drain_phase = r.u64();
     }
 
     fn as_any(&self) -> &dyn Any {

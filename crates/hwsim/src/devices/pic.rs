@@ -10,6 +10,7 @@
 //! fetched with [`Pic8259::ack`] (the INTA cycle).
 
 use crate::bus::{AccessSize, DeviceFault, IoDevice};
+use crate::snap::{StateReader, StateWriter};
 use std::any::Any;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +179,38 @@ impl IoDevice for Pic8259 {
             }
             _ => Err(DeviceFault::OutOfWindow { offset }),
         }
+    }
+
+    fn save(&self, w: &mut StateWriter<'_>) {
+        w.u8(self.imr);
+        w.u8(self.irr);
+        w.u8(self.isr);
+        w.u8(self.vector_base);
+        w.u8(match self.init {
+            InitState::Ready => 0,
+            InitState::ExpectIcw2 => 1,
+            InitState::ExpectIcw3 => 2,
+            InitState::ExpectIcw4 => 3,
+        });
+        w.bool(self.cascade_expected);
+        w.bool(self.icw4_expected);
+        w.bool(self.read_isr);
+    }
+
+    fn load(&mut self, r: &mut StateReader<'_>) {
+        self.imr = r.u8();
+        self.irr = r.u8();
+        self.isr = r.u8();
+        self.vector_base = r.u8();
+        self.init = match r.u8() {
+            0 => InitState::Ready,
+            1 => InitState::ExpectIcw2,
+            2 => InitState::ExpectIcw3,
+            _ => InitState::ExpectIcw4,
+        };
+        self.cascade_expected = r.bool();
+        self.icw4_expected = r.bool();
+        self.read_isr = r.bool();
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -20,6 +20,17 @@
 //! ```
 //!
 //! Device models live in [`devices`]; the bus fabric in [`bus`].
+//!
+//! # Campaign snapshots
+//!
+//! Mutation campaigns evaluate thousands of driver variants against the
+//! same machine. Instead of rebuilding the [`IoSpace`] per variant, build
+//! it once, capture a [`Snapshot`] with [`IoSpace::snapshot`], and rewind
+//! with [`IoSpace::restore`] before each run — a memcpy-sized,
+//! allocation-free reset that reuses the O(1) routing table. The
+//! [`snap`] module documents the lifecycle and the
+//! [`IoDevice::save`]/[`IoDevice::load`] contract device models must
+//! implement to participate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,8 +38,10 @@
 pub mod bus;
 pub mod devices;
 pub mod reference;
+pub mod snap;
 
 pub use bus::{
-    Access, AccessKind, AccessSize, BusFault, DeviceFault, DeviceId, IoBus, IoSpace, MapError,
-    UnmappedPolicy,
+    Access, AccessKind, AccessSize, BusFault, DeviceFault, DeviceId, IoBus, IoDevice, IoSpace,
+    MapError, UnmappedPolicy,
 };
+pub use snap::{RestoreError, Snapshot, StateReader, StateWriter};

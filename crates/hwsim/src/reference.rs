@@ -175,6 +175,14 @@ impl IoDevice for NullDevice {
         Ok(())
     }
 
+    fn save(&self, w: &mut crate::snap::StateWriter<'_>) {
+        w.u32(self.last);
+    }
+
+    fn load(&mut self, r: &mut crate::snap::StateReader<'_>) {
+        self.last = r.u32();
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

@@ -1,0 +1,281 @@
+//! Machine snapshots: capture an [`IoSpace`](crate::IoSpace) once, restore
+//! it thousands of times.
+//!
+//! # Why
+//!
+//! The paper's mutation campaigns evaluate thousands of driver variants
+//! against the *same* simulated machine. Rebuilding the machine per mutant
+//! pays the 64 K routing-table construction, every device allocation and
+//! the filesystem `mkfs` again and again; a [`Snapshot`] amortises all of
+//! that to one memcpy-sized `restore` per mutant.
+//!
+//! # Lifecycle
+//!
+//! 1. Build the machine: map every device, run host-side setup (`mkfs`,
+//!    motion injection, ...).
+//! 2. Capture the pristine state once with
+//!    [`IoSpace::snapshot`](crate::IoSpace::snapshot).
+//! 3. Per mutant: [`IoSpace::restore`](crate::IoSpace::restore), run the
+//!    mutant, classify. Restore rewinds the clock, the access counters,
+//!    the trace, the pending lazy-tick bookkeeping and every device's
+//!    internal state; the routing table is *reused*, never rebuilt —
+//!    the device set must therefore be unchanged, which
+//!    [`RestoreError::DeviceSetChanged`] enforces.
+//!
+//! Restoring is allocation-free on the success path as long as every
+//! dynamic log captured by the snapshot (trace, IDE write log, NE2000
+//! transmit log, ...) fits the capacity the live machine already has —
+//! trivially true for the campaign pattern above, where the snapshot is
+//! taken on a freshly built machine with empty logs.
+//!
+//! # What a device must implement
+//!
+//! Every [`IoDevice`](crate::IoDevice) with *mutable* state must override
+//! [`save`](crate::IoDevice::save) and [`load`](crate::IoDevice::load) as
+//! an exact pair: `load` must consume precisely the bytes `save` wrote and
+//! leave the device bit-identical to the saved one. Construction-time
+//! configuration (geometry, MAC address, port wiring) need not be saved —
+//! restore always targets the machine the snapshot came from. The default
+//! implementations save and load nothing, which is only correct for a
+//! completely stateless device; forgetting the override makes restores
+//! silently keep stale state, and the snapshot equivalence property test
+//! exists to catch exactly that.
+
+use crate::bus::UnmappedPolicy;
+
+/// Append-only encoder handed to [`IoDevice::save`](crate::IoDevice::save).
+///
+/// All integers are encoded little-endian. The writer may grow its buffer
+/// (snapshots are taken once); the matching [`StateReader`] never
+/// allocates.
+#[derive(Debug)]
+pub struct StateWriter<'a> {
+    buf: &'a mut Vec<u8>,
+}
+
+impl<'a> StateWriter<'a> {
+    /// Wrap a byte buffer.
+    pub fn new(buf: &'a mut Vec<u8>) -> Self {
+        StateWriter { buf }
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Append a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes (no length prefix — the reader must know the size).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a `u64` length prefix followed by the bytes.
+    pub fn len_bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.bytes(v);
+    }
+
+    /// Append a slice of u32s (no length prefix).
+    pub fn u32s(&mut self, v: &[u32]) {
+        for w in v {
+            self.u32(*w);
+        }
+    }
+
+    /// Append a `u64` length prefix followed by the u32s.
+    pub fn len_u32s(&mut self, v: &[u32]) {
+        self.u64(v.len() as u64);
+        self.u32s(v);
+    }
+}
+
+/// Cursor over a device's saved payload, handed to
+/// [`IoDevice::load`](crate::IoDevice::load).
+///
+/// Every accessor is allocation-free; reading past the end of the payload
+/// panics, because it means `save` and `load` disagree — a device bug, not
+/// a runtime condition.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> StateReader<'a> {
+    /// Wrap a saved payload.
+    pub fn new(rest: &'a [u8]) -> Self {
+        StateReader { rest }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        head
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Read a bool.
+    pub fn bool(&mut self) -> bool {
+        self.u8() != 0
+    }
+
+    /// Read a little-endian u16.
+    pub fn u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().expect("two bytes"))
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("four bytes"))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("eight bytes"))
+    }
+
+    /// Borrow `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> &'a [u8] {
+        self.take(n)
+    }
+
+    /// Copy exactly `out.len()` bytes into `out`.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        let n = out.len();
+        out.copy_from_slice(self.take(n));
+    }
+
+    /// Copy exactly `out.len()` u32s into `out`.
+    pub fn fill_u32s(&mut self, out: &mut [u32]) {
+        for w in out {
+            *w = self.u32();
+        }
+    }
+
+    /// Replace `out`'s contents with a `u64`-length-prefixed byte run.
+    /// Allocates only when `out`'s capacity is insufficient.
+    pub fn fill_len_bytes(&mut self, out: &mut Vec<u8>) {
+        let n = self.u64() as usize;
+        out.clear();
+        out.extend_from_slice(self.take(n));
+    }
+
+    /// Replace `out`'s contents with a `u64`-length-prefixed u32 run.
+    /// Allocates only when `out`'s capacity is insufficient.
+    pub fn fill_len_u32s(&mut self, out: &mut Vec<u32>) {
+        let n = self.u64() as usize;
+        out.clear();
+        for _ in 0..n {
+            out.push(self.u32());
+        }
+    }
+}
+
+/// Saved state of one [`IoSpace`](crate::IoSpace): bus counters, clock,
+/// lazy-tick bookkeeping, trace, and every device's serialized state.
+///
+/// Produced by [`IoSpace::snapshot`](crate::IoSpace::snapshot), consumed
+/// (any number of times) by [`IoSpace::restore`](crate::IoSpace::restore).
+/// See the [module docs](self) for the campaign lifecycle. Two snapshots
+/// compare equal exactly when they capture bit-identical machines, which
+/// is what the equivalence property tests assert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    pub(crate) policy: UnmappedPolicy,
+    pub(crate) clock: u64,
+    pub(crate) reads: u64,
+    pub(crate) writes: u64,
+    pub(crate) last_sync: Vec<u64>,
+    /// Concatenated per-device `save` payloads.
+    pub(crate) state: Vec<u8>,
+    /// `state[spans[i] .. spans[i + 1]]` is device `i`'s payload.
+    pub(crate) spans: Vec<usize>,
+    /// Recorded accesses at snapshot time; `None` when tracing was off.
+    pub(crate) trace: Option<Vec<crate::bus::Access>>,
+}
+
+impl Snapshot {
+    /// Number of devices captured.
+    pub fn device_count(&self) -> usize {
+        self.last_sync.len()
+    }
+
+    /// Bus clock at capture time.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Total serialized device-state size in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.state.len()
+    }
+}
+
+/// Error restoring a [`Snapshot`] into an [`IoSpace`](crate::IoSpace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The machine's device set differs from the snapshot's — devices were
+    /// mapped after the snapshot was taken, or the snapshot belongs to a
+    /// different machine. The routing table is reused by `restore`, so the
+    /// device set must be identical.
+    DeviceSetChanged {
+        /// Devices captured in the snapshot.
+        snapshot: usize,
+        /// Devices mapped in the machine being restored.
+        machine: usize,
+    },
+    /// Device `device` did not consume its payload exactly: its
+    /// `save`/`load` pair is inconsistent, or the snapshot came from a
+    /// machine with a different device at this slot.
+    StatePayloadMismatch {
+        /// Index of the offending device (mapping order).
+        device: usize,
+        /// Bytes left unread after `load` returned.
+        unread: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::DeviceSetChanged { snapshot, machine } => write!(
+                f,
+                "snapshot captured {snapshot} devices but the machine has {machine}"
+            ),
+            RestoreError::StatePayloadMismatch { device, unread } => write!(
+                f,
+                "device #{device} left {unread} bytes of its snapshot payload unread"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}

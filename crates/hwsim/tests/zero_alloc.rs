@@ -117,4 +117,35 @@ fn hot_path_is_allocation_free() {
         }
     });
     assert_eq!(allocs, 0, "device fault path allocated {allocs} times");
+
+    // The campaign reset loop: snapshot once, then every
+    // burst-of-accesses → restore round must be allocation-free — this is
+    // what makes per-mutant machine reset cheaper than reconstruction.
+    let snap = io.snapshot();
+    // Warm one round up: the first burst may grow dynamic logs (the IDE
+    // command log) to their steady-state capacity.
+    io.outb(0x1F7, 0xEC).unwrap();
+    io.inb(0x1F7).unwrap();
+    io.restore(&snap).unwrap();
+    let (allocs, checksum) = allocations_during(|| {
+        let mut acc = 0u32;
+        for round in 0..1_000u32 {
+            // Dirty the machine: scratch bytes, an IDE command (pushes
+            // onto the command log), a mouse latch, an unmapped float.
+            io.outb(0x100 + (round % 14) as u16, round as u8).unwrap();
+            io.outb(0x1F7, 0xEC).unwrap();
+            acc ^= io.inb(0x1F7).unwrap() as u32;
+            io.outb(0x23E, 0x80).unwrap();
+            acc ^= io.inb(0x23C).unwrap() as u32;
+            acc ^= io.inb(0x9000).unwrap() as u32;
+            // Rewind to pristine.
+            io.restore(&snap).unwrap();
+        }
+        acc
+    });
+    assert_eq!(
+        allocs, 0,
+        "snapshot restore allocated {allocs} times over 1000 reset rounds (checksum {checksum:#x})"
+    );
+    assert_eq!(io.snapshot(), snap, "machine ends bit-identical to the snapshot");
 }

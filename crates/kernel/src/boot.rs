@@ -26,6 +26,7 @@
 use crate::fs::{self, FsFile};
 use crate::kapi::MachineHost;
 use devil_hwsim::devices::{IdeController, IdeDisk};
+use devil_hwsim::snap::Snapshot;
 use devil_hwsim::{DeviceId, IoSpace};
 use devil_minic::interp::{Interpreter, RunError};
 use devil_minic::value::Value;
@@ -328,8 +329,35 @@ fn read_sector<H: devil_minic::interp::Host>(
     Ok(bytes)
 }
 
-/// Full mutant pipeline: compile, boot, and refine `Boot` into `DeadCode`
-/// via line coverage. `dead_site` is the `(file, line)` of the mutation.
+/// Refine a `Boot` outcome into `DeadCode` when the mutated line was never
+/// executed. `dead_site` is the 1-based line of the mutation in `file_name`.
+fn refine_dead_code(
+    program: &Program,
+    report: BootReport,
+    file_name: &str,
+    dead_site: Option<u32>,
+) -> (Outcome, String) {
+    if report.outcome == Outcome::Boot {
+        if let Some(line) = dead_site {
+            if let Some(fid) = program.unit.file_id(file_name) {
+                let packed = devil_minic::token::pack_line(fid, line);
+                if !report.coverage.contains(&packed) {
+                    return (Outcome::DeadCode, "mutated line never executed".into());
+                }
+            }
+        }
+    }
+    (report.outcome, report.detail)
+}
+
+/// Full mutant pipeline, rebuild-per-mutant flavour: compile, build a
+/// fresh machine, boot, and refine `Boot` into `DeadCode` via line
+/// coverage. `dead_site` is the line of the mutation.
+///
+/// Campaigns evaluating many mutants should use [`CampaignMachine`], which
+/// builds the machine once and snapshot-restores it per mutant; this
+/// function remains as the one-shot path (and as the reference the
+/// differential campaign test compares the reset engine against).
 pub fn run_mutant(
     file_name: &str,
     source: &str,
@@ -344,17 +372,71 @@ pub fn run_mutant(
     };
     let (mut io, ide) = standard_ide_machine(files);
     let report = boot_ide(&program, &mut io, ide, files, fuel);
-    if report.outcome == Outcome::Boot {
-        if let Some(line) = dead_site {
-            if let Some(fid) = program.unit.file_id(file_name) {
-                let packed = devil_minic::token::pack_line(fid, line);
-                if !report.coverage.contains(&packed) {
-                    return (Outcome::DeadCode, "mutated line never executed".into());
-                }
-            }
-        }
+    refine_dead_code(&program, report, file_name, dead_site)
+}
+
+/// A reusable boot machine for mutation campaigns.
+///
+/// Builds the standard experiment machine **once** ([`standard_ide_machine`]
+/// plus `mkfs`), captures its pristine state as a
+/// [`Snapshot`](devil_hwsim::snap::Snapshot), and then evaluates each
+/// mutant as *restore → compile → boot → classify* — the per-mutant reset
+/// is a memcpy instead of a machine reconstruction. Use one
+/// `CampaignMachine` per worker thread, e.g. as the workspace of a
+/// `devil_mutagen::Campaign`:
+///
+/// ```ignore
+/// let files = fs::standard_files();
+/// let outcomes = Campaign::new(
+///     || CampaignMachine::new(&files, DEFAULT_FUEL),
+///     |machine, mutant| machine.run(file, &mutant.source, &[], Some(mutant.line)).0,
+/// )
+/// .run(&mutants);
+/// ```
+#[derive(Debug)]
+pub struct CampaignMachine {
+    io: IoSpace,
+    ide: DeviceId,
+    pristine: Snapshot,
+    files: Vec<FsFile>,
+    fuel: u64,
+}
+
+impl CampaignMachine {
+    /// Build the standard IDE machine with a DevilFS image of `files` and
+    /// capture its pristine snapshot.
+    pub fn new(files: &[FsFile], fuel: u64) -> Self {
+        let (io, ide) = standard_ide_machine(files);
+        let pristine = io.snapshot();
+        CampaignMachine { io, ide, pristine, files: files.to_vec(), fuel }
     }
-    (report.outcome, report.detail)
+
+    /// The boot image the machine was built with.
+    pub fn files(&self) -> &[FsFile] {
+        &self.files
+    }
+
+    /// Evaluate one mutant: compile it, rewind the machine to its pristine
+    /// snapshot, boot, and classify — including the dead-code refinement
+    /// of [`run_mutant`]. Produces exactly the same classification as the
+    /// rebuild-per-mutant path, without rebuilding anything.
+    pub fn run(
+        &mut self,
+        file_name: &str,
+        source: &str,
+        includes: &[(&str, &str)],
+        dead_site: Option<u32>,
+    ) -> (Outcome, String) {
+        let program = match devil_minic::compile_with_includes(file_name, source, includes) {
+            Ok(p) => p,
+            Err(e) => return (Outcome::CompileCheck, e.to_string()),
+        };
+        self.io
+            .restore(&self.pristine)
+            .expect("pristine snapshot matches its own machine");
+        let report = boot_ide(&program, &mut self.io, self.ide, &self.files, self.fuel);
+        refine_dead_code(&program, report, file_name, dead_site)
+    }
 }
 
 #[cfg(test)]
@@ -577,6 +659,41 @@ int ide_write(int lba)
             &fs::standard_files(),
             DEFAULT_FUEL,
         );
+        assert_eq!(outcome, Outcome::DeadCode);
+    }
+
+    #[test]
+    fn campaign_machine_matches_rebuild_per_mutant() {
+        let files = fs::standard_files();
+        let mut machine = CampaignMachine::new(&files, DEFAULT_FUEL);
+        // A clean run, a damaging run, then a clean run again — the reset
+        // must erase the damage the middle mutant did to the disk.
+        let wild = MINI_DRIVER.replace(
+            "int ide_write(int lba)\n{\n    int s;\n    select_lba(lba, 1);",
+            "int ide_write(int lba)\n{\n    int s;\n    select_lba(3, 1);",
+        );
+        let broken = "int ide_probe(void) { return undeclared; }";
+        for source in [MINI_DRIVER, &wild, MINI_DRIVER, broken, MINI_DRIVER] {
+            let fresh = run_mutant("mini.c", source, &[], None, &files, DEFAULT_FUEL);
+            let reset = machine.run("mini.c", source, &[], None);
+            assert_eq!(fresh, reset, "reset and rebuild paths must agree");
+        }
+    }
+
+    #[test]
+    fn campaign_machine_refines_dead_code() {
+        let with_dead = MINI_DRIVER.replace(
+            "int ide_probe(void)\n{",
+            "static int never_used(void)\n{\n    return inb(0x9999);\n}\nint ide_probe(void)\n{",
+        );
+        let line_of_dead = with_dead
+            .lines()
+            .position(|l| l.contains("0x9999"))
+            .unwrap() as u32
+            + 1;
+        let files = fs::standard_files();
+        let mut machine = CampaignMachine::new(&files, DEFAULT_FUEL);
+        let (outcome, _) = machine.run("mini.c", &with_dead, &[], Some(line_of_dead));
         assert_eq!(outcome, Outcome::DeadCode);
     }
 

@@ -22,6 +22,6 @@ pub mod boot;
 pub mod fs;
 pub mod kapi;
 
-pub use boot::{boot_ide, BootReport, Outcome};
+pub use boot::{boot_ide, BootReport, CampaignMachine, Outcome};
 pub use fs::{fsck, mkfs, FsckReport, SECTORS_PER_FILE};
 pub use kapi::MachineHost;

@@ -1,17 +1,32 @@
-//! Campaign execution: seeded sampling and parallel classification.
+//! Campaign execution: seeded sampling and the parallel evaluation engine.
 //!
 //! The paper's Table 3/4 experiment generates ~2000 mutants and randomly
 //! tests 25% of them; each test compiles the mutant and (when it compiles)
 //! boots a kernel with it. [`sample`] reproduces the seeded random
-//! selection; [`run_parallel`] fans the classification function out over
-//! worker threads, since every mutant run is independent.
+//! selection; [`Campaign`] fans the classification out over worker
+//! threads, since every mutant run is independent.
 //!
-//! Both functions are dependency-free: sampling uses a splitmix64-seeded
+//! # The campaign engine
+//!
+//! Evaluating a mutant needs a *machine* — a simulated I/O space, a disk
+//! image, bound stub instances. Rebuilding that per mutant dominated
+//! campaign time, so the engine is built around per-worker **workspaces**:
+//!
+//! * [`Campaign::new`] takes a `build` closure and a `classify` closure;
+//! * each worker thread calls `build()` exactly once and owns the
+//!   resulting workspace for its whole life;
+//! * every mutant is classified with `classify(&mut workspace, mutant)`,
+//!   which is expected to *reset* the workspace (snapshot restore) rather
+//!   than reconstruct it — see `devil_hwsim::snap` and the kernel crate's
+//!   `CampaignMachine` for the concrete reset-per-mutant lifecycle.
+//!
+//! Everything is dependency-free: sampling uses a splitmix64-seeded
 //! Fisher–Yates shuffle, and the worker pool is built on
 //! [`std::thread::scope`]. Workers pull indices from a shared atomic
 //! counter and push `(index, outcome)` pairs into a thread-local buffer,
-//! so the site list is never cloned or re-sorted per worker and there is
-//! no per-item lock on the hot path.
+//! so the mutant list is never cloned or re-sorted per worker and there
+//! is no per-item lock on the hot path. [`run_parallel`] survives as the
+//! stateless-workspace special case.
 
 use crate::site::Mutant;
 
@@ -38,8 +53,17 @@ impl SplitMix {
 /// The selection is stable for a given `(mutants, fraction, seed)` triple,
 /// so experiments are reproducible run to run. The surviving mutants keep
 /// their original relative order.
+///
+/// Out-of-range fractions are handled deterministically rather than left
+/// to float comparison: anything at or above `1.0` keeps every mutant,
+/// anything at or below `0.0` — including `NaN` — keeps none.
 pub fn sample(mutants: Vec<Mutant>, fraction: f64, seed: u64) -> Vec<Mutant> {
-    let fraction = fraction.clamp(0.0, 1.0);
+    if fraction >= 1.0 {
+        return mutants;
+    }
+    if fraction.is_nan() || fraction <= 0.0 {
+        return Vec::new();
+    }
     let keep = ((mutants.len() as f64) * fraction).round() as usize;
     let mut rng = SplitMix(seed ^ 0xD5A6_1266_F0C9_16B5);
     let mut indices: Vec<usize> = (0..mutants.len()).collect();
@@ -70,59 +94,125 @@ pub fn effective_threads(threads: usize) -> usize {
     }
 }
 
+/// A reusable mutant-evaluation pipeline: one workspace per worker thread,
+/// every mutant run as reset → apply → classify inside a workspace.
+///
+/// `build` constructs a worker's workspace (a machine plus whatever bound
+/// state the classifier needs); `classify` evaluates one mutant in it and
+/// is responsible for resetting the workspace first (typically one
+/// snapshot restore). Results come back in mutant order.
+///
+/// ```
+/// use devil_mutagen::{Campaign, Mutant};
+///
+/// // A trivial "workspace": a counter proving per-worker reuse.
+/// let campaign = Campaign::new(|| 0u64, |runs: &mut u64, m: &Mutant| {
+///     *runs += 1;
+///     m.site * 2
+/// });
+/// let outcomes = campaign.run(&[]);
+/// assert!(outcomes.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Campaign<B, F> {
+    threads: usize,
+    build: B,
+    classify: F,
+}
+
+impl<W, O, B, F> Campaign<B, F>
+where
+    B: Fn() -> W + Sync,
+    F: Fn(&mut W, &Mutant) -> O + Sync,
+    O: Send,
+{
+    /// Create a campaign that builds one workspace per worker with `build`
+    /// and evaluates each mutant with `classify`. Uses all available cores
+    /// until [`Campaign::with_threads`] says otherwise.
+    pub fn new(build: B, classify: F) -> Self {
+        Campaign { threads: 0, build, classify }
+    }
+
+    /// Set the worker count (0 = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Classify every mutant, preserving order.
+    ///
+    /// Worker threads pull indices from a shared atomic counter; each
+    /// builds its workspace once and reuses it for every mutant it pulls.
+    /// With one worker (or fewer than two mutants) everything runs on the
+    /// calling thread.
+    pub fn run(&self, mutants: &[Mutant]) -> Vec<O> {
+        if mutants.is_empty() {
+            // Do not pay for a workspace nobody will use.
+            return Vec::new();
+        }
+        let threads = effective_threads(self.threads).min(mutants.len());
+        if threads == 1 || mutants.len() < 2 {
+            let mut workspace = (self.build)();
+            return mutants.iter().map(|m| (self.classify)(&mut workspace, m)).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let build = &self.build;
+        let classify = &self.classify;
+        let mut per_worker: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut workspace = build();
+                        let mut local: Vec<(usize, O)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= mutants.len() {
+                                break;
+                            }
+                            local.push((i, classify(&mut workspace, &mutants[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+        let mut results: Vec<Option<O>> = (0..mutants.len()).map(|_| None).collect();
+        for chunk in &mut per_worker {
+            for (i, out) in chunk.drain(..) {
+                results[i] = Some(out);
+            }
+        }
+        results
+            .into_iter()
+            .map(|o| o.expect("every index classified"))
+            .collect()
+    }
+}
+
 /// Classify every mutant in parallel, preserving order.
 ///
-/// `classify` must be pure per mutant (each call gets its own state); the
-/// outcome type is anything sendable. Passing `threads == 0` uses the
+/// The stateless special case of [`Campaign`]: `classify` must be pure per
+/// mutant (each call gets its own state). Passing `threads == 0` uses the
 /// machine's available parallelism.
 pub fn run_parallel<O, F>(mutants: &[Mutant], threads: usize, classify: F) -> Vec<O>
 where
     O: Send,
     F: Fn(&Mutant) -> O + Sync,
 {
-    let threads = effective_threads(threads).min(mutants.len().max(1));
-    if threads == 1 || mutants.len() < 2 {
-        return mutants.iter().map(&classify).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let classify = &classify;
-    let mut per_worker: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, O)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= mutants.len() {
-                            break;
-                        }
-                        local.push((i, classify(&mutants[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("campaign worker panicked"))
-            .collect()
-    });
-    let mut results: Vec<Option<O>> = (0..mutants.len()).map(|_| None).collect();
-    for chunk in &mut per_worker {
-        for (i, out) in chunk.drain(..) {
-            results[i] = Some(out);
-        }
-    }
-    results
-        .into_iter()
-        .map(|o| o.expect("every index classified"))
-        .collect()
+    Campaign::new(|| (), |(): &mut (), m| classify(m))
+        .with_threads(threads)
+        .run(mutants)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::site::{make_mutant, MutationSite, SiteKind};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn mutants(n: usize) -> Vec<Mutant> {
         let src = "x".repeat(n.max(1));
@@ -163,6 +253,22 @@ mod tests {
     }
 
     #[test]
+    fn sample_fraction_above_one_keeps_everything_in_order() {
+        for fraction in [1.0, 1.5, 100.0, f64::INFINITY] {
+            let s = sample(mutants(10), fraction, 7);
+            let sites: Vec<usize> = s.iter().map(|m| m.site).collect();
+            assert_eq!(sites, (0..10).collect::<Vec<_>>(), "fraction {fraction}");
+        }
+    }
+
+    #[test]
+    fn sample_nan_and_negative_keep_nothing() {
+        assert!(sample(mutants(10), f64::NAN, 7).is_empty());
+        assert!(sample(mutants(10), -0.5, 7).is_empty());
+        assert!(sample(mutants(10), f64::NEG_INFINITY, 7).is_empty());
+    }
+
+    #[test]
     fn sample_preserves_order() {
         let s = sample(mutants(50), 0.5, 3);
         let sites: Vec<usize> = s.iter().map(|m| m.site).collect();
@@ -192,5 +298,54 @@ mod tests {
     fn parallel_handles_empty() {
         let out: Vec<usize> = run_parallel(&[], 4, |m| m.site);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn campaign_builds_one_workspace_per_worker() {
+        let builds = AtomicUsize::new(0);
+        let ms = mutants(64);
+        let out = Campaign::new(
+            || {
+                builds.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |runs: &mut u64, m: &Mutant| {
+                *runs += 1;
+                m.site
+            },
+        )
+        .with_threads(4)
+        .run(&ms);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        let built = builds.load(Ordering::Relaxed);
+        assert!(built <= 4, "one workspace per worker, got {built}");
+        assert!(built >= 1);
+    }
+
+    #[test]
+    fn campaign_skips_workspace_build_when_empty() {
+        let builds = AtomicUsize::new(0);
+        let out: Vec<usize> = Campaign::new(
+            || {
+                builds.fetch_add(1, Ordering::Relaxed);
+            },
+            |(): &mut (), m: &Mutant| m.site,
+        )
+        .run(&[]);
+        assert!(out.is_empty());
+        assert_eq!(builds.load(Ordering::Relaxed), 0, "no mutants, no workspace");
+    }
+
+    #[test]
+    fn campaign_workspace_carries_state_across_mutants() {
+        // Single worker: the workspace sees every mutant in order.
+        let ms = mutants(8);
+        let out = Campaign::new(Vec::new, |seen: &mut Vec<usize>, m: &Mutant| {
+            seen.push(m.site);
+            seen.len()
+        })
+        .with_threads(1)
+        .run(&ms);
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
     }
 }

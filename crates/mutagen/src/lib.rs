@@ -31,5 +31,5 @@ pub mod literal;
 pub mod operator;
 pub mod site;
 
-pub use campaign::{effective_threads, run_parallel, sample};
+pub use campaign::{effective_threads, run_parallel, sample, Campaign};
 pub use site::{Mutant, MutationSite, SiteKind};

@@ -2,14 +2,18 @@
 //! drivers and print the outcome distribution — a fast preview of
 //! Tables 3 and 4. The full campaigns live in `devil-bench`.
 //!
+//! Each worker thread owns one [`CampaignMachine`]: the simulated machine
+//! is built (and `mkfs`ed) once per worker and snapshot-restored before
+//! every mutant, instead of being reconstructed ~100 times.
+//!
 //! ```text
 //! cargo run --release --example mutation_campaign
 //! ```
 
-use devil::kernel::boot::Outcome;
-use devil::kernel::{boot, fs};
+use devil::kernel::boot::{CampaignMachine, Outcome, DEFAULT_FUEL};
+use devil::kernel::fs;
 use devil::mutagen::c::{CMutationModel, CStyle};
-use devil::mutagen::{run_parallel, sample};
+use devil::mutagen::{sample, Campaign, Mutant};
 use std::collections::BTreeMap;
 
 fn campaign(label: &str, file: &str, source: &str, headers: &[(String, String)], style: CStyle) {
@@ -19,9 +23,14 @@ fn campaign(label: &str, file: &str, source: &str, headers: &[(String, String)],
     let incs: Vec<(&str, &str)> =
         headers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
     let files = fs::standard_files();
-    let outcomes = run_parallel(&mutants, 8, |m| {
-        boot::run_mutant(file, &m.source, &incs, Some(m.line), &files, boot::DEFAULT_FUEL).0
-    });
+    let outcomes = Campaign::new(
+        || CampaignMachine::new(&files, DEFAULT_FUEL),
+        |machine: &mut CampaignMachine, m: &Mutant| {
+            machine.run(file, &m.source, &incs, Some(m.line)).0
+        },
+    )
+    .with_threads(8)
+    .run(&mutants);
     let mut tally: BTreeMap<Outcome, usize> = BTreeMap::new();
     for o in outcomes {
         *tally.entry(o).or_default() += 1;
