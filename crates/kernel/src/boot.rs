@@ -22,16 +22,22 @@
 //! `Devil assertion failed` panic), dead code, boot, crash, infinite loop,
 //! halt, damaged boot, plus compile-time check for mutants that never
 //! build.
+//!
+//! Drivers execute on the `minic` bytecode VM ([`boot_ide`] /
+//! [`boot_ide_compiled`]); the tree-walking interpreter remains available
+//! as the differential oracle through [`boot_ide_interp`], and the two are
+//! pinned observationally identical by `tests/vm_differential.rs`.
 
 use crate::fs::{self, FsFile};
 use crate::kapi::MachineHost;
 use devil_hwsim::devices::{IdeController, IdeDisk};
 use devil_hwsim::snap::Snapshot;
 use devil_hwsim::{DeviceId, IoSpace};
-use devil_minic::interp::{Interpreter, RunError};
+use devil_minic::interp::{Host, Interpreter, RunError};
+use devil_minic::pp::IncludeCache;
 use devil_minic::value::Value;
-use devil_minic::Program;
-use std::collections::HashSet;
+use devil_minic::vm::Vm;
+use devil_minic::{CompiledProgram, Coverage, Program};
 use std::fmt;
 
 /// Default interpreter fuel for one boot (a clean boot uses well under 10%).
@@ -115,8 +121,9 @@ pub struct BootReport {
     pub console: Vec<String>,
     /// One-line explanation.
     pub detail: String,
-    /// Packed source lines executed (see `devil_minic::token::pack_line`).
-    pub coverage: HashSet<u32>,
+    /// Packed source lines executed (see `devil_minic::token::pack_line`),
+    /// as a per-file bitmap — moved out of the engine, never cloned.
+    pub coverage: Coverage,
 }
 
 /// Build the standard experiment machine: an IDE controller at
@@ -142,7 +149,51 @@ enum BootFatal {
     Damage(String),
 }
 
-/// Boot the machine with the given compiled driver.
+/// The engine surface the boot sequence drives — implemented by both the
+/// bytecode [`Vm`] (the production boot path) and the tree-walking
+/// [`Interpreter`] (the differential oracle). Both engines are
+/// observationally identical by construction; `tests/vm_differential.rs`
+/// pins that over the driver corpus and its mutant sets.
+trait BootEngine {
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, RunError>;
+    fn global_values(&mut self, name: &str) -> Option<Vec<Value>>;
+    fn set_global_element(&mut self, name: &str, idx: usize, value: Value) -> bool;
+    fn take_coverage(&mut self) -> Coverage;
+}
+
+impl<H: Host> BootEngine for Interpreter<'_, H> {
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, RunError> {
+        Interpreter::call(self, name, args)
+    }
+    fn global_values(&mut self, name: &str) -> Option<Vec<Value>> {
+        Interpreter::global_values(self, name)
+    }
+    fn set_global_element(&mut self, name: &str, idx: usize, value: Value) -> bool {
+        Interpreter::set_global_element(self, name, idx, value)
+    }
+    fn take_coverage(&mut self) -> Coverage {
+        Interpreter::take_coverage(self)
+    }
+}
+
+impl<H: Host> BootEngine for Vm<'_, H> {
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, RunError> {
+        Vm::call(self, name, args)
+    }
+    fn global_values(&mut self, name: &str) -> Option<Vec<Value>> {
+        Vm::global_values(self, name)
+    }
+    fn set_global_element(&mut self, name: &str, idx: usize, value: Value) -> bool {
+        Vm::set_global_element(self, name, idx, value)
+    }
+    fn take_coverage(&mut self) -> Coverage {
+        Vm::take_coverage(self)
+    }
+}
+
+/// Boot the machine with the given compiled driver, through the bytecode
+/// VM (lowering the program on the spot — campaigns that boot one mutant
+/// many times should lower once and use [`boot_ide_compiled`]).
 ///
 /// The driver must export `int ide_probe(void)`, `int ide_read(int, int)`,
 /// `int ide_write(int)` and a `u16 io_buf[256]` global; both the C and
@@ -154,13 +205,55 @@ pub fn boot_ide(
     files: &[FsFile],
     fuel: u64,
 ) -> BootReport {
+    boot_ide_compiled(&program.to_bytecode(), io, ide, files, fuel)
+}
+
+/// [`boot_ide`] over an already-lowered program — the campaign hot path.
+pub fn boot_ide_compiled(
+    compiled: &CompiledProgram,
+    io: &mut IoSpace,
+    ide: DeviceId,
+    files: &[FsFile],
+    fuel: u64,
+) -> BootReport {
+    let mut host = MachineHost::new(io);
+    let mut vm = Vm::new(compiled, &mut host, fuel);
+    let (fatal, damage, coverage) = drive_boot(&mut vm, files);
+    drop(vm);
+    let console = std::mem::take(&mut host.console);
+    drop(host);
+    finish_boot(io, ide, files, fatal, damage, coverage, console)
+}
+
+/// [`boot_ide`] through the tree-walking interpreter — the differential
+/// oracle the VM boot path is validated against. Not used by campaigns.
+pub fn boot_ide_interp(
+    program: &Program,
+    io: &mut IoSpace,
+    ide: DeviceId,
+    files: &[FsFile],
+    fuel: u64,
+) -> BootReport {
     let mut host = MachineHost::new(io);
     let mut interp = Interpreter::new(program, &mut host, fuel);
+    let (fatal, damage, coverage) = drive_boot(&mut interp, files);
+    drop(interp);
+    let console = std::mem::take(&mut host.console);
+    drop(host);
+    finish_boot(io, ide, files, fatal, damage, coverage, console)
+}
+
+/// Steps 1–4 of the boot sequence (probe, mount, integrity, write test),
+/// generic over the execution engine.
+fn drive_boot<E: BootEngine>(
+    engine: &mut E,
+    files: &[FsFile],
+) -> (Option<BootFatal>, Vec<String>, Coverage) {
     let mut damage: Vec<String> = Vec::new();
 
     let fatal = 'boot: {
         // 1. Probe.
-        match call(&mut interp, "ide_probe", &[]) {
+        match call(engine, "ide_probe", &[]) {
             Step::Done(v) => {
                 if v.as_int().unwrap_or(-1) <= 0 {
                     break 'boot Some(BootFatal::Halt(
@@ -171,7 +264,7 @@ pub fn boot_ide(
             Step::Fatal(f) => break 'boot Some(f),
         }
         // 2. Mount: MBR.
-        let mbr = match read_sector(&mut interp, 0) {
+        let mbr = match read_sector(engine, 0) {
             Ok(b) => b,
             Err(f) => break 'boot Some(f),
         };
@@ -182,7 +275,7 @@ pub fn boot_ide(
         }
         let part = u32::from_le_bytes([mbr[454], mbr[455], mbr[456], mbr[457]]);
         // Superblock.
-        let sb = match read_sector(&mut interp, part as i64) {
+        let sb = match read_sector(engine, part as i64) {
             Ok(b) => b,
             Err(f) => break 'boot Some(f),
         };
@@ -202,7 +295,7 @@ pub fn boot_ide(
             let sum = u32::from_le_bytes([sb[e + 16], sb[e + 17], sb[e + 18], sb[e + 19]]);
             let mut data = Vec::with_capacity(len);
             for s in 0..fs::SECTORS_PER_FILE {
-                match read_sector(&mut interp, (part + start + s) as i64) {
+                match read_sector(engine, (part + start + s) as i64) {
                     Ok(b) => data.extend_from_slice(&b),
                     Err(fatal) => break 'boot Some(fatal),
                 }
@@ -216,18 +309,18 @@ pub fn boot_ide(
         if let Some((log_lba, _)) = fs::file_extent(files, "log") {
             let pattern: Vec<u16> = (0..256u32).map(|i| (i * 7 + 3) as u16).collect();
             for (i, w) in pattern.iter().enumerate() {
-                interp.set_global_element("io_buf", i, Value::Int(*w as i64));
+                engine.set_global_element("io_buf", i, Value::Int(*w as i64));
             }
-            match call(&mut interp, "ide_write", &[Value::Int(log_lba as i64)]) {
+            match call(engine, "ide_write", &[Value::Int(log_lba as i64)]) {
                 Step::Done(v) => {
                     if v.as_int().unwrap_or(-1) != 0 {
                         damage.push("log write failed".into());
                     } else {
                         // Clear and read back.
                         for i in 0..256 {
-                            interp.set_global_element("io_buf", i, Value::Int(0));
+                            engine.set_global_element("io_buf", i, Value::Int(0));
                         }
-                        match read_sector(&mut interp, log_lba as i64) {
+                        match read_sector(engine, log_lba as i64) {
                             Ok(back) => {
                                 let expect: Vec<u8> =
                                     pattern.iter().flat_map(|w| w.to_le_bytes()).collect();
@@ -245,12 +338,20 @@ pub fn boot_ide(
         None
     };
 
-    let coverage = interp.coverage().clone();
-    drop(interp);
-    let console = std::mem::take(&mut host.console);
-    drop(host);
+    (fatal, damage, engine.take_coverage())
+}
 
-    // 5. Ground truth. Deliver pending lazy ticks first so timer-driven
+/// Step 5 (ground truth) plus outcome classification.
+fn finish_boot(
+    io: &mut IoSpace,
+    ide: DeviceId,
+    files: &[FsFile],
+    fatal: Option<BootFatal>,
+    mut damage: Vec<String>,
+    coverage: Coverage,
+    console: Vec<String>,
+) -> BootReport {
+    // Ground truth. Deliver pending lazy ticks first so timer-driven
     // device state is current when inspected outside an access sequence.
     io.sync();
     let report = io
@@ -292,23 +393,16 @@ pub fn classify_run_error(e: &RunError) -> (Outcome, String) {
     }
 }
 
-fn call<H: devil_minic::interp::Host>(
-    interp: &mut Interpreter<'_, H>,
-    name: &str,
-    args: &[Value],
-) -> Step {
-    match interp.call(name, args) {
+fn call<E: BootEngine>(engine: &mut E, name: &str, args: &[Value]) -> Step {
+    match engine.call(name, args) {
         Ok(v) => Step::Done(v),
         Err(e) => Step::Fatal(BootFatal::Run(e)),
     }
 }
 
 /// Read one sector through the driver into bytes.
-fn read_sector<H: devil_minic::interp::Host>(
-    interp: &mut Interpreter<'_, H>,
-    lba: i64,
-) -> Result<Vec<u8>, BootFatal> {
-    match call(interp, "ide_read", &[Value::Int(lba), Value::Int(1)]) {
+fn read_sector<E: BootEngine>(engine: &mut E, lba: i64) -> Result<Vec<u8>, BootFatal> {
+    match call(engine, "ide_read", &[Value::Int(lba), Value::Int(1)]) {
         Step::Done(v) => {
             if v.as_int().unwrap_or(-1) != 0 {
                 return Err(BootFatal::Halt(format!(
@@ -318,7 +412,7 @@ fn read_sector<H: devil_minic::interp::Host>(
         }
         Step::Fatal(f) => return Err(f),
     }
-    let Some(words) = interp.global_values("io_buf") else {
+    let Some(words) = engine.global_values("io_buf") else {
         return Err(BootFatal::Damage("driver has no io_buf".into()));
     };
     let mut bytes = Vec::with_capacity(512);
@@ -341,7 +435,7 @@ fn refine_dead_code(
         if let Some(line) = dead_site {
             if let Some(fid) = program.unit.file_id(file_name) {
                 let packed = devil_minic::token::pack_line(fid, line);
-                if !report.coverage.contains(&packed) {
+                if !report.coverage.contains(packed) {
                     return (Outcome::DeadCode, "mutated line never executed".into());
                 }
             }
@@ -400,6 +494,11 @@ pub struct CampaignMachine {
     pristine: Snapshot,
     files: Vec<FsFile>,
     fuel: u64,
+    /// Pre-lexed include headers, built lazily on the first mutant that
+    /// compiles against a given include set and reused while the set is
+    /// unchanged — which in a mutation campaign is every mutant, since
+    /// only the driver file is spliced.
+    include_cache: Option<IncludeCache>,
 }
 
 impl CampaignMachine {
@@ -408,7 +507,14 @@ impl CampaignMachine {
     pub fn new(files: &[FsFile], fuel: u64) -> Self {
         let (io, ide) = standard_ide_machine(files);
         let pristine = io.snapshot();
-        CampaignMachine { io, ide, pristine, files: files.to_vec(), fuel }
+        CampaignMachine {
+            io,
+            ide,
+            pristine,
+            files: files.to_vec(),
+            fuel,
+            include_cache: None,
+        }
     }
 
     /// The boot image the machine was built with.
@@ -416,10 +522,12 @@ impl CampaignMachine {
         &self.files
     }
 
-    /// Evaluate one mutant: compile it, rewind the machine to its pristine
-    /// snapshot, boot, and classify — including the dead-code refinement
-    /// of [`run_mutant`]. Produces exactly the same classification as the
-    /// rebuild-per-mutant path, without rebuilding anything.
+    /// Evaluate one mutant: compile it (headers served from the pre-lexed
+    /// include cache), rewind the machine to its pristine snapshot, boot
+    /// through the bytecode VM, and classify — including the dead-code
+    /// refinement of [`run_mutant`]. Produces exactly the same
+    /// classification as the rebuild-per-mutant path, without rebuilding
+    /// anything.
     pub fn run(
         &mut self,
         file_name: &str,
@@ -427,15 +535,66 @@ impl CampaignMachine {
         includes: &[(&str, &str)],
         dead_site: Option<u32>,
     ) -> (Outcome, String) {
-        let program = match devil_minic::compile_with_includes(file_name, source, includes) {
+        let program = match self.compile_mutant(file_name, source, includes) {
             Ok(p) => p,
             Err(e) => return (Outcome::CompileCheck, e.to_string()),
         };
+        self.boot_and_classify(&program, file_name, dead_site)
+    }
+
+    /// Like [`CampaignMachine::run`], compiling against an externally
+    /// shared [`IncludeCache`]. The cache is `Sync`: build it once per
+    /// campaign and let every worker's machine borrow it, so the header
+    /// set is lexed once per *campaign* instead of once per worker.
+    pub fn run_cached(
+        &mut self,
+        file_name: &str,
+        source: &str,
+        cache: &IncludeCache,
+        dead_site: Option<u32>,
+    ) -> (Outcome, String) {
+        let program = match devil_minic::compile_with_cache(file_name, source, cache) {
+            Ok(p) => p,
+            Err(e) => return (Outcome::CompileCheck, e.to_string()),
+        };
+        self.boot_and_classify(&program, file_name, dead_site)
+    }
+
+    fn boot_and_classify(
+        &mut self,
+        program: &Program,
+        file_name: &str,
+        dead_site: Option<u32>,
+    ) -> (Outcome, String) {
+        let compiled = program.to_bytecode();
         self.io
             .restore(&self.pristine)
             .expect("pristine snapshot matches its own machine");
-        let report = boot_ide(&program, &mut self.io, self.ide, &self.files, self.fuel);
-        refine_dead_code(&program, report, file_name, dead_site)
+        let report =
+            boot_ide_compiled(&compiled, &mut self.io, self.ide, &self.files, self.fuel);
+        refine_dead_code(program, report, file_name, dead_site)
+    }
+
+    /// Compile one mutant, re-lexing only the spliced driver file when the
+    /// include set is unchanged since the previous mutant.
+    fn compile_mutant(
+        &mut self,
+        file_name: &str,
+        source: &str,
+        includes: &[(&str, &str)],
+    ) -> Result<Program, devil_minic::CError> {
+        if includes.is_empty() {
+            return devil_minic::compile(file_name, source);
+        }
+        let reusable = self
+            .include_cache
+            .as_ref()
+            .is_some_and(|c| c.matches(includes));
+        if !reusable {
+            self.include_cache = Some(IncludeCache::new(includes));
+        }
+        let cache = self.include_cache.as_ref().expect("cache just ensured");
+        devil_minic::compile_with_cache(file_name, source, cache)
     }
 }
 

@@ -1,0 +1,1451 @@
+//! Compile-to-bytecode lowering for checked programs.
+//!
+//! The tree-walking interpreter ([`crate::interp`]) resolves every variable
+//! with a string `HashMap` lookup, re-walks `Box`ed AST nodes per
+//! evaluation, and re-allocates every string literal it touches. This
+//! module lowers a checked [`Program`] once into a flat [`CompiledProgram`]
+//! — numeric frame/global slots, precomputed jump offsets, interned
+//! constants — which [`crate::vm::Vm`] then executes with a single
+//! flat-dispatch loop.
+//!
+//! # Equivalence contract
+//!
+//! The VM must be *observationally identical* to the tree-walker: same
+//! result values, same [`crate::interp::RunError`]s (kind, file, line),
+//! same console output, same line coverage, and — crucially — the same
+//! **fuel-burn sequence**, because `OutOfFuel` classification depends on
+//! the exact point execution stops. The lowering therefore:
+//!
+//! * emits exactly one burn per AST node, in tree-walk evaluation order
+//!   (a node's burn precedes its children's, mirroring
+//!   `Interpreter::eval`); leaf ops self-burn, interior nodes get a
+//!   leading [`Op::Line`];
+//! * resolves every identifier to a numeric slot at lowering time, but
+//!   keeps the *runtime* object model (object ids, scope release order,
+//!   free-list reuse) byte-compatible so synthetic pointer addresses and
+//!   `UseAfterScope` faults agree;
+//! * folds constant subtrees only when they cannot fault, and records the
+//!   burn sequence the folded subtree would have produced so fuel and
+//!   coverage accounting are unchanged ([`Op::Const`]/[`Op::ConstN`]).
+//!
+//! The tree-walker stays alive as the differential oracle; the
+//! `vm_differential` integration test and the minic proptests pin the
+//! contract.
+
+use crate::ast::*;
+use crate::coverage;
+use crate::interp::FaultKind;
+use crate::types::{CType, StructId};
+use crate::value::{Place, Value};
+use crate::Program;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Store-coercion applied when a value lands in a typed object — the
+/// lowered form of `Interpreter::coerce_store` (integer targets truncate,
+/// everything else passes through).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Coerce {
+    /// Non-integer target: store as-is.
+    None,
+    /// Integer target: wrap to width/signedness; pointers flatten to the
+    /// synthetic address, strings to the string sentinel.
+    Int {
+        /// Signedness of the target type.
+        signed: bool,
+        /// Width in bits.
+        bits: u8,
+    },
+}
+
+impl Coerce {
+    fn of(ty: &CType) -> Coerce {
+        match ty {
+            CType::Int { signed, bits } => Coerce::Int { signed: *signed, bits: *bits },
+            _ => Coerce::None,
+        }
+    }
+}
+
+/// Lowered cast target — just enough of [`CType`] to replicate
+/// `Interpreter::eval`'s cast arm.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CastKind {
+    /// Cast to an integer type.
+    Int {
+        /// Signedness of the target.
+        signed: bool,
+        /// Width in bits.
+        bits: u8,
+    },
+    /// Cast to any pointer type.
+    Ptr,
+    /// Cast to `void`.
+    Void,
+    /// Anything else (array/struct targets): a runtime `BadValue` fault.
+    Other,
+}
+
+impl CastKind {
+    fn of(ty: &CType) -> CastKind {
+        match ty {
+            CType::Int { signed, bits } => CastKind::Int { signed: *signed, bits: *bits },
+            CType::Ptr(_) => CastKind::Ptr,
+            CType::Void => CastKind::Void,
+            CType::Array(_, _) | CType::Struct(_) => CastKind::Other,
+        }
+    }
+}
+
+/// The kernel-environment builtins, resolved at lowering time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // names mirror the C builtins
+pub(crate) enum Builtin {
+    Inb,
+    Inw,
+    Inl,
+    Outb,
+    Outw,
+    Outl,
+    Insw,
+    Outsw,
+    Printk,
+    Panic,
+    Udelay,
+    Mdelay,
+    Strcmp,
+    Memset,
+    Memcpy,
+}
+
+fn builtin_of(name: &str) -> Option<Builtin> {
+    // Mirrors the `known` list in `Interpreter::try_builtin`.
+    Some(match name {
+        "inb" => Builtin::Inb,
+        "inw" => Builtin::Inw,
+        "inl" => Builtin::Inl,
+        "outb" => Builtin::Outb,
+        "outw" => Builtin::Outw,
+        "outl" => Builtin::Outl,
+        "insw" => Builtin::Insw,
+        "outsw" => Builtin::Outsw,
+        "printk" => Builtin::Printk,
+        "panic" => Builtin::Panic,
+        "udelay" => Builtin::Udelay,
+        "mdelay" => Builtin::Mdelay,
+        "strcmp" => Builtin::Strcmp,
+        "memset" => Builtin::Memset,
+        "memcpy" => Builtin::Memcpy,
+        _ => return None,
+    })
+}
+
+/// Sentinel field index for a member name no struct defines (unreachable
+/// after type checking; faults `BadValue` like the tree-walker).
+pub(crate) const NO_FIELD: u16 = u16::MAX;
+
+/// One VM instruction. `line` payloads are packed `(file_id, line)` ids
+/// (see [`crate::token::pack_line`]); `target`s are absolute indices into
+/// the owning function's op vector.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Burn fuel + record coverage for one AST node entry.
+    Line(u32),
+    /// Folded single-node constant: burn `line`, push `consts[cidx]`.
+    Const { cidx: u32, line: u32 },
+    /// Folded constant subtree: burn every line of `burn_seqs[seq]` in
+    /// order, then push `consts[cidx]`.
+    ConstN { cidx: u32, seq: u32 },
+    /// Push `consts[cidx]` without burning (synthesised values, e.g. the
+    /// implicit `return 0`).
+    PushConst { cidx: u32 },
+    /// Identifier rvalue, local slot (burns `line`; arrays decay).
+    LoadLocal { slot: u16, line: u32 },
+    /// Identifier rvalue, global (burns `line`; arrays decay).
+    LoadGlobal { gidx: u16, line: u32 },
+    /// Identifier lvalue, local slot (no burn — mirrors `lvalue`).
+    PlaceLocal { slot: u16, line: u32 },
+    /// Identifier lvalue, global.
+    PlaceGlobal { gidx: u16, line: u32 },
+    /// Pop a pointer value, push its place (`*p` lvalue).
+    PtrPlace { line: u32 },
+    /// Pop index then base values, push the indexed place.
+    IndexPlace { line: u32, idx_line: u32 },
+    /// Pop a pointer value, push its place (`p->f` base).
+    MemberArrow { line: u32 },
+    /// Extend the top place with one struct field step.
+    MemberStep { fidx: u16, line: u32 },
+    /// Pop a place, push the value read through it.
+    ReadPlace { line: u32 },
+    /// Pop a struct rvalue, push one field of it.
+    MemberValue { fidx: u16, line: u32 },
+    /// Pop a place, push a pointer to it (wild if into a struct interior).
+    AddrOf,
+    /// Pop place and value, write, push the stored value.
+    Store { line: u32 },
+    /// Compound assignment: read-modify-write through the popped place.
+    StoreBin { op: BinOp, line: u32 },
+    /// Fused `x = <expr>;` statement on a local: pop, write, push nothing.
+    /// Burn/fault behaviour is identical to `PlaceLocal;Store;Pop` — the
+    /// fused ops exist because polling loops are made of these statements.
+    StoreLocalPop { slot: u16, line: u32 },
+    /// Fused `g = <expr>;` statement on a global.
+    StoreGlobalPop { gidx: u16, line: u32 },
+    /// Fused `x op= <expr>;` statement on a local.
+    StoreOpLocalPop { slot: u16, op: BinOp, line: u32 },
+    /// Fused `g op= <expr>;` statement on a global.
+    StoreOpGlobalPop { gidx: u16, op: BinOp, line: u32 },
+    /// Fused `x++;`-style statement on a local (result discarded, so
+    /// prefix/postfix are indistinguishable).
+    IncDecLocalPop { slot: u16, inc: bool, line: u32 },
+    /// Fused `g++;`-style statement on a global.
+    IncDecGlobalPop { gidx: u16, inc: bool, line: u32 },
+    /// `++`/`--` through the popped place.
+    IncDec { inc: bool, prefix: bool, line: u32 },
+    /// Arithmetic negate (`line` is the operand's, for `BadValue`).
+    Neg { line: u32 },
+    /// Logical not.
+    LogicalNot,
+    /// Bitwise not (`line` is the operand's).
+    BitNot { line: u32 },
+    /// Binary operator over the top two values.
+    Bin { op: BinOp, line: u32 },
+    /// Fused binary operator whose rhs folded to a single-burn constant
+    /// (`t < 20000`, `s & 0x80`, …): burn `rhs_line`, then apply `op` to
+    /// the top value and `consts[cidx]` — burn order and faults identical
+    /// to the unfused `…; Const; Bin` sequence.
+    BinConst { op: BinOp, cidx: u32, rhs_line: u32, line: u32 },
+    /// Pop a value, push its truthiness as 0/1 (`&&`/`||` result).
+    CoerceBool,
+    /// Cast the top value.
+    Cast { kind: CastKind, line: u32 },
+    /// Discard the top value.
+    Pop,
+    /// Unconditional jump.
+    Jump { target: u32 },
+    /// Pop; jump when falsy.
+    JumpIfFalse { target: u32 },
+    /// Pop; jump when truthy.
+    JumpIfTrue { target: u32 },
+    /// `&&` short-circuit: pop; when falsy push 0 and jump.
+    BrFalseConst { target: u32 },
+    /// `||` short-circuit: pop; when truthy push 1 and jump.
+    BrTrueConst { target: u32 },
+    /// Dispatch on the popped integer via `switches[table]`.
+    Switch { table: u32 },
+    /// Open a block scope (object-release bookkeeping).
+    EnterScope,
+    /// Close the innermost scope, releasing its objects in push order.
+    ExitScope,
+    /// Declare a local with zero/default contents from `templates`.
+    DeclZero { slot: u16, template: u32 },
+    /// Declare a scalar local from the popped initialiser.
+    DeclScalar { slot: u16, coerce: Coerce },
+    /// Declare an array local; pops `items` initialisers.
+    DeclArray { slot: u16, template: u32, items: u16, coerce: Coerce },
+    /// Declare a struct local; pops `items` initialisers, coercing each
+    /// through `field_coerces[coerces]`.
+    DeclStruct { slot: u16, template: u32, items: u16, coerces: u32 },
+    /// Call a user function with the top `argc` values as arguments.
+    CallUser { fidx: u16, argc: u8 },
+    /// Call a kernel builtin with the top `argc` values.
+    CallBuiltin { which: Builtin, argc: u8, line: u32 },
+    /// Return the top value, unwinding the frame.
+    Ret,
+    /// Unconditional fault (defensive lowering of checker-rejected shapes).
+    Trap { kind: FaultKind, line: u32 },
+}
+
+/// How a global's object is assembled from its evaluated initialisers —
+/// the lowered form of `Interpreter::ensure_globals` (which, unlike local
+/// declarations, stores aggregate items *uncoerced*).
+#[derive(Debug, Clone)]
+pub(crate) enum GFinish {
+    /// No initialiser: clone the zero template.
+    Zero { template: u32 },
+    /// Scalar initialiser: coerce the single popped value.
+    Scalar { coerce: Coerce },
+    /// Array initialiser list: pops `items` raw values over the template.
+    Array { template: u32, items: u16 },
+    /// Struct initialiser list: pops `items` raw field values.
+    Struct { template: u32, items: u16 },
+}
+
+/// A lowered function.
+#[derive(Debug, Clone)]
+pub(crate) struct BFunc {
+    pub(crate) name: String,
+    pub(crate) ops: Vec<Op>,
+    /// Frame size in slots (params first).
+    pub(crate) slots: u16,
+    /// Per-parameter store coercions.
+    pub(crate) params: Box<[Coerce]>,
+    /// Packed definition line (stack-overflow fault site).
+    pub(crate) line: u32,
+}
+
+/// A lowered global: initialiser evaluation ops plus assembly recipe.
+#[derive(Debug, Clone)]
+pub(crate) struct BGlobal {
+    pub(crate) name: String,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) finish: GFinish,
+    /// Packed declaration line — faults during initialisation are
+    /// re-stamped to this local line, as `eval_const` does.
+    pub(crate) line: u32,
+}
+
+/// One lowered `switch`: first-matching-arm dispatch table.
+#[derive(Debug, Clone)]
+pub(crate) struct SwitchTable {
+    pub(crate) cases: Vec<(i64, u32)>,
+    pub(crate) default: Option<u32>,
+    /// Jump target when no arm matches.
+    pub(crate) end: u32,
+    /// Whether dispatching into an arm opens the switch scope.
+    pub(crate) enter_scope: bool,
+    /// Packed line of the `switch` (non-integer scrutinee fault).
+    pub(crate) line: u32,
+}
+
+/// A program lowered to bytecode, ready for [`crate::vm::Vm`].
+///
+/// Produced by [`lower`] (or [`Program::to_bytecode`]); immutable and
+/// freely shareable across boots of the same mutant.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    pub(crate) funcs: Vec<BFunc>,
+    pub(crate) globals: Vec<BGlobal>,
+    pub(crate) consts: Vec<Value>,
+    pub(crate) burn_seqs: Vec<Box<[u32]>>,
+    pub(crate) templates: Vec<Box<[Value]>>,
+    pub(crate) field_coerces: Vec<Box<[Coerce]>>,
+    pub(crate) switches: Vec<SwitchTable>,
+    /// Per-file maximum source line, for coverage sizing.
+    pub(crate) line_bounds: Vec<u32>,
+    /// Participating file names (index = `file_id`).
+    pub(crate) files: Vec<String>,
+}
+
+impl CompiledProgram {
+    /// Index of a function by name.
+    pub(crate) fn function(&self, name: &str) -> Option<u16> {
+        self.funcs.iter().position(|f| f.name == name).map(|i| i as u16)
+    }
+
+    /// Index of a global by name.
+    pub(crate) fn global(&self, name: &str) -> Option<u16> {
+        self.globals.iter().position(|g| g.name == name).map(|i| i as u16)
+    }
+
+    /// Resolve a packed line id to `(file name, local line)`.
+    pub(crate) fn loc(&self, packed: u32) -> (&str, u32) {
+        let (fid, line) = crate::token::unpack_line(packed);
+        let name = self
+            .files
+            .get(fid as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown>");
+        (name, line)
+    }
+
+    /// Number of lowered functions (diagnostics).
+    pub fn function_count(&self) -> usize {
+        self.funcs.len()
+    }
+}
+
+impl Program {
+    /// Lower this checked program to bytecode (see [`lower`]).
+    pub fn to_bytecode(&self) -> CompiledProgram {
+        lower(self)
+    }
+}
+
+/// Lower a checked program to bytecode.
+///
+/// Lowering is total for checker-approved programs; shapes the checker
+/// rejects (and which therefore cannot reach a [`crate::vm::Vm`] through
+/// [`crate::compile`]) lower to the same runtime fault the tree-walker
+/// raises.
+pub fn lower(program: &Program) -> CompiledProgram {
+    let mut lw = Lower {
+        program,
+        builtin_sigs: crate::check::builtin_signatures(),
+        consts: Vec::new(),
+        int_consts: HashMap::new(),
+        str_consts: HashMap::new(),
+        burn_seqs: Vec::new(),
+        templates: Vec::new(),
+        field_coerces: Vec::new(),
+        switches: Vec::new(),
+        global_names: program.unit.globals().map(|g| g.name.clone()).collect(),
+        ops: Vec::new(),
+        scopes: Vec::new(),
+        ctxs: Vec::new(),
+        next_slot: 0,
+    };
+    let globals = program.unit.globals().map(|g| lw.lower_global(g)).collect();
+    let funcs = program.unit.functions().map(|f| lw.lower_function(f)).collect();
+    CompiledProgram {
+        funcs,
+        globals,
+        consts: lw.consts,
+        burn_seqs: lw.burn_seqs,
+        templates: lw.templates,
+        field_coerces: lw.field_coerces,
+        switches: lw.switches,
+        line_bounds: coverage::line_bounds(&program.unit),
+        files: program.unit.files.clone(),
+    }
+}
+
+/// Whether an expression can be resolved as an lvalue (syntactically) —
+/// mirror of the interpreter's `is_lvalue_expr`.
+fn is_lvalue_expr(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Ident { .. }
+            | Expr::Index { .. }
+            | Expr::Member { .. }
+            | Expr::Unary { op: UnOp::Deref, .. }
+    )
+}
+
+struct LScope {
+    names: Vec<(String, u16)>,
+    /// Whether this scope exists at runtime (has an `EnterScope` op or is
+    /// the implicit frame scope / runtime switch scope).
+    emitted: bool,
+}
+
+enum CtxKind {
+    Loop,
+    Switch,
+}
+
+struct Ctx {
+    kind: CtxKind,
+    /// Emitted-scope count outside this construct — break unwinds to here.
+    scopes_outside: usize,
+    /// Emitted-scope count at the loop body — continue unwinds to here.
+    scopes_body: usize,
+    break_patches: Vec<usize>,
+    continue_patches: Vec<usize>,
+    /// Continue target when already known (while loops).
+    continue_target: Option<u32>,
+}
+
+struct Lower<'p> {
+    program: &'p Program,
+    builtin_sigs: HashMap<String, crate::check::Sig>,
+    consts: Vec<Value>,
+    int_consts: HashMap<i64, u32>,
+    str_consts: HashMap<String, u32>,
+    burn_seqs: Vec<Box<[u32]>>,
+    templates: Vec<Box<[Value]>>,
+    field_coerces: Vec<Box<[Coerce]>>,
+    switches: Vec<SwitchTable>,
+    global_names: Vec<String>,
+    // Per-function state:
+    ops: Vec<Op>,
+    scopes: Vec<LScope>,
+    ctxs: Vec<Ctx>,
+    next_slot: u16,
+}
+
+enum Resolved {
+    Local(u16),
+    Global(u16),
+    None,
+}
+
+impl<'p> Lower<'p> {
+    // ----- tables ---------------------------------------------------------
+
+    fn intern(&mut self, v: Value) -> u32 {
+        match &v {
+            Value::Int(i) => {
+                if let Some(&idx) = self.int_consts.get(i) {
+                    return idx;
+                }
+                let idx = self.consts.len() as u32;
+                self.int_consts.insert(*i, idx);
+                self.consts.push(v);
+                idx
+            }
+            Value::Str(s) => {
+                if let Some(&idx) = self.str_consts.get(s.as_ref()) {
+                    return idx;
+                }
+                let idx = self.consts.len() as u32;
+                self.str_consts.insert(s.to_string(), idx);
+                self.consts.push(v);
+                idx
+            }
+            _ => {
+                if let Some(i) = self.consts.iter().position(|c| *c == v) {
+                    return i as u32;
+                }
+                self.consts.push(v);
+                self.consts.len() as u32 - 1
+            }
+        }
+    }
+
+    fn intern_seq(&mut self, seq: Vec<u32>) -> u32 {
+        if let Some(i) = self.burn_seqs.iter().position(|s| s.as_ref() == seq.as_slice()) {
+            return i as u32;
+        }
+        self.burn_seqs.push(seq.into_boxed_slice());
+        self.burn_seqs.len() as u32 - 1
+    }
+
+    fn intern_template(&mut self, t: Vec<Value>) -> u32 {
+        if let Some(i) = self.templates.iter().position(|s| s.as_ref() == t.as_slice()) {
+            return i as u32;
+        }
+        self.templates.push(t.into_boxed_slice());
+        self.templates.len() as u32 - 1
+    }
+
+    /// Zero value of a type — must mirror `Interpreter::zero_of` exactly
+    /// (including the struct-shaped representation of nested arrays).
+    fn zero_of(&self, ty: &CType) -> Value {
+        match ty {
+            CType::Int { .. } | CType::Void => Value::Int(0),
+            CType::Ptr(_) => Value::Ptr(None),
+            CType::Array(e, n) => Value::Struct(Rc::new(vec![self.zero_of(e); *n])),
+            CType::Struct(id) => {
+                let fields = &self.program.structs.get(*id).fields;
+                Value::Struct(Rc::new(fields.iter().map(|(_, t)| self.zero_of(t)).collect()))
+            }
+        }
+    }
+
+    /// First field index matching `name` across *all* struct definitions —
+    /// mirror of `Interpreter::field_index_of` (positions agree across the
+    /// generated stub types by construction).
+    fn field_index(&self, name: &str) -> u16 {
+        for i in 0..self.program.structs.len() {
+            if let Some(idx) = self.program.structs.get(StructId(i)).field_index(name) {
+                return idx as u16;
+            }
+        }
+        NO_FIELD
+    }
+
+    fn resolve(&self, name: &str) -> Resolved {
+        for scope in self.scopes.iter().rev() {
+            if let Some((_, slot)) = scope.names.iter().rev().find(|(n, _)| n == name) {
+                return Resolved::Local(*slot);
+            }
+        }
+        match self.global_names.iter().position(|g| g == name) {
+            Some(i) => Resolved::Global(i as u16),
+            None => Resolved::None,
+        }
+    }
+
+    fn declare(&mut self, name: &str) -> u16 {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.scopes
+            .last_mut()
+            .expect("inside a scope")
+            .names
+            .push((name.to_string(), slot));
+        slot
+    }
+
+    fn emitted_scopes(&self) -> usize {
+        self.scopes.iter().filter(|s| s.emitted).count()
+    }
+
+    // ----- constant folding ----------------------------------------------
+
+    /// Evaluate a subtree that provably cannot fault, returning its value
+    /// and the burn sequence `Interpreter::eval` would have produced.
+    fn fold(&self, e: &Expr) -> Option<(Value, Vec<u32>)> {
+        match e {
+            Expr::IntLit { value, line } => Some((Value::Int(*value as i64), vec![*line])),
+            Expr::CharLit { value, line } => Some((Value::Int(*value as i64), vec![*line])),
+            Expr::StrLit { value, line } => {
+                Some((Value::Str(Rc::from(value.as_str())), vec![*line]))
+            }
+            Expr::SizeofType { ty, line } => Some((
+                Value::Int(ty.size_bytes(&self.program.structs) as i64),
+                vec![*line],
+            )),
+            Expr::Ident { name, line } => {
+                // Only the function-designator-as-value case is constant;
+                // real variables load at run time.
+                if !matches!(self.resolve(name), Resolved::None) {
+                    return None;
+                }
+                if self.program.unit.function(name).is_some()
+                    || self.builtin_sigs.contains_key(name)
+                {
+                    let addr = 0x0800_0000u32.wrapping_add(
+                        name.bytes()
+                            .fold(0u32, |a, b| a.wrapping_mul(31).wrapping_add(b as u32))
+                            & 0xFFFF,
+                    );
+                    return Some((Value::Int(addr as i64), vec![*line]));
+                }
+                None
+            }
+            Expr::Unary { op, expr, line } => {
+                let (v, mut seq) = self.fold(expr)?;
+                let out = match op {
+                    UnOp::Plus => v,
+                    UnOp::Neg => Value::Int(v.as_int()?.wrapping_neg()),
+                    UnOp::BitNot => Value::Int(!v.as_int()?),
+                    UnOp::Not => Value::Int(i64::from(!v.truthy())),
+                    UnOp::Deref | UnOp::AddrOf => return None,
+                };
+                let mut burns = vec![*line];
+                burns.append(&mut seq);
+                Some((out, burns))
+            }
+            Expr::Binary { op, lhs, rhs, line } => {
+                let (l, mut lseq) = self.fold(lhs)?;
+                match op {
+                    BinOp::LogAnd | BinOp::LogOr => {
+                        let short = (*op == BinOp::LogAnd) != l.truthy();
+                        let mut burns = vec![*line];
+                        burns.append(&mut lseq);
+                        if short {
+                            let v = i64::from(*op == BinOp::LogOr);
+                            return Some((Value::Int(v), burns));
+                        }
+                        let (r, mut rseq) = self.fold(rhs)?;
+                        burns.append(&mut rseq);
+                        Some((Value::Int(i64::from(r.truthy())), burns))
+                    }
+                    _ => {
+                        let (r, mut rseq) = self.fold(rhs)?;
+                        let (a, b) = (l.as_int()?, r.as_int()?);
+                        let v = fold_int_binop(*op, a, b)?;
+                        let mut burns = vec![*line];
+                        burns.append(&mut lseq);
+                        burns.append(&mut rseq);
+                        Some((Value::Int(v), burns))
+                    }
+                }
+            }
+            Expr::Cast { ty, expr, line } => {
+                let (v, mut seq) = self.fold(expr)?;
+                // Mirror of the interpreter's cast arm, constant cases only.
+                let out = match (ty, v) {
+                    (CType::Int { signed, bits }, Value::Int(i)) => {
+                        Value::Int(crate::value::wrap_int(i, *bits, *signed))
+                    }
+                    (CType::Int { .. }, Value::Ptr(Some(p))) => {
+                        Value::Int((p.obj.0 as i64 + 1) * 0x1_0000 + p.idx as i64)
+                    }
+                    (CType::Int { .. }, Value::Ptr(None)) => Value::Int(0),
+                    (CType::Int { .. }, Value::Str(_)) => Value::Int(0x5_0000),
+                    (CType::Ptr(_), Value::Int(0)) => Value::Ptr(None),
+                    (CType::Ptr(_), Value::Int(i)) => Value::Ptr(Some(Place {
+                        obj: crate::value::ObjId(crate::interp::WILD_OBJ),
+                        idx: i as usize,
+                    })),
+                    (CType::Ptr(_), v @ (Value::Ptr(_) | Value::Str(_))) => v,
+                    (CType::Void, _) => Value::Int(0),
+                    _ => return None,
+                };
+                let mut burns = vec![*line];
+                burns.append(&mut seq);
+                Some((out, burns))
+            }
+            _ => None,
+        }
+    }
+
+    fn emit_folded(&mut self, v: Value, seq: Vec<u32>) {
+        let cidx = self.intern(v);
+        if seq.len() == 1 {
+            self.ops.push(Op::Const { cidx, line: seq[0] });
+        } else {
+            let seq = self.intern_seq(seq);
+            self.ops.push(Op::ConstN { cidx, seq });
+        }
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    fn emit_expr(&mut self, e: &Expr) {
+        if let Some((v, seq)) = self.fold(e) {
+            self.emit_folded(v, seq);
+            return;
+        }
+        match e {
+            // Constant leaves are always folded above.
+            Expr::IntLit { .. }
+            | Expr::CharLit { .. }
+            | Expr::StrLit { .. }
+            | Expr::SizeofType { .. } => unreachable!("constant leaves fold"),
+            Expr::Ident { name, line } => match self.resolve(name) {
+                Resolved::Local(slot) => self.ops.push(Op::LoadLocal { slot, line: *line }),
+                Resolved::Global(gidx) => self.ops.push(Op::LoadGlobal { gidx, line: *line }),
+                Resolved::None => {
+                    // Unknown non-function name: checker-rejected; fault
+                    // exactly where the tree-walker does.
+                    self.ops.push(Op::Line(*line));
+                    self.ops.push(Op::Trap { kind: FaultKind::BadValue, line: *line });
+                }
+            },
+            Expr::Unary { op, expr, line } => {
+                self.ops.push(Op::Line(*line));
+                match op {
+                    UnOp::Neg => {
+                        self.emit_expr(expr);
+                        self.ops.push(Op::Neg { line: expr.line() });
+                    }
+                    UnOp::Plus => self.emit_expr(expr),
+                    UnOp::Not => {
+                        self.emit_expr(expr);
+                        self.ops.push(Op::LogicalNot);
+                    }
+                    UnOp::BitNot => {
+                        self.emit_expr(expr);
+                        self.ops.push(Op::BitNot { line: expr.line() });
+                    }
+                    UnOp::Deref => {
+                        self.emit_expr(expr);
+                        self.ops.push(Op::PtrPlace { line: *line });
+                        self.ops.push(Op::ReadPlace { line: *line });
+                    }
+                    UnOp::AddrOf => {
+                        self.emit_lvalue(expr);
+                        self.ops.push(Op::AddrOf);
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs, line } => {
+                self.ops.push(Op::Line(*line));
+                match op {
+                    BinOp::LogAnd => {
+                        self.emit_expr(lhs);
+                        let br = self.placeholder();
+                        self.emit_expr(rhs);
+                        self.ops.push(Op::CoerceBool);
+                        let end = self.here();
+                        self.ops[br] = Op::BrFalseConst { target: end };
+                    }
+                    BinOp::LogOr => {
+                        self.emit_expr(lhs);
+                        let br = self.placeholder();
+                        self.emit_expr(rhs);
+                        self.ops.push(Op::CoerceBool);
+                        let end = self.here();
+                        self.ops[br] = Op::BrTrueConst { target: end };
+                    }
+                    _ => {
+                        self.emit_expr(lhs);
+                        match self.fold(rhs) {
+                            Some((v, seq)) if seq.len() == 1 => {
+                                let cidx = self.intern(v);
+                                self.ops.push(Op::BinConst {
+                                    op: *op,
+                                    cidx,
+                                    rhs_line: seq[0],
+                                    line: *line,
+                                });
+                            }
+                            Some((v, seq)) => {
+                                self.emit_folded(v, seq);
+                                self.ops.push(Op::Bin { op: *op, line: *line });
+                            }
+                            None => {
+                                self.emit_expr(rhs);
+                                self.ops.push(Op::Bin { op: *op, line: *line });
+                            }
+                        }
+                    }
+                }
+            }
+            Expr::Assign { op, lhs, rhs, line } => {
+                self.ops.push(Op::Line(*line));
+                // Evaluation order: value first, then target place.
+                self.emit_expr(rhs);
+                self.emit_lvalue(lhs);
+                self.ops.push(match op {
+                    None => Op::Store { line: *line },
+                    Some(op) => Op::StoreBin { op: *op, line: *line },
+                });
+            }
+            Expr::Cond { cond, then_e, else_e, line } => {
+                self.ops.push(Op::Line(*line));
+                self.emit_expr(cond);
+                let br = self.placeholder();
+                self.emit_expr(then_e);
+                let jmp = self.placeholder();
+                let at_else = self.here();
+                self.ops[br] = Op::JumpIfFalse { target: at_else };
+                self.emit_expr(else_e);
+                let end = self.here();
+                self.ops[jmp] = Op::Jump { target: end };
+            }
+            Expr::Call { callee, args, line } => {
+                self.ops.push(Op::Line(*line));
+                let Expr::Ident { name, .. } = callee.as_ref() else {
+                    self.ops.push(Op::Trap { kind: FaultKind::BadValue, line: *line });
+                    return;
+                };
+                if let Some(fidx) = self.program.unit.functions().position(|f| f.name == *name)
+                {
+                    for a in args {
+                        self.emit_expr(a);
+                    }
+                    self.ops.push(Op::CallUser { fidx: fidx as u16, argc: args.len() as u8 });
+                } else if let Some(which) = builtin_of(name) {
+                    for a in args {
+                        self.emit_expr(a);
+                    }
+                    self.ops.push(Op::CallBuiltin { which, argc: args.len() as u8, line: *line });
+                } else {
+                    // Declared-but-undefined prototype: faults before any
+                    // argument evaluates, like the tree-walker.
+                    self.ops.push(Op::Trap { kind: FaultKind::BadValue, line: *line });
+                }
+            }
+            Expr::Index { base, index, line } => {
+                self.ops.push(Op::Line(*line));
+                self.emit_expr(base);
+                self.emit_expr(index);
+                self.ops.push(Op::IndexPlace { line: *line, idx_line: index.line() });
+                self.ops.push(Op::ReadPlace { line: *line });
+            }
+            Expr::Member { base, field, arrow, line } => {
+                self.ops.push(Op::Line(*line));
+                let fidx = self.field_index(field);
+                if !*arrow && !is_lvalue_expr(base) {
+                    self.emit_expr(base);
+                    self.ops.push(Op::MemberValue { fidx, line: *line });
+                    return;
+                }
+                if *arrow {
+                    self.emit_expr(base);
+                    self.ops.push(Op::MemberArrow { line: *line });
+                } else {
+                    self.emit_lvalue(base);
+                }
+                self.ops.push(Op::MemberStep { fidx, line: *line });
+                self.ops.push(Op::ReadPlace { line: *line });
+            }
+            Expr::Cast { ty, expr, line } => {
+                self.ops.push(Op::Line(*line));
+                self.emit_expr(expr);
+                self.ops.push(Op::Cast { kind: CastKind::of(ty), line: *line });
+            }
+            Expr::IncDec { expr, inc, prefix, line } => {
+                self.ops.push(Op::Line(*line));
+                self.emit_lvalue(expr);
+                self.ops.push(Op::IncDec { inc: *inc, prefix: *prefix, line: *line });
+            }
+            Expr::Comma { lhs, rhs } => {
+                // `eval` burns the comma's own (= rhs's) line first.
+                self.ops.push(Op::Line(rhs.line()));
+                self.emit_expr(lhs);
+                self.ops.push(Op::Pop);
+                self.emit_expr(rhs);
+            }
+        }
+    }
+
+    fn emit_lvalue(&mut self, e: &Expr) {
+        match e {
+            Expr::Ident { name, line } => match self.resolve(name) {
+                Resolved::Local(slot) => self.ops.push(Op::PlaceLocal { slot, line: *line }),
+                Resolved::Global(gidx) => self.ops.push(Op::PlaceGlobal { gidx, line: *line }),
+                Resolved::None => {
+                    self.ops.push(Op::Trap { kind: FaultKind::BadValue, line: *line })
+                }
+            },
+            Expr::Unary { op: UnOp::Deref, expr, line } => {
+                self.emit_expr(expr);
+                self.ops.push(Op::PtrPlace { line: *line });
+            }
+            Expr::Index { base, index, line } => {
+                self.emit_expr(base);
+                self.emit_expr(index);
+                self.ops.push(Op::IndexPlace { line: *line, idx_line: index.line() });
+            }
+            Expr::Member { base, field, arrow, line } => {
+                let fidx = self.field_index(field);
+                if *arrow {
+                    self.emit_expr(base);
+                    self.ops.push(Op::MemberArrow { line: *line });
+                } else {
+                    self.emit_lvalue(base);
+                }
+                self.ops.push(Op::MemberStep { fidx, line: *line });
+            }
+            other => self.ops.push(Op::Trap {
+                kind: FaultKind::BadValue,
+                line: other.line(),
+            }),
+        }
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    fn placeholder(&mut self) -> usize {
+        self.ops.push(Op::Jump { target: u32::MAX });
+        self.ops.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn emit_block(&mut self, b: &Block) {
+        let has_decl = b.stmts.iter().any(|s| matches!(s, Stmt::Decl { .. }));
+        if has_decl {
+            self.ops.push(Op::EnterScope);
+        }
+        self.scopes.push(LScope { names: Vec::new(), emitted: has_decl });
+        for s in &b.stmts {
+            self.emit_stmt(s);
+        }
+        self.scopes.pop();
+        if has_decl {
+            self.ops.push(Op::ExitScope);
+        }
+    }
+
+    fn emit_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl { name, ty, init, line } => {
+                self.ops.push(Op::Line(*line));
+                match (ty, init) {
+                    (CType::Array(elem, n), init) => {
+                        let template =
+                            self.intern_template(vec![self.zero_of(elem); *n]);
+                        let mut items = 0u16;
+                        if let Some(Init::List(list)) = init {
+                            for it in list {
+                                self.emit_expr(it);
+                            }
+                            items = list.len() as u16;
+                        }
+                        let slot = self.declare(name);
+                        self.ops.push(Op::DeclArray {
+                            slot,
+                            template,
+                            items,
+                            coerce: Coerce::of(elem),
+                        });
+                    }
+                    (CType::Struct(id), Some(Init::List(list))) => {
+                        let fields = self.program.structs.get(*id).fields.clone();
+                        let template = self.intern_template(
+                            fields.iter().map(|(_, t)| self.zero_of(t)).collect(),
+                        );
+                        let coerces: Vec<Coerce> =
+                            fields.iter().map(|(_, t)| Coerce::of(t)).collect();
+                        let cidx = {
+                            if let Some(i) = self
+                                .field_coerces
+                                .iter()
+                                .position(|c| c.as_ref() == coerces.as_slice())
+                            {
+                                i as u32
+                            } else {
+                                self.field_coerces.push(coerces.into_boxed_slice());
+                                self.field_coerces.len() as u32 - 1
+                            }
+                        };
+                        for it in list {
+                            self.emit_expr(it);
+                        }
+                        let slot = self.declare(name);
+                        self.ops.push(Op::DeclStruct {
+                            slot,
+                            template,
+                            items: list.len() as u16,
+                            coerces: cidx,
+                        });
+                    }
+                    (ty, Some(Init::Expr(e))) => {
+                        self.emit_expr(e);
+                        let slot = self.declare(name);
+                        self.ops.push(Op::DeclScalar { slot, coerce: Coerce::of(ty) });
+                    }
+                    (ty, _) => {
+                        let template = self.intern_template(vec![self.zero_of(ty)]);
+                        let slot = self.declare(name);
+                        self.ops.push(Op::DeclZero { slot, template });
+                    }
+                }
+            }
+            Stmt::Expr(e) => self.emit_expr_stmt(e),
+            Stmt::If { cond, then_blk, else_blk } => {
+                self.emit_expr(cond);
+                let br = self.placeholder();
+                self.emit_block(then_blk);
+                match else_blk {
+                    Some(eb) => {
+                        let jmp = self.placeholder();
+                        let at_else = self.here();
+                        self.ops[br] = Op::JumpIfFalse { target: at_else };
+                        self.emit_block(eb);
+                        let end = self.here();
+                        self.ops[jmp] = Op::Jump { target: end };
+                    }
+                    None => {
+                        let end = self.here();
+                        self.ops[br] = Op::JumpIfFalse { target: end };
+                    }
+                }
+            }
+            Stmt::While { cond, body } => {
+                let start = self.here();
+                self.emit_expr(cond);
+                let br = self.placeholder();
+                self.ctxs.push(Ctx {
+                    kind: CtxKind::Loop,
+                    scopes_outside: self.emitted_scopes(),
+                    scopes_body: self.emitted_scopes(),
+                    break_patches: Vec::new(),
+                    continue_patches: Vec::new(),
+                    continue_target: Some(start),
+                });
+                self.emit_block(body);
+                self.ops.push(Op::Jump { target: start });
+                let end = self.here();
+                self.ops[br] = Op::JumpIfFalse { target: end };
+                let ctx = self.ctxs.pop().expect("loop ctx pushed");
+                self.patch(ctx.break_patches, end);
+                debug_assert!(ctx.continue_patches.is_empty());
+            }
+            Stmt::DoWhile { body, cond } => {
+                let start = self.here();
+                self.ctxs.push(Ctx {
+                    kind: CtxKind::Loop,
+                    scopes_outside: self.emitted_scopes(),
+                    scopes_body: self.emitted_scopes(),
+                    break_patches: Vec::new(),
+                    continue_patches: Vec::new(),
+                    continue_target: None,
+                });
+                self.emit_block(body);
+                let at_cond = self.here();
+                self.emit_expr(cond);
+                self.ops.push(Op::JumpIfTrue { target: start });
+                let end = self.here();
+                let ctx = self.ctxs.pop().expect("loop ctx pushed");
+                self.patch(ctx.break_patches, end);
+                self.patch(ctx.continue_patches, at_cond);
+            }
+            Stmt::For { init, cond, step, body } => {
+                let has_scope = matches!(init.as_deref(), Some(Stmt::Decl { .. }));
+                if has_scope {
+                    self.ops.push(Op::EnterScope);
+                }
+                self.scopes.push(LScope { names: Vec::new(), emitted: has_scope });
+                if let Some(init) = init {
+                    self.emit_stmt(init);
+                }
+                let start = self.here();
+                let br = cond.as_ref().map(|c| {
+                    self.emit_expr(c);
+                    self.placeholder()
+                });
+                self.ctxs.push(Ctx {
+                    kind: CtxKind::Loop,
+                    scopes_outside: self.emitted_scopes(),
+                    scopes_body: self.emitted_scopes(),
+                    break_patches: Vec::new(),
+                    continue_patches: Vec::new(),
+                    continue_target: None,
+                });
+                self.emit_block(body);
+                let at_step = self.here();
+                if let Some(st) = step {
+                    self.emit_expr_stmt(st);
+                }
+                self.ops.push(Op::Jump { target: start });
+                let end = self.here();
+                if let Some(br) = br {
+                    self.ops[br] = Op::JumpIfFalse { target: end };
+                }
+                let ctx = self.ctxs.pop().expect("loop ctx pushed");
+                self.patch(ctx.break_patches, end);
+                self.patch(ctx.continue_patches, at_step);
+                self.scopes.pop();
+                if has_scope {
+                    self.ops.push(Op::ExitScope);
+                }
+            }
+            Stmt::Switch { expr, arms, line } => {
+                self.ops.push(Op::Line(*line));
+                self.emit_expr(expr);
+                let enter_scope = arms
+                    .iter()
+                    .any(|a| a.stmts.iter().any(|s| matches!(s, Stmt::Decl { .. })));
+                let table = self.switches.len() as u32;
+                self.switches.push(SwitchTable {
+                    cases: Vec::new(),
+                    default: None,
+                    end: u32::MAX,
+                    enter_scope,
+                    line: *line,
+                });
+                self.ops.push(Op::Switch { table });
+                self.ctxs.push(Ctx {
+                    kind: CtxKind::Switch,
+                    scopes_outside: self.emitted_scopes(),
+                    scopes_body: 0, // switches never host `continue` targets
+                    break_patches: Vec::new(),
+                    continue_patches: Vec::new(),
+                    continue_target: None,
+                });
+                // All arms share one runtime scope, entered by the Switch
+                // dispatch itself.
+                self.scopes.push(LScope { names: Vec::new(), emitted: enter_scope });
+                let mut arm_starts = Vec::with_capacity(arms.len());
+                for arm in arms {
+                    arm_starts.push(self.here());
+                    for st in &arm.stmts {
+                        self.emit_stmt(st);
+                    }
+                }
+                self.scopes.pop();
+                if enter_scope {
+                    self.ops.push(Op::ExitScope);
+                }
+                let end = self.here();
+                let ctx = self.ctxs.pop().expect("switch ctx pushed");
+                self.patch(ctx.break_patches, end);
+                debug_assert!(ctx.continue_patches.is_empty());
+                let tbl = &mut self.switches[table as usize];
+                tbl.end = end;
+                for (arm, start) in arms.iter().zip(arm_starts) {
+                    for l in &arm.labels {
+                        match l {
+                            CaseLabel::Case(v) => tbl.cases.push((*v, start)),
+                            CaseLabel::Default => {
+                                if tbl.default.is_none() {
+                                    tbl.default = Some(start);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::Return(e, line) => {
+                self.ops.push(Op::Line(*line));
+                match e {
+                    Some(e) => self.emit_expr(e),
+                    None => {
+                        let cidx = self.intern(Value::Int(0));
+                        self.ops.push(Op::PushConst { cidx });
+                    }
+                }
+                self.ops.push(Op::Ret);
+            }
+            Stmt::Break(line) => {
+                self.ops.push(Op::Line(*line));
+                if let Some(i) = self.ctxs.len().checked_sub(1) {
+                    let unwind = self.emitted_scopes() - self.ctxs[i].scopes_outside;
+                    for _ in 0..unwind {
+                        self.ops.push(Op::ExitScope);
+                    }
+                    let p = self.placeholder();
+                    self.ctxs[i].break_patches.push(p);
+                }
+                // `break` outside any loop/switch is checker-rejected.
+            }
+            Stmt::Continue(line) => {
+                self.ops.push(Op::Line(*line));
+                if let Some(i) = self
+                    .ctxs
+                    .iter()
+                    .rposition(|c| matches!(c.kind, CtxKind::Loop))
+                {
+                    let unwind = self.emitted_scopes() - self.ctxs[i].scopes_body;
+                    for _ in 0..unwind {
+                        self.ops.push(Op::ExitScope);
+                    }
+                    match self.ctxs[i].continue_target {
+                        Some(t) => self.ops.push(Op::Jump { target: t }),
+                        None => {
+                            let p = self.placeholder();
+                            self.ctxs[i].continue_patches.push(p);
+                        }
+                    }
+                }
+            }
+            Stmt::Block(b) => self.emit_block(b),
+            Stmt::Empty => {}
+        }
+    }
+
+    /// An expression evaluated for effect only (expression statements and
+    /// `for` steps). Statement-level stores to plain variables are the
+    /// bulk of driver hot loops; fuse them so the value never round-trips
+    /// through the stacks. The burn sequence and fault behaviour are
+    /// unchanged (`PlaceLocal`, `Store` and `Pop` never burn).
+    fn emit_expr_stmt(&mut self, e: &Expr) {
+        match e {
+            Expr::Assign { op, lhs, rhs, line } => {
+                if let Expr::Ident { name, .. } = lhs.as_ref() {
+                    match self.resolve(name) {
+                        Resolved::Local(slot) => {
+                            self.ops.push(Op::Line(*line));
+                            self.emit_expr(rhs);
+                            self.ops.push(match op {
+                                None => Op::StoreLocalPop { slot, line: *line },
+                                Some(op) => {
+                                    Op::StoreOpLocalPop { slot, op: *op, line: *line }
+                                }
+                            });
+                            return;
+                        }
+                        Resolved::Global(gidx) => {
+                            self.ops.push(Op::Line(*line));
+                            self.emit_expr(rhs);
+                            self.ops.push(match op {
+                                None => Op::StoreGlobalPop { gidx, line: *line },
+                                Some(op) => {
+                                    Op::StoreOpGlobalPop { gidx, op: *op, line: *line }
+                                }
+                            });
+                            return;
+                        }
+                        Resolved::None => {}
+                    }
+                }
+            }
+            Expr::IncDec { expr, inc, line, .. } => {
+                if let Expr::Ident { name, .. } = expr.as_ref() {
+                    match self.resolve(name) {
+                        Resolved::Local(slot) => {
+                            self.ops.push(Op::Line(*line));
+                            self.ops
+                                .push(Op::IncDecLocalPop { slot, inc: *inc, line: *line });
+                            return;
+                        }
+                        Resolved::Global(gidx) => {
+                            self.ops.push(Op::Line(*line));
+                            self.ops
+                                .push(Op::IncDecGlobalPop { gidx, inc: *inc, line: *line });
+                            return;
+                        }
+                        Resolved::None => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.emit_expr(e);
+        self.ops.push(Op::Pop);
+    }
+
+    fn patch(&mut self, patches: Vec<usize>, target: u32) {
+        for p in patches {
+            self.ops[p] = Op::Jump { target };
+        }
+    }
+
+    // ----- items ----------------------------------------------------------
+
+    fn lower_function(&mut self, f: &Function) -> BFunc {
+        self.ops = Vec::new();
+        self.scopes.clear();
+        self.ctxs.clear();
+        self.next_slot = 0;
+        // The frame scope (params + body top-level decls) is pushed by the
+        // call machinery itself, so it is "emitted" without an op.
+        self.scopes.push(LScope { names: Vec::new(), emitted: true });
+        let mut params = Vec::with_capacity(f.params.len());
+        for (name, ty) in &f.params {
+            self.declare(name);
+            params.push(Coerce::of(ty));
+        }
+        // Body statements run inline in the frame scope, exactly like
+        // `exec_block_inline` in the tree-walker.
+        for s in &f.body.stmts {
+            self.emit_stmt(s);
+        }
+        // Falling off the end returns 0 (without burning fuel).
+        let cidx = self.intern(Value::Int(0));
+        self.ops.push(Op::PushConst { cidx });
+        self.ops.push(Op::Ret);
+        self.scopes.pop();
+        BFunc {
+            name: f.name.clone(),
+            ops: std::mem::take(&mut self.ops),
+            slots: self.next_slot,
+            params: params.into_boxed_slice(),
+            line: f.line,
+        }
+    }
+
+    fn lower_global(&mut self, g: &Global) -> BGlobal {
+        self.ops = Vec::new();
+        self.scopes.clear();
+        self.ctxs.clear();
+        self.next_slot = 0;
+        // Mirror `ensure_globals`: aggregates store evaluated items *raw*,
+        // scalars coerce; missing initialisers clone the zero template.
+        let finish = match (&g.ty, &g.init) {
+            (CType::Array(elem, n), init) => {
+                let template = self.intern_template(vec![self.zero_of(elem); *n]);
+                let mut items = 0u16;
+                if let Some(Init::List(list)) = init {
+                    for it in list {
+                        self.emit_expr(it);
+                    }
+                    items = list.len() as u16;
+                }
+                if items == 0 {
+                    GFinish::Zero { template }
+                } else {
+                    GFinish::Array { template, items }
+                }
+            }
+            (ty, Some(Init::Expr(e))) => {
+                self.emit_expr(e);
+                GFinish::Scalar { coerce: Coerce::of(ty) }
+            }
+            (CType::Struct(id), Some(Init::List(list))) => {
+                let fields = &self.program.structs.get(*id).fields;
+                let template =
+                    self.intern_template(fields.iter().map(|(_, t)| self.zero_of(t)).collect());
+                for it in list {
+                    self.emit_expr(it);
+                }
+                GFinish::Struct { template, items: list.len() as u16 }
+            }
+            (ty, _) => {
+                let template = self.intern_template(vec![self.zero_of(ty)]);
+                GFinish::Zero { template }
+            }
+        };
+        BGlobal {
+            name: g.name.clone(),
+            ops: std::mem::take(&mut self.ops),
+            finish,
+            line: g.line,
+        }
+    }
+}
+
+/// Integer binary operator evaluation for folding — the `Int × Int` arm of
+/// `Interpreter::apply_binop`, returning `None` for anything that would
+/// fault at run time (division by zero stays unfolded).
+fn fold_int_binop(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    use BinOp::*;
+    Some(match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        Shl => a.wrapping_shl((b as u32) & 63),
+        Shr => {
+            if a >= 0 {
+                a.wrapping_shr((b as u32) & 63)
+            } else {
+                ((a as u32) >> ((b as u32) & 31)) as i64
+            }
+        }
+        BitAnd => a & b,
+        BitOr => a | b,
+        BitXor => a ^ b,
+        Eq => i64::from(a == b),
+        Ne => i64::from(a != b),
+        Lt => i64::from(a < b),
+        Gt => i64::from(a > b),
+        Le => i64::from(a <= b),
+        Ge => i64::from(a >= b),
+        LogAnd | LogOr => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn lowers_a_driver_shaped_program() {
+        let p = compile(
+            "t.c",
+            "unsigned short buf[4];\n\
+             int f(int n) {\n\
+               int i;\n\
+               int acc = 0;\n\
+               for (i = 0; i < n; i++) { acc += buf[i & 3]; }\n\
+               switch (acc) { case 0: return 1; default: break; }\n\
+               return acc;\n\
+             }",
+        )
+        .unwrap();
+        let c = p.to_bytecode();
+        assert_eq!(c.function_count(), 1);
+        assert_eq!(c.globals.len(), 1);
+        assert!(c.funcs[0].slots >= 3, "n, i, acc get slots");
+        assert!(matches!(c.funcs[0].ops.last(), Some(Op::Ret)));
+        assert_eq!(c.switches.len(), 1);
+    }
+
+    #[test]
+    fn constant_subtrees_fold_with_burns_preserved() {
+        let p = compile("t.c", "int f(void) { return (3 + 4) * 2; }").unwrap();
+        let c = p.to_bytecode();
+        // The whole arithmetic subtree folds to one ConstN carrying the
+        // five-node burn sequence (mul, add, 3, 4, 2).
+        let folded = c.funcs[0].ops.iter().find_map(|op| match op {
+            Op::ConstN { cidx, seq } => Some((*cidx, *seq)),
+            _ => None,
+        });
+        let (cidx, seq) = folded.expect("constant subtree folds to ConstN");
+        assert_eq!(c.consts[cidx as usize], Value::Int(14));
+        assert_eq!(c.burn_seqs[seq as usize].len(), 5);
+    }
+
+    #[test]
+    fn division_by_zero_does_not_fold() {
+        let p = compile("t.c", "int f(void) { return 1 / 0; }").unwrap();
+        let c = p.to_bytecode();
+        assert!(
+            c.funcs[0].ops.iter().any(|op| matches!(
+                op,
+                Op::Bin { op: BinOp::Div, .. } | Op::BinConst { op: BinOp::Div, .. }
+            )),
+            "faulting division must stay a runtime op: {:?}",
+            c.funcs[0].ops
+        );
+    }
+
+    #[test]
+    fn string_literals_intern_once() {
+        let p = compile(
+            "t.c",
+            r#"int f(void) { return strcmp("abc", "abc"); }"#,
+        )
+        .unwrap();
+        let c = p.to_bytecode();
+        let strs = c
+            .consts
+            .iter()
+            .filter(|v| matches!(v, Value::Str(_)))
+            .count();
+        assert_eq!(strs, 1, "identical literals share one constant");
+    }
+}

@@ -15,10 +15,11 @@
 //!   harness uses to classify *Dead code* mutants.
 
 use crate::ast::*;
+use crate::coverage::Coverage;
 use crate::types::CType;
 use crate::value::{wrap_int, ObjId, Place, Value};
 use crate::Program;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -153,16 +154,16 @@ struct Lv {
     fields: Vec<usize>,
 }
 
-const WILD_OBJ: usize = usize::MAX;
+pub(crate) const WILD_OBJ: usize = usize::MAX;
 /// Sentinel object for "nearby kernel memory": small out-of-bounds
 /// accesses on static objects land here — reads return zero, writes are
 /// absorbed — because overrunning a static buffer in a 2001 kernel
 /// silently corrupted adjacent memory rather than trapping. Accesses far
 /// outside any object (wild pointers) still crash.
-const ABSORB_OBJ: usize = usize::MAX - 1;
+pub(crate) const ABSORB_OBJ: usize = usize::MAX - 1;
 /// How far past an object's end an access still counts as "nearby".
-const OOB_SLACK: usize = 16384;
-const MAX_DEPTH: u32 = 64;
+pub(crate) const OOB_SLACK: usize = 16384;
+pub(crate) const MAX_DEPTH: u32 = 64;
 
 /// The interpreter. Create one per run; it owns the object heap and the
 /// coverage set.
@@ -176,7 +177,7 @@ pub struct Interpreter<'a, H: Host> {
     globals_ready: bool,
     scopes: Vec<Vec<(String, ObjId)>>,
     frame_bases: Vec<usize>,
-    coverage: HashSet<u32>,
+    coverage: Coverage,
     depth: u32,
 }
 
@@ -194,7 +195,7 @@ impl<'a, H: Host> Interpreter<'a, H> {
             globals_ready: false,
             scopes: Vec::new(),
             frame_bases: Vec::new(),
-            coverage: HashSet::new(),
+            coverage: Coverage::for_unit(&program.unit),
             depth: 0,
         }
     }
@@ -205,13 +206,20 @@ impl<'a, H: Host> Interpreter<'a, H> {
     }
 
     /// Packed line ids executed so far (see [`crate::token::pack_line`]).
-    pub fn coverage(&self) -> &HashSet<u32> {
+    pub fn coverage(&self) -> &Coverage {
         &self.coverage
+    }
+
+    /// Move the coverage map out (e.g. into a boot report), leaving an
+    /// empty one behind — replaces the `HashSet` clone the boot harness
+    /// used to pay per mutant.
+    pub fn take_coverage(&mut self) -> Coverage {
+        std::mem::take(&mut self.coverage)
     }
 
     /// Whether the packed line id was ever executed.
     pub fn line_covered(&self, packed: u32) -> bool {
-        self.coverage.contains(&packed)
+        self.coverage.contains(packed)
     }
 
     /// Call a function by name with the given argument values.

@@ -10,7 +10,13 @@
 //! panic) can be observed deterministically.
 //!
 //! Pipeline: [`pp`] (preprocessor) → [`parser`] → [`check`] (the
-//! "compile") → [`interp`] (the "run").
+//! "compile") → [`bytecode`] (lowering) → [`vm`] (the "run").
+//!
+//! The tree-walking [`interp`] predates the VM and survives as its
+//! differential oracle: both engines execute the same checked [`Program`]
+//! with observably identical results (see `bytecode`'s equivalence
+//! contract). New harness code should lower once with
+//! [`Program::to_bytecode`] and boot mutants through [`vm::Vm`].
 //!
 //! ```
 //! use devil_minic::{compile, interp::{Interpreter, NullHost}};
@@ -29,7 +35,9 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bytecode;
 pub mod check;
+pub mod coverage;
 pub mod error;
 pub mod interp;
 pub mod lexer;
@@ -38,7 +46,10 @@ pub mod pp;
 pub mod token;
 pub mod types;
 pub mod value;
+pub mod vm;
 
+pub use bytecode::CompiledProgram;
+pub use coverage::Coverage;
 pub use error::{CError, CPhase};
 
 /// A fully checked program, ready to interpret.
@@ -73,6 +84,26 @@ pub fn compile_with_includes(
     includes: &[(&str, &str)],
 ) -> Result<Program, CError> {
     let tokens = pp::preprocess(file, source, includes)?;
+    let unit = parser::parse(tokens)?;
+    let structs = check::check(&unit)?;
+    Ok(Program { unit, structs })
+}
+
+/// Like [`compile_with_includes`], resolving includes against a pre-lexed
+/// [`pp::IncludeCache`] — the mutation-campaign fast path, where thousands
+/// of mutated drivers compile against one unchanged header set. Build the
+/// cache once (it is `Sync`; campaign workers can share it) and only the
+/// spliced driver file pays for lexing on each compile.
+///
+/// # Errors
+///
+/// Identical to [`compile_with_includes`] over `cache.includes()`.
+pub fn compile_with_cache(
+    file: &str,
+    source: &str,
+    cache: &pp::IncludeCache,
+) -> Result<Program, CError> {
+    let tokens = pp::preprocess_cached(file, source, cache)?;
     let unit = parser::parse(tokens)?;
     let structs = check::check(&unit)?;
     Ok(Program { unit, structs })

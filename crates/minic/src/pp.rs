@@ -11,11 +11,122 @@ use crate::error::{CError, CPhase};
 use crate::lexer::lex_line;
 use crate::token::{CTok, CToken, Punct};
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 #[derive(Debug, Clone)]
 enum Macro {
     Object(Vec<CToken>),
     Function { params: Vec<String>, body: Vec<CToken> },
+}
+
+/// Pre-lexed include files, reusable across many compiles of *mutated*
+/// drivers against the *same* headers — the hot shape of a mutation
+/// campaign, where only the driver file changes per mutant while the
+/// generated stub header (often the bulk of the token stream) is
+/// byte-identical every time.
+///
+/// Each entry caches the include's comment stripping, logical-line
+/// assembly and tokenisation; directives are kept as text and replayed, so
+/// macro definitions still land in the including unit's macro table.
+/// Caching is *sound-by-construction*: an include is only cached when it
+/// contains no conditional directives (`#ifdef` families can skip lines,
+/// and skipped lines must never be eagerly lexed) and lexes cleanly;
+/// anything else falls back to the uncached path. Tokens are stamped with
+/// the `file_id` assigned on first inclusion; in the (pathological) event
+/// a later compile assigns a different id, the entry is bypassed rather
+/// than served stale.
+///
+/// The cache is immutable after construction (`OnceLock` per entry) and
+/// `Sync`, so one instance can serve every worker of a
+/// `mutagen::Campaign` simultaneously.
+#[derive(Debug, Default)]
+pub struct IncludeCache {
+    entries: Vec<CacheEntry>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    name: String,
+    text: String,
+    lexed: OnceLock<Option<PreLexed>>,
+}
+
+#[derive(Debug)]
+struct PreLexed {
+    file_id: u16,
+    lines: Vec<PLLine>,
+}
+
+#[derive(Debug)]
+enum PLLine {
+    /// An ordinary line, fully tokenised.
+    Toks(Vec<CToken>),
+    /// A directive: the text after `#`, replayed at include time.
+    Directive { line: u32, off: usize, rest: String },
+}
+
+impl IncludeCache {
+    /// Build a cache over `(name, text)` include files. Lexing happens
+    /// lazily on each include's first use.
+    pub fn new(includes: &[(&str, &str)]) -> Self {
+        IncludeCache {
+            entries: includes
+                .iter()
+                .map(|(n, t)| CacheEntry {
+                    name: n.to_string(),
+                    text: t.to_string(),
+                    lexed: OnceLock::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether this cache was built over exactly these include files.
+    pub fn matches(&self, includes: &[(&str, &str)]) -> bool {
+        self.entries.len() == includes.len()
+            && self
+                .entries
+                .iter()
+                .zip(includes)
+                .all(|(e, (n, t))| e.name == *n && e.text == *t)
+    }
+
+    /// The include set as borrowed `(name, text)` pairs.
+    pub fn includes(&self) -> Vec<(&str, &str)> {
+        self.entries
+            .iter()
+            .map(|e| (e.name.as_str(), e.text.as_str()))
+            .collect()
+    }
+
+    fn entry(&self, name: &str) -> Option<&CacheEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+/// Tokenise an include eagerly, or report it uncacheable (`None`).
+fn prelex(name: &str, file_id: u16, source: &str) -> Option<PreLexed> {
+    let text = strip_block_comments(source);
+    let mut lines = Vec::new();
+    for (line, off, text) in logical_lines(&text) {
+        let trimmed = text.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let rest = rest.trim_start();
+            let (directive, _) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+            if matches!(directive, "ifdef" | "ifndef" | "else" | "endif") {
+                // Conditional inclusion can skip lines, and skipped lines
+                // are never lexed — eager lexing would change semantics.
+                return None;
+            }
+            lines.push(PLLine::Directive { line, off, rest: rest.to_string() });
+        } else {
+            match lex_line(name, file_id, line, off, &text) {
+                Ok(toks) => lines.push(PLLine::Toks(toks)),
+                Err(_) => return None, // let the uncached path re-raise it
+            }
+        }
+    }
+    Some(PreLexed { file_id, lines })
 }
 
 /// Run the preprocessor over `source`, resolving `#include "name"` against
@@ -34,8 +145,34 @@ pub fn preprocess(
     source: &str,
     includes: &[(&str, &str)],
 ) -> Result<(Vec<CToken>, Vec<String>), CError> {
+    preprocess_impl(file, source, includes, None)
+}
+
+/// Like [`preprocess`], resolving `#include` against a pre-lexed
+/// [`IncludeCache`] — the campaign fast path, where only the driver file
+/// changes between compiles.
+///
+/// # Errors
+///
+/// Identical to [`preprocess`] over `cache.includes()`.
+pub fn preprocess_cached(
+    file: &str,
+    source: &str,
+    cache: &IncludeCache,
+) -> Result<(Vec<CToken>, Vec<String>), CError> {
+    let includes = cache.includes();
+    preprocess_impl(file, source, &includes, Some(cache))
+}
+
+fn preprocess_impl(
+    file: &str,
+    source: &str,
+    includes: &[(&str, &str)],
+    cache: Option<&IncludeCache>,
+) -> Result<(Vec<CToken>, Vec<String>), CError> {
     let mut pp = Preprocessor {
         includes,
+        cache,
         macros: HashMap::new(),
         raw: Vec::new(),
         depth: 0,
@@ -59,10 +196,46 @@ pub fn preprocess(
 
 struct Preprocessor<'a> {
     includes: &'a [(&'a str, &'a str)],
+    cache: Option<&'a IncludeCache>,
     macros: HashMap<String, Macro>,
     raw: Vec<CToken>,
     depth: u32,
     files: Vec<String>,
+}
+
+/// Split comment-stripped source into continuation-joined logical lines of
+/// `(start_line, start_offset, text)`.
+fn logical_lines(text: &str) -> Vec<(u32, usize, String)> {
+    let mut logical: Vec<(u32, usize, String)> = Vec::new();
+    let mut cur = String::new();
+    let mut cur_start_line = 1u32;
+    let mut cur_start_off = 0usize;
+    let mut line_no = 1u32;
+    let mut offset = 0usize;
+    let mut continuing = false;
+    #[allow(clippy::explicit_counter_loop)] // offset advances with line_no
+    for line in text.split('\n') {
+        if !continuing {
+            cur_start_line = line_no;
+            cur_start_off = offset;
+            cur.clear();
+        }
+        if let Some(stripped) = line.strip_suffix('\\') {
+            cur.push_str(stripped);
+            cur.push(' ');
+            continuing = true;
+        } else {
+            cur.push_str(line);
+            continuing = false;
+            logical.push((cur_start_line, cur_start_off, cur.clone()));
+        }
+        offset += line.len() + 1;
+        line_no += 1;
+    }
+    if continuing {
+        logical.push((cur_start_line, cur_start_off, cur.clone()));
+    }
+    logical
 }
 
 /// Strip `/* ... */` comments, preserving newlines so line numbers hold.
@@ -122,40 +295,9 @@ impl<'a> Preprocessor<'a> {
             return Err(CError::new(CPhase::Preprocess, name, 1, "include depth exceeded"));
         }
         let text = strip_block_comments(source);
-        // Build logical lines with (start_line, start_offset).
-        let mut logical: Vec<(u32, usize, String)> = Vec::new();
-        let mut cur = String::new();
-        let mut cur_start_line = 1u32;
-        let mut cur_start_off = 0usize;
-        let mut line_no = 1u32;
-        let mut offset = 0usize;
-        let mut continuing = false;
-        #[allow(clippy::explicit_counter_loop)] // offset advances with line_no
-        for line in text.split('\n') {
-            if !continuing {
-                cur_start_line = line_no;
-                cur_start_off = offset;
-                cur.clear();
-            }
-            if let Some(stripped) = line.strip_suffix('\\') {
-                cur.push_str(stripped);
-                cur.push(' ');
-                continuing = true;
-            } else {
-                cur.push_str(line);
-                continuing = false;
-                logical.push((cur_start_line, cur_start_off, cur.clone()));
-            }
-            offset += line.len() + 1;
-            line_no += 1;
-        }
-        if continuing {
-            logical.push((cur_start_line, cur_start_off, cur.clone()));
-        }
-
         // Conditional-inclusion stack: (parent_active, this_branch_taken).
         let mut cond: Vec<(bool, bool)> = Vec::new();
-        for (line, off, text) in logical {
+        for (line, off, text) in logical_lines(&text) {
             let trimmed = text.trim_start();
             let active = cond.iter().all(|(p, t)| *p && *t);
             if let Some(rest) = trimmed.strip_prefix('#') {
@@ -163,43 +305,8 @@ impl<'a> Preprocessor<'a> {
                 let (directive, args) =
                     rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
                 match directive {
-                    "define" if active => self.define(name, file_id, line, off, args.trim())?,
-                    "undef" if active => {
-                        self.macros.remove(args.trim());
-                    }
-                    "include" if active => {
-                        let arg = args.trim();
-                        let inner = arg
-                            .strip_prefix('"')
-                            .and_then(|s| s.strip_suffix('"'))
-                            .ok_or_else(|| {
-                                CError::new(
-                                    CPhase::Preprocess,
-                                    name,
-                                    line,
-                                    format!("#include expects \"file\", got `{arg}`"),
-                                )
-                            })?;
-                        let Some((_, text)) =
-                            self.includes.iter().find(|(n, _)| *n == inner)
-                        else {
-                            return Err(CError::new(
-                                CPhase::Preprocess,
-                                name,
-                                line,
-                                format!("include file \"{inner}\" not found"),
-                            ));
-                        };
-                        let owned = text.to_string();
-                        let inner_name = inner.to_string();
-                        let inner_id = match self.files.iter().position(|f| f == &inner_name) {
-                            Some(i) => i as u16,
-                            None => {
-                                self.files.push(inner_name.clone());
-                                (self.files.len() - 1) as u16
-                            }
-                        };
-                        self.file(&inner_name, inner_id, &owned)?;
+                    "define" | "undef" | "include" if active => {
+                        self.active_directive(name, file_id, line, off, directive, args)?;
                     }
                     "ifdef" => {
                         cond.push((active, self.macros.contains_key(args.trim())));
@@ -248,6 +355,101 @@ impl<'a> Preprocessor<'a> {
         }
         self.depth -= 1;
         Ok(())
+    }
+
+    /// Replay a pre-lexed (conditional-free) include: splice its token
+    /// lines and process its directives against the current macro table.
+    fn file_prelexed(&mut self, name: &str, pl: &PreLexed) -> Result<(), CError> {
+        self.depth += 1;
+        if self.depth > 16 {
+            return Err(CError::new(CPhase::Preprocess, name, 1, "include depth exceeded"));
+        }
+        for l in &pl.lines {
+            match l {
+                PLLine::Toks(toks) => self.raw.extend(toks.iter().cloned()),
+                PLLine::Directive { line, off, rest } => {
+                    let (directive, args) =
+                        rest.split_once(char::is_whitespace).unwrap_or((rest.as_str(), ""));
+                    debug_assert!(
+                        !matches!(directive, "ifdef" | "ifndef" | "else" | "endif"),
+                        "prelex rejects conditional includes"
+                    );
+                    self.active_directive(name, pl.file_id, *line, *off, directive, args)?;
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(())
+    }
+
+    /// Handle one *active* non-conditional directive.
+    fn active_directive(
+        &mut self,
+        name: &str,
+        file_id: u16,
+        line: u32,
+        off: usize,
+        directive: &str,
+        args: &str,
+    ) -> Result<(), CError> {
+        match directive {
+            "define" => self.define(name, file_id, line, off, args.trim()),
+            "undef" => {
+                self.macros.remove(args.trim());
+                Ok(())
+            }
+            "include" => {
+                let arg = args.trim();
+                let inner = arg
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| {
+                        CError::new(
+                            CPhase::Preprocess,
+                            name,
+                            line,
+                            format!("#include expects \"file\", got `{arg}`"),
+                        )
+                    })?;
+                let Some((_, text)) = self.includes.iter().find(|(n, _)| *n == inner)
+                else {
+                    return Err(CError::new(
+                        CPhase::Preprocess,
+                        name,
+                        line,
+                        format!("include file \"{inner}\" not found"),
+                    ));
+                };
+                let owned = text.to_string();
+                let inner_name = inner.to_string();
+                let inner_id = match self.files.iter().position(|f| f == &inner_name) {
+                    Some(i) => i as u16,
+                    None => {
+                        self.files.push(inner_name.clone());
+                        (self.files.len() - 1) as u16
+                    }
+                };
+                if let Some(cache) = self.cache {
+                    if let Some(entry) = cache.entry(&inner_name) {
+                        let lexed = entry
+                            .lexed
+                            .get_or_init(|| prelex(&inner_name, inner_id, &entry.text));
+                        if let Some(pl) = lexed {
+                            if pl.file_id == inner_id {
+                                return self.file_prelexed(&inner_name, pl);
+                            }
+                        }
+                    }
+                }
+                self.file(&inner_name, inner_id, &owned)
+            }
+            other => Err(CError::new(
+                CPhase::Preprocess,
+                name,
+                line,
+                format!("unsupported directive `#{other}`"),
+            )),
+        }
     }
 
     fn define(
@@ -657,6 +859,65 @@ mod tests {
     fn unbalanced_endif_is_error() {
         assert!(preprocess("t.c", "#endif", &[]).is_err());
         assert!(preprocess("t.c", "#ifdef A\nx;", &[]).is_err());
+    }
+
+    #[test]
+    fn cached_include_is_token_identical() {
+        let header = "#define K 9\nstatic int helper(void) { return K; }\nint table[4];";
+        let driver = "#include \"h.h\"\nint use(void) { return helper() + table[0]; }";
+        let includes = [("h.h", header)];
+        let plain = preprocess("drv.c", driver, &includes).unwrap();
+        let cache = IncludeCache::new(&includes);
+        for _ in 0..3 {
+            let cached = preprocess_cached("drv.c", driver, &cache).unwrap();
+            assert_eq!(cached, plain, "cached preprocessing must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn conditional_includes_bypass_the_cache() {
+        // The include defines A only under #ifndef; the cache must not
+        // eagerly lex (or mis-replay) the conditional structure.
+        let header = "#ifndef SKIP\nint a;\n#else\nbad bad bad ###\n#endif";
+        let driver = "#include \"h.h\"\nint use(void) { return a; }";
+        let includes = [("h.h", header)];
+        let plain = preprocess("drv.c", driver, &includes).unwrap();
+        let cache = IncludeCache::new(&includes);
+        let cached = preprocess_cached("drv.c", driver, &cache).unwrap();
+        assert_eq!(cached, plain);
+    }
+
+    #[test]
+    fn cached_nested_includes_resolve() {
+        let outer = "#include \"inner.h\"\n#define OUTER 1";
+        let inner = "int deep;";
+        let includes = [("outer.h", outer), ("inner.h", inner)];
+        let driver = "#include \"outer.h\"\nint use(void) { return deep + OUTER; }";
+        let plain = preprocess("drv.c", driver, &includes).unwrap();
+        let cache = IncludeCache::new(&includes);
+        let cached = preprocess_cached("drv.c", driver, &cache).unwrap();
+        assert_eq!(cached, plain);
+    }
+
+    #[test]
+    fn cache_errors_match_uncached_errors() {
+        // A bad define inside the include must produce the same error.
+        let header = "#define 5bad 1";
+        let includes = [("h.h", header)];
+        let driver = "#include \"h.h\"\n";
+        let plain = preprocess("drv.c", driver, &includes).unwrap_err();
+        let cache = IncludeCache::new(&includes);
+        let cached = preprocess_cached("drv.c", driver, &cache).unwrap_err();
+        assert_eq!(cached, plain);
+    }
+
+    #[test]
+    fn cache_matches_compares_contents() {
+        let cache = IncludeCache::new(&[("a.h", "int x;")]);
+        assert!(cache.matches(&[("a.h", "int x;")]));
+        assert!(!cache.matches(&[("a.h", "int y;")]));
+        assert!(!cache.matches(&[("b.h", "int x;")]));
+        assert!(!cache.matches(&[]));
     }
 
     #[test]

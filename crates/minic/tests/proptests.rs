@@ -1,8 +1,10 @@
 //! Property tests for minic: a differential check of expression semantics
-//! against Rust's own 32-bit integer arithmetic, plus front-end totality.
+//! against Rust's own 32-bit integer arithmetic, a bytecode-VM-vs-
+//! tree-walker equivalence property, plus front-end totality.
 
 use devil_minic::interp::{Interpreter, NullHost};
-use devil_minic::value::wrap_int;
+use devil_minic::value::{wrap_int, Value};
+use devil_minic::vm::Vm;
 use proptest::prelude::*;
 
 /// A random arithmetic expression over two variables, as C text and as a
@@ -105,10 +107,38 @@ proptest! {
         prop_assert_eq!(wrap_int(once, 16, true), once);
     }
 
-    /// The preprocessor and parser never panic on printable garbage.
+    /// The bytecode VM is observationally identical to the tree-walking
+    /// oracle on arbitrary integer arithmetic: same value, same remaining
+    /// fuel, same line coverage — even under tight fuel budgets where one
+    /// extra burn would flip the result to `OutOfFuel`.
+    #[test]
+    fn vm_matches_tree_walker(e in expr_strategy(), a in any::<i16>(), b in any::<i16>(), fuel in 0u64..400) {
+        let src = format!("int f(int a, int b) {{ return {}; }}", e.to_c());
+        let program = devil_minic::compile("t.c", &src).unwrap();
+        let args = [Value::Int(a as i64), Value::Int(b as i64)];
+
+        let mut ih = NullHost::default();
+        let mut interp = Interpreter::new(&program, &mut ih, fuel);
+        let want = interp.call("f", &args);
+        let want_fuel = interp.fuel_left();
+        let want_cov = interp.coverage().clone();
+
+        let compiled = program.to_bytecode();
+        let mut vh = NullHost::default();
+        let mut vm = Vm::new(&compiled, &mut vh, fuel);
+        let got = vm.call("f", &args);
+        prop_assert_eq!(&got, &want, "value diverged for {}", src);
+        prop_assert_eq!(vm.fuel_left(), want_fuel, "fuel diverged for {}", src);
+        prop_assert_eq!(vm.coverage(), &want_cov, "coverage diverged for {}", src);
+    }
+
+    /// The preprocessor and parser never panic on printable garbage, and
+    /// whatever compiles also lowers to bytecode without panicking.
     #[test]
     fn frontend_totality(src in "[ -~\\n]{0,300}") {
-        let _ = devil_minic::compile("fuzz.c", &src);
+        if let Ok(p) = devil_minic::compile("fuzz.c", &src) {
+            let _ = p.to_bytecode();
+        }
     }
 
     /// Comparison chains produce strictly 0/1.

@@ -102,6 +102,15 @@ pub fn effective_threads(threads: usize) -> usize {
 /// is responsible for resetting the workspace first (typically one
 /// snapshot restore). Results come back in mutant order.
 ///
+/// Both closures only need `Sync`, so compile artifacts that are immutable
+/// for the whole campaign — a pre-lexed header set
+/// (`devil_minic::pp::IncludeCache`), a lowered baseline program, shared
+/// spec interning tables — should be built **once, outside the campaign**,
+/// and borrowed by every worker through closure capture, rather than
+/// rebuilt per workspace. The kernel crate's `CampaignMachine::run_cached`
+/// is the canonical example: one header lexing pass serves every worker's
+/// thousands of mutant compiles.
+///
 /// ```
 /// use devil_mutagen::{Campaign, Mutant};
 ///
@@ -334,6 +343,21 @@ mod tests {
         .run(&[]);
         assert!(out.is_empty());
         assert_eq!(builds.load(Ordering::Relaxed), 0, "no mutants, no workspace");
+    }
+
+    #[test]
+    fn campaign_workers_share_captured_artifacts() {
+        // The pattern the kernel's include cache uses: one immutable
+        // artifact built before the campaign, borrowed by every worker.
+        let shared: Vec<usize> = (0..100).collect();
+        let ms = mutants(32);
+        let out = Campaign::new(
+            || (),
+            |(): &mut (), m: &Mutant| shared[m.site],
+        )
+        .with_threads(4)
+        .run(&ms);
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //!
 //! Each worker thread owns one [`CampaignMachine`]: the simulated machine
 //! is built (and `mkfs`ed) once per worker and snapshot-restored before
-//! every mutant, instead of being reconstructed ~100 times.
+//! every mutant, instead of being reconstructed ~100 times. The generated
+//! stub headers are pre-lexed once per campaign into a shared
+//! [`IncludeCache`] (it is `Sync`), so every worker re-lexes only the
+//! spliced driver file, and each mutant boots through the minic bytecode
+//! VM.
 //!
 //! ```text
 //! cargo run --release --example mutation_campaign
@@ -12,6 +16,7 @@
 
 use devil::kernel::boot::{CampaignMachine, Outcome, DEFAULT_FUEL};
 use devil::kernel::fs;
+use devil::minic::pp::IncludeCache;
 use devil::mutagen::c::{CMutationModel, CStyle};
 use devil::mutagen::{sample, Campaign, Mutant};
 use std::collections::BTreeMap;
@@ -22,11 +27,13 @@ fn campaign(label: &str, file: &str, source: &str, headers: &[(String, String)],
     let mutants = sample(model.mutants(), 0.05, 42);
     let incs: Vec<(&str, &str)> =
         headers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    // One pre-lexed header set for the whole campaign; workers share it.
+    let cache = IncludeCache::new(&incs);
     let files = fs::standard_files();
     let outcomes = Campaign::new(
         || CampaignMachine::new(&files, DEFAULT_FUEL),
         |machine: &mut CampaignMachine, m: &Mutant| {
-            machine.run(file, &m.source, &incs, Some(m.line)).0
+            machine.run_cached(file, &m.source, &cache, Some(m.line)).0
         },
     )
     .with_threads(8)
