@@ -26,8 +26,10 @@ use criterion::{criterion_group, Criterion};
 use devil_core::runtime::{DeviceInstance, SpecTables, StubMode};
 use devil_core::CheckedSpec;
 use devil_drivers::specs;
-use devil_hwsim::devices::Ne2000;
+use devil_hwsim::devices::{IdeController, Ne2000, SECTOR_SIZE};
 use devil_hwsim::{IoSpace, Snapshot};
+use devil_kernel::boot::standard_ide_machine;
+use devil_kernel::fs;
 
 const BASE: u16 = 0x300;
 const MAC: [u8; 6] = [0x00, 0x0E, 0xA5, 0x01, 0x02, 0x03];
@@ -99,6 +101,46 @@ fn bench_campaign_reset(c: &mut Criterion) {
         });
     });
     g.finish();
+
+    bench_ide_restore(c);
+}
+
+/// The IDE machine reset the boot campaigns pay per mutant: a 2 MiB
+/// platter plus controller state. `dirty_journal` is the production path —
+/// a boot dirties a couple of sectors, restoring the same snapshot again
+/// copies only those. `full_platter` defeats the journal by alternating
+/// two (content-identical) snapshots, so every restore takes the full-copy
+/// fallback: exactly the pre-journal cost.
+fn bench_ide_restore(c: &mut Criterion) {
+    let files = fs::standard_files();
+    let mut g = c.benchmark_group("ide_restore");
+
+    let (mut io, ide) = standard_ide_machine(&files);
+    let (log_lba, _) = fs::file_extent(&files, "log").expect("standard image has a log");
+    let snap = io.snapshot();
+    io.restore(&snap).unwrap(); // arm the journal
+    g.bench_function("dirty_journal", |b| {
+        b.iter(|| {
+            let dev = io.device_mut::<IdeController>(ide).unwrap();
+            dev.disk_mut().write_sector(log_lba, &[0xAB; SECTOR_SIZE]);
+            dev.disk_mut().write_sector(log_lba + 1, &[0xCD; SECTOR_SIZE]);
+            io.restore(&snap).unwrap();
+        });
+    });
+
+    let snap_a = io.snapshot();
+    let snap_b = io.snapshot();
+    let mut flip = false;
+    g.bench_function("full_platter", |b| {
+        b.iter(|| {
+            let dev = io.device_mut::<IdeController>(ide).unwrap();
+            dev.disk_mut().write_sector(log_lba, &[0xAB; SECTOR_SIZE]);
+            dev.disk_mut().write_sector(log_lba + 1, &[0xCD; SECTOR_SIZE]);
+            flip = !flip;
+            io.restore(if flip { &snap_a } else { &snap_b }).unwrap();
+        });
+    });
+    g.finish();
 }
 
 fn emit_json(c: &mut Criterion) {
@@ -110,11 +152,14 @@ fn emit_json(c: &mut Criterion) {
     let reset = criterion::ns_per_iter(rs, "campaign_reset/snapshot_reset");
     let bind_fresh = criterion::ns_per_iter(rs, "ne2000_bind/fresh_tables");
     let bind_shared = criterion::ns_per_iter(rs, "ne2000_bind/shared_tables");
+    let ide_dirty = criterion::ns_per_iter(rs, "ide_restore/dirty_journal");
+    let ide_full = criterion::ns_per_iter(rs, "ide_restore/full_platter");
     let entries = criterion::results_json(rs);
     let section = format!(
-        "{{\"workload\": {{\"campaign_reset\": \"NE2000 campaign harness: machine + bound debug stubs + 9-access driver probe, rebuilt vs snapshot-restored per mutant\", \"ne2000_bind\": \"DeviceInstance bind of the NE2000 spec, fresh vs shared interning tables\"}}, \"results\": {entries}, \"speedup\": {{\"reset_vs_rebuild\": {:.2}, \"shared_tables_bind_vs_fresh\": {:.2}}}}}",
+        "{{\"workload\": {{\"campaign_reset\": \"NE2000 campaign harness: machine + bound debug stubs + 9-access driver probe, rebuilt vs snapshot-restored per mutant\", \"ne2000_bind\": \"DeviceInstance bind of the NE2000 spec, fresh vs shared interning tables\", \"ide_restore\": \"IDE machine reset (2 MiB platter, 2 sectors dirtied): dirty-sector-journal restore vs the full-platter copy fallback\"}}, \"results\": {entries}, \"speedup\": {{\"reset_vs_rebuild\": {:.2}, \"shared_tables_bind_vs_fresh\": {:.2}, \"ide_restore_dirty_vs_full\": {:.2}}}}}",
         rebuild / reset,
         bind_fresh / bind_shared,
+        ide_full / ide_dirty,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
     match criterion::update_json_section(path, "campaign_reset", &section) {

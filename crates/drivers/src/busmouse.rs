@@ -11,6 +11,12 @@ use devil_core::codegen::{generate, CodegenMode};
 /// Name under which the generated busmouse header is included.
 pub const BM_HEADER_NAME: &str = "busmouse.dil.h";
 
+/// File name used for the C busmouse driver in diagnostics and coverage.
+pub const BM_C_FILE: &str = "busmouse_c.c";
+/// File name used for the CDevil busmouse driver in diagnostics and
+/// coverage.
+pub const BM_CDEVIL_FILE: &str = "busmouse_cdevil.c";
+
 /// The classic C busmouse driver (Figure 1, left).
 pub const BM_C_DRIVER: &str = r#"/* Logitech busmouse driver, classic style. */
 typedef unsigned char u8;

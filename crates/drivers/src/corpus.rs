@@ -1,0 +1,170 @@
+//! The scenario catalog: which driver corpus runs under which workload.
+//!
+//! The scenario engine (`devil_kernel::scenario`) is deliberately
+//! driver-agnostic; this module supplies the pairing the experiments
+//! actually run — for every scenario name, the drivers that implement its
+//! entry-point contract (and the mutation style each is mutated with).
+//! The campaign CLI (`examples/mutation_campaign.rs`), the per-scenario
+//! golden differential tests and the `scenarios` bench all resolve
+//! workloads through this one table.
+
+use crate::{busmouse, ide, ne2000};
+use devil_kernel::fs;
+use devil_kernel::scenario::Scenario;
+use devil_kernel::scenarios::{
+    IdeBootScenario, IdeStressScenario, MouseStreamScenario, Ne2000StressScenario,
+};
+use devil_mutagen::c::CStyle;
+
+/// One driver that runs under a scenario.
+pub struct DriverVariant {
+    /// Stable label (golden files, table headings).
+    pub label: &'static str,
+    /// File name used in diagnostics and coverage.
+    pub file: &'static str,
+    /// Driver source with `DEVIL_MUT_BEGIN`/`END` markers.
+    pub source: &'static str,
+    /// Generated stub headers the driver compiles against (empty for
+    /// plain C).
+    pub headers: Vec<(String, String)>,
+    /// Mutation style for `CMutationModel`.
+    pub style: CStyle,
+    /// Sampling fraction used by the golden differential tests — tuned so
+    /// every variant contributes a few dozen mutants, not thousands.
+    pub golden_fraction: f64,
+}
+
+/// One scenario and its driver corpus.
+pub struct ScenarioCase {
+    /// The scenario name ([`build_scenario`] accepts it).
+    pub scenario: &'static str,
+    /// The drivers exporting this scenario's entry-point contract.
+    pub drivers: Vec<DriverVariant>,
+}
+
+/// Construct a scenario by name. Names are the kebab-case
+/// `Scenario::name()` values listed by [`scenario_names`].
+pub fn build_scenario(name: &str) -> Option<Box<dyn Scenario + Send>> {
+    match name {
+        "ide-boot" => Some(Box::new(IdeBootScenario::new(fs::standard_files()))),
+        "ide-stress" => Some(Box::new(IdeStressScenario::new(fs::standard_files()))),
+        "mouse-stream" => Some(Box::new(MouseStreamScenario::new())),
+        "ne2000-stress" => Some(Box::new(Ne2000StressScenario::new())),
+        _ => None,
+    }
+}
+
+/// Every scenario name in the catalog, in table order (kept in sync with
+/// [`scenario_catalog`] by the crate's tests — no driver corpus is built
+/// just to list names).
+pub fn scenario_names() -> &'static [&'static str] {
+    &["ide-boot", "ide-stress", "mouse-stream", "ne2000-stress"]
+}
+
+/// The IDE driver pair — shared by every scenario that speaks the
+/// `ide_probe`/`ide_read`/`ide_write` contract.
+fn ide_drivers() -> Vec<DriverVariant> {
+    vec![
+        DriverVariant {
+            label: "ide_piix4_c",
+            file: ide::IDE_C_FILE,
+            source: ide::IDE_C_DRIVER,
+            headers: Vec::new(),
+            style: CStyle::PlainC,
+            golden_fraction: 0.008,
+        },
+        DriverVariant {
+            label: "ide_piix4_cdevil",
+            file: ide::IDE_CDEVIL_FILE,
+            source: ide::IDE_CDEVIL_DRIVER,
+            headers: ide::cdevil_includes(),
+            style: CStyle::CDevil,
+            golden_fraction: 0.008,
+        },
+    ]
+}
+
+/// The full pairing of scenarios and driver corpora.
+pub fn scenario_catalog() -> Vec<ScenarioCase> {
+    vec![
+        ScenarioCase { scenario: "ide-boot", drivers: ide_drivers() },
+        ScenarioCase { scenario: "ide-stress", drivers: ide_drivers() },
+        ScenarioCase {
+            scenario: "mouse-stream",
+            drivers: vec![
+                DriverVariant {
+                    label: "busmouse_c",
+                    file: busmouse::BM_C_FILE,
+                    source: busmouse::BM_C_DRIVER,
+                    headers: Vec::new(),
+                    style: CStyle::PlainC,
+                    golden_fraction: 0.10,
+                },
+                DriverVariant {
+                    label: "busmouse_cdevil",
+                    file: busmouse::BM_CDEVIL_FILE,
+                    source: busmouse::BM_CDEVIL_DRIVER,
+                    headers: busmouse::bm_includes(),
+                    style: CStyle::CDevil,
+                    golden_fraction: 0.10,
+                },
+            ],
+        },
+        ScenarioCase {
+            scenario: "ne2000-stress",
+            drivers: vec![DriverVariant {
+                label: "ne2000_c",
+                file: ne2000::NE2000_C_FILE,
+                source: ne2000::NE2000_C_DRIVER,
+                headers: Vec::new(),
+                style: CStyle::PlainC,
+                golden_fraction: 0.05,
+            }],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devil_kernel::boot::DEFAULT_FUEL;
+    use devil_kernel::scenario::run_mutant_in;
+    use devil_kernel::Outcome;
+
+    #[test]
+    fn every_catalog_name_builds() {
+        for case in scenario_catalog() {
+            let s = build_scenario(case.scenario).expect("catalog names must build");
+            assert_eq!(s.name(), case.scenario);
+            assert!(!case.drivers.is_empty());
+        }
+        assert!(build_scenario("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn scenario_names_match_the_catalog() {
+        let from_catalog: Vec<&str> =
+            scenario_catalog().iter().map(|c| c.scenario).collect();
+        assert_eq!(scenario_names(), from_catalog.as_slice());
+    }
+
+    #[test]
+    fn every_clean_driver_passes_its_scenario() {
+        for case in scenario_catalog() {
+            for v in &case.drivers {
+                let incs: Vec<(&str, &str)> =
+                    v.headers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+                let scenario = build_scenario(case.scenario).unwrap();
+                let (outcome, detail) =
+                    run_mutant_in(scenario, v.file, v.source, &incs, None, DEFAULT_FUEL);
+                assert_eq!(
+                    outcome,
+                    Outcome::Boot,
+                    "{}/{}: clean driver must pass clean: {detail}",
+                    case.scenario,
+                    v.label
+                );
+            }
+        }
+    }
+}

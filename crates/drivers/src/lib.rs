@@ -7,15 +7,23 @@
 //! * [`ide`] — the IDE disk driver written twice: classic C
 //!   (macros + `inb`/`outb`, the Table 3 subject) and CDevil glue over the
 //!   generated debug stubs (the Table 4 subject);
-//! * [`busmouse`] — a busmouse driver pair used by the examples.
+//! * [`busmouse`] — a busmouse driver pair (the paper's Figure 1), the
+//!   subject of the mouse event-stream scenario;
+//! * [`ne2000`] — a polled DP8390 network driver, the subject of the
+//!   NE2000 packet TX/RX stress scenario;
+//! * [`corpus`] — the scenario catalog: which driver runs under which
+//!   `devil_kernel::scenario` workload, and how it is mutated.
 //!
-//! All drivers target the simulated machine of `devil_kernel` and export
-//! the same entry points (`ide_probe` / `ide_read` / `ide_write` plus the
-//! `io_buf` transfer buffer), so the boot harness treats them uniformly.
+//! All drivers target the simulated machine of `devil_kernel`; drivers
+//! that share a scenario export that scenario's entry-point contract
+//! (e.g. `ide_probe` / `ide_read` / `ide_write` plus the `io_buf`
+//! transfer buffer), so the workload engine treats them uniformly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod busmouse;
+pub mod corpus;
 pub mod ide;
+pub mod ne2000;
 pub mod specs;

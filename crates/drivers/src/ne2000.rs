@@ -1,0 +1,278 @@
+//! The NE2000 (DP8390) Ethernet driver — the corpus subject of the
+//! packet TX/RX stress scenario.
+//!
+//! A classic polled `ne.c`-style driver for the simulated NE2000 at
+//! `0x300`. It exports the scenario contract of
+//! `devil_kernel::scenarios::Ne2000StressScenario`:
+//!
+//! * `int ne_probe(void)` — pulse the reset port, remote-DMA the 32-byte
+//!   station PROM (each byte doubled on word-wide cards) into `ne_mac`,
+//!   check the `0x57` signature bytes;
+//! * `int ne_start(void)` — program the receive ring (`PSTART`/`PSTOP`/
+//!   `BNRY`), copy `ne_mac` into the page-1 `PAR` registers, set `CURR`,
+//!   and start the NIC;
+//! * `int ne_send(int len)` — remote-write `len` bytes of `net_buf` into
+//!   the transmit page and fire `CR.TXP`;
+//! * `int ne_recv(void)` — drain one frame from the receive ring into
+//!   `net_buf` (splitting the read at the ring wrap), advance `BNRY`,
+//!   and return the payload length (`-1` when the ring is empty);
+//! * globals: `unsigned char ne_mac[6]`, `unsigned short net_buf[512]`,
+//!   `int ne_rx_len`.
+//!
+//! The hardware-operating code sits between the mutation markers; the
+//! ring-wrap arithmetic, the doubled-PROM decode and the little-endian
+//! ring-header parsing are exactly the kind of byte-order/pointer
+//! manipulation the Devil evaluation mutates.
+
+/// File name used for the NE2000 driver in diagnostics and coverage.
+pub const NE2000_C_FILE: &str = "ne2000_c.c";
+
+/// The polled C driver (see the module docs for the exported contract).
+pub const NE2000_C_DRIVER: &str = r#"/* ne.c-style polled driver for the simulated NE2000 at 0x300. */
+typedef unsigned char u8;
+typedef unsigned short u16;
+
+unsigned char ne_mac[6];
+unsigned short net_buf[512];
+int ne_rx_len;
+
+static int ne_next;
+
+#define NE_CMD    0x300
+#define NE_PSTART 0x301
+#define NE_PSTOP  0x302
+#define NE_BNRY   0x303
+#define NE_TPSR   0x304
+#define NE_TBCR0  0x305
+#define NE_TBCR1  0x306
+#define NE_ISR    0x307
+#define NE_RSAR0  0x308
+#define NE_RSAR1  0x309
+#define NE_RBCR0  0x30a
+#define NE_RBCR1  0x30b
+#define NE_RCR    0x30c
+#define NE_TCR    0x30d
+#define NE_DCR    0x30e
+#define NE_PAR0   0x301
+#define NE_CURR   0x307
+#define NE_DATA   0x310
+#define NE_RESET  0x31f
+
+#define E8390_STOP   0x21
+#define E8390_START  0x22
+#define E8390_TRANS  0x26
+#define E8390_RREAD  0x0a
+#define E8390_RWRITE 0x12
+#define E8390_PAGE1  0x62
+#define E8390_P1STOP 0x61
+
+#define ISR_PRX 0x01
+#define ISR_PTX 0x02
+#define ISR_RDC 0x40
+#define ISR_RST 0x80
+
+#define RX_START 0x46
+#define RX_STOP  0x80
+#define TX_PAGE  0x40
+
+/* DEVIL_MUT_BEGIN */
+static void ne_dma_setup(int addr, int len)
+{
+    outb(len & 0xff, NE_RBCR0);
+    outb((len >> 8) & 0xff, NE_RBCR1);
+    outb(addr & 0xff, NE_RSAR0);
+    outb((addr >> 8) & 0xff, NE_RSAR1);
+}
+
+static void ne_block_read(int addr, int len, int dst)
+{
+    int i;
+
+    ne_dma_setup(addr, len);
+    outb(E8390_RREAD, NE_CMD);
+    for (i = 0; i < len; i = i + 2)
+        net_buf[dst + i / 2] = inw(NE_DATA);
+    outb(ISR_RDC, NE_ISR);
+}
+
+int ne_probe(void)
+{
+    int i;
+
+    inb(NE_RESET);
+    if ((inb(NE_ISR) & ISR_RST) == 0) {
+        printk("ne2000: reset did not take");
+        return -1;
+    }
+    outb(E8390_STOP, NE_CMD);
+    ne_dma_setup(0, 32);
+    outb(E8390_RREAD, NE_CMD);
+    for (i = 0; i < 6; i++) {
+        ne_mac[i] = inb(NE_DATA);
+        inb(NE_DATA);
+    }
+    for (i = 12; i < 28; i++)
+        inb(NE_DATA);
+    if (inb(NE_DATA) != 0x57 || inb(NE_DATA) != 0x57) {
+        printk("ne2000: bad PROM signature");
+        return -1;
+    }
+    inb(NE_DATA);
+    inb(NE_DATA);
+    outb(ISR_RDC, NE_ISR);
+    printk("ne2000: NE2000 found at 0x300");
+    return 0;
+}
+
+int ne_start(void)
+{
+    int i;
+
+    outb(E8390_STOP, NE_CMD);
+    outb(0x48, NE_DCR);
+    outb(RX_START, NE_PSTART);
+    outb(RX_STOP, NE_PSTOP);
+    outb(RX_START, NE_BNRY);
+    outb(0x00, NE_TCR);
+    outb(0x04, NE_RCR);
+    outb(E8390_P1STOP, NE_CMD);
+    for (i = 0; i < 6; i++)
+        outb(ne_mac[i], NE_PAR0 + i);
+    outb(RX_START + 1, NE_CURR);
+    outb(E8390_STOP, NE_CMD);
+    outb(0xff, NE_ISR);
+    outb(E8390_START, NE_CMD);
+    ne_next = RX_START + 1;
+    return 0;
+}
+
+int ne_send(int len)
+{
+    int i;
+
+    ne_dma_setup(TX_PAGE << 8, len);
+    outb(E8390_RWRITE, NE_CMD);
+    for (i = 0; i < len; i = i + 2)
+        outw(net_buf[i / 2], NE_DATA);
+    outb(ISR_RDC, NE_ISR);
+    outb(TX_PAGE, NE_TPSR);
+    outb(len & 0xff, NE_TBCR0);
+    outb((len >> 8) & 0xff, NE_TBCR1);
+    outb(E8390_TRANS, NE_CMD);
+    if ((inb(NE_ISR) & ISR_PTX) == 0) {
+        printk("ne2000: transmit did not complete");
+        return -1;
+    }
+    outb(ISR_PTX, NE_ISR);
+    return 0;
+}
+
+int ne_recv(void)
+{
+    int curr;
+    int hdr;
+    int status;
+    int next_page;
+    int total;
+    int len;
+    int addr;
+    int tail;
+
+    outb(E8390_PAGE1, NE_CMD);
+    curr = inb(NE_CURR);
+    outb(E8390_START, NE_CMD);
+    if (curr == ne_next)
+        return -1;
+    ne_dma_setup(ne_next << 8, 4);
+    outb(E8390_RREAD, NE_CMD);
+    hdr = inw(NE_DATA);
+    total = inw(NE_DATA);
+    outb(ISR_RDC, NE_ISR);
+    status = hdr & 0xff;
+    next_page = (hdr >> 8) & 0xff;
+    if ((status & 0x01) == 0)
+        return (printk("ne2000: bad receive status %x", status), -1);
+    len = total - 4;
+    if (len < 0 || len > 1024)
+        return (printk("ne2000: bogus packet length %d", total), -1);
+    addr = (ne_next << 8) + 4;
+    tail = (RX_STOP << 8) - addr;
+    if (tail >= len) {
+        ne_block_read(addr, len, 0);
+    } else {
+        ne_block_read(addr, tail, 0);
+        ne_block_read(RX_START << 8, len - tail, tail / 2);
+    }
+    ne_rx_len = len;
+    ne_next = next_page;
+    if (ne_next == RX_START)
+        outb(RX_STOP - 1, NE_BNRY);
+    else
+        outb(ne_next - 1, NE_BNRY);
+    outb(ISR_PRX, NE_ISR);
+    return len;
+}
+/* DEVIL_MUT_END */
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devil_kernel::scenario::{run_compiled, run_interp, ScenarioMachine};
+    use devil_kernel::scenarios::Ne2000StressScenario;
+    use devil_kernel::{Outcome, Scenario};
+
+    #[test]
+    fn ne2000_driver_compiles() {
+        devil_minic::compile(NE2000_C_FILE, NE2000_C_DRIVER).expect("NE2000 driver compiles");
+    }
+
+    #[test]
+    fn ne2000_driver_survives_the_stress_scenario() {
+        let program = devil_minic::compile(NE2000_C_FILE, NE2000_C_DRIVER).unwrap();
+        let mut scenario = Ne2000StressScenario::new();
+        let mut io = scenario.build();
+        let report = run_compiled(
+            &scenario,
+            &program.to_bytecode(),
+            &mut io,
+            devil_kernel::boot::DEFAULT_FUEL,
+        );
+        assert_eq!(report.outcome, Outcome::Boot, "{}: {:?}", report.detail, report.console);
+        assert!(report.console.iter().any(|l| l.contains("NE2000 found")));
+    }
+
+    #[test]
+    fn ne2000_scenario_is_engine_identical_on_the_clean_driver() {
+        let program = devil_minic::compile(NE2000_C_FILE, NE2000_C_DRIVER).unwrap();
+        let mut s1 = Ne2000StressScenario::new();
+        let mut io1 = s1.build();
+        let vm = run_compiled(&s1, &program.to_bytecode(), &mut io1, 1_500_000);
+        let mut s2 = Ne2000StressScenario::new();
+        let mut io2 = s2.build();
+        let tw = run_interp(&s2, &program, &mut io2, 1_500_000);
+        assert_eq!(vm.outcome, tw.outcome);
+        assert_eq!(vm.detail, tw.detail);
+        assert_eq!(vm.console, tw.console);
+        assert_eq!(vm.coverage, tw.coverage);
+    }
+
+    #[test]
+    fn ne2000_scenario_machine_resets_between_runs() {
+        let mut machine =
+            ScenarioMachine::with_scenario(Ne2000StressScenario::new(), 1_500_000);
+        // A clean run, a mutant that duplicates every transmitted frame
+        // (caught by the wire-log length check), a clean run.
+        let broken = NE2000_C_DRIVER.replace(
+            "    outb(E8390_TRANS, NE_CMD);\n    if ((inb(NE_ISR) & ISR_PTX) == 0) {",
+            "    outb(E8390_TRANS, NE_CMD);\n    outb(E8390_TRANS, NE_CMD);\n    if ((inb(NE_ISR) & ISR_PTX) == 0) {",
+        );
+        assert_ne!(broken, NE2000_C_DRIVER);
+        let clean1 = machine.run(NE2000_C_FILE, NE2000_C_DRIVER, &[], None);
+        let bad = machine.run(NE2000_C_FILE, &broken, &[], None);
+        let clean2 = machine.run(NE2000_C_FILE, NE2000_C_DRIVER, &[], None);
+        assert_eq!(clean1.0, Outcome::Boot, "{}", clean1.1);
+        assert_eq!(bad.0, Outcome::DamagedBoot, "{}", bad.1);
+        assert_eq!(clean1, clean2, "reset must erase the mutant's mess");
+    }
+}

@@ -12,6 +12,13 @@
 use crate::snap::{RestoreError, Snapshot, StateReader, StateWriter};
 use std::any::Any;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique snapshot identities, starting at 1 (0 = "unknown").
+fn next_snapshot_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Width of a single port access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -570,6 +577,7 @@ impl IoSpace {
             spans.push(state.len());
         }
         Snapshot {
+            id: next_snapshot_id(),
             policy: self.policy,
             clock: self.clock,
             reads: self.reads,
@@ -617,7 +625,7 @@ impl IoSpace {
         let mut mismatch = None;
         for (idx, dev) in self.devices.iter_mut().enumerate() {
             let payload = &snap.state[snap.spans[idx]..snap.spans[idx + 1]];
-            let mut r = StateReader::new(payload);
+            let mut r = StateReader::with_id(payload, snap.id);
             dev.load(&mut r);
             if r.remaining() != 0 && mismatch.is_none() {
                 mismatch = Some(RestoreError::StatePayloadMismatch {

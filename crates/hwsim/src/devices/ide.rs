@@ -74,18 +74,43 @@ impl IdeGeometry {
 
 /// The disk platter: geometry plus byte content, with a write log for the
 /// damage analysis done by the simulated fsck.
+///
+/// The platter also keeps a **dirty-sector journal** — one bit per sector
+/// (a 2 MiB disk journals in 512 bytes), set on every sector write since
+/// the platter last matched a snapshot — so restoring that same snapshot
+/// again copies only the damaged sectors instead of the whole multi-MiB
+/// platter. Membership is exact: any write pattern, however repetitive,
+/// costs one bit per distinct sector. The journal is validated against
+/// the snapshot identity ([`StateReader::snapshot_id`]) — restoring a
+/// *different* snapshot, or one of unknown provenance, always falls back
+/// to a full copy, so the fast path can never resurrect stale bytes.
 #[derive(Debug, Clone)]
 pub struct IdeDisk {
     geometry: IdeGeometry,
     data: Vec<u8>,
     writes: Vec<u32>,
+    /// Bit per sector: written since the platter last matched
+    /// `journal_base` (`dirty[lba / 64] & (1 << (lba % 64))`).
+    dirty: Vec<u64>,
+    /// Number of set bits in `dirty`.
+    dirty_count: u32,
+    /// Identity of the snapshot the platter last diverged from (`None`
+    /// before any restore, or after restoring an id-less payload).
+    journal_base: Option<u64>,
 }
 
 impl IdeDisk {
     /// Create a blank (zeroed) disk with the given geometry.
     pub fn new(geometry: IdeGeometry) -> Self {
         let bytes = geometry.capacity() as usize * SECTOR_SIZE;
-        IdeDisk { geometry, data: vec![0; bytes], writes: Vec::new() }
+        IdeDisk {
+            geometry,
+            data: vec![0; bytes],
+            writes: Vec::new(),
+            dirty: vec![0; geometry.capacity().div_ceil(64) as usize],
+            dirty_count: 0,
+            journal_base: None,
+        }
     }
 
     /// A small default disk: 64 cylinders × 4 heads × 16 sectors = 2 MiB.
@@ -117,6 +142,18 @@ impl IdeDisk {
         assert_eq!(bytes.len(), SECTOR_SIZE, "sector payload must be {SECTOR_SIZE} bytes");
         let start = lba as usize * SECTOR_SIZE;
         self.data[start..start + SECTOR_SIZE].copy_from_slice(bytes);
+        let mask = 1u64 << (lba % 64);
+        let word = &mut self.dirty[lba as usize / 64];
+        if *word & mask == 0 {
+            *word |= mask;
+            self.dirty_count += 1;
+        }
+    }
+
+    /// Distinct sectors recorded in the dirty journal — what the next
+    /// restore of the journal's base snapshot will copy.
+    pub fn dirty_sector_count(&self) -> usize {
+        self.dirty_count as usize
     }
 
     /// LBAs written through the ATA wire since the last [`IdeDisk::clear_write_log`].
@@ -474,6 +511,38 @@ impl IdeController {
         }
     }
 
+    /// Restore the platter from a snapshot payload. When the payload
+    /// belongs to the same snapshot the dirty journal is relative to, only
+    /// the journalled sectors are copied back (restore cost proportional
+    /// to the damage the mutant actually did); any identity mismatch or
+    /// unknown provenance falls back to the full-platter copy.
+    /// Allocation-free either way: the journal is a fixed bitmap.
+    fn load_platter(&mut self, r: &mut StateReader<'_>) {
+        let platter = r.bytes(self.disk.data.len());
+        let id = r.snapshot_id();
+        let sparse = id != 0 && self.disk.journal_base == Some(id);
+        if sparse {
+            if self.disk.dirty_count > 0 {
+                for (w, bits) in self.disk.dirty.iter_mut().enumerate() {
+                    let mut b = *bits;
+                    while b != 0 {
+                        let lba = w * 64 + b.trailing_zeros() as usize;
+                        let a = lba * SECTOR_SIZE;
+                        self.disk.data[a..a + SECTOR_SIZE]
+                            .copy_from_slice(&platter[a..a + SECTOR_SIZE]);
+                        b &= b - 1;
+                    }
+                    *bits = 0;
+                }
+            }
+        } else {
+            self.disk.data.copy_from_slice(platter);
+            self.disk.dirty.fill(0);
+        }
+        self.disk.dirty_count = 0;
+        self.disk.journal_base = (id != 0).then_some(id);
+    }
+
     fn soft_reset(&mut self) {
         self.status = ST_DRDY | ST_DSC;
         self.error = 1; // diagnostic code: device 0 passed
@@ -622,7 +691,7 @@ impl IoDevice for IdeController {
         self.sectors_left = r.u32();
         self.current_lba = r.u32();
         r.fill_len_bytes(&mut self.commands);
-        r.fill(&mut self.disk.data);
+        self.load_platter(r);
         r.fill_len_u32s(&mut self.disk.writes);
     }
 
@@ -872,5 +941,86 @@ mod tests {
         let (mut io, _) = machine();
         assert!(io.inw(STATUS).is_err());
         assert!(io.outw(BASE + 6, 0xA0A0).is_err());
+    }
+
+    /// Write one sector through the wire (DRQ handshake included).
+    fn wire_write_sector(io: &mut IoSpace, lba: u32, word: u16) {
+        select_lba(io, lba, 1);
+        io.outb(CMD, 0x30).unwrap();
+        wait_ready(io);
+        for _ in 0..256 {
+            io.outw(BASE, word).unwrap();
+        }
+    }
+
+    #[test]
+    fn dirty_journal_sparse_restore_matches_snapshot() {
+        let (mut io, id) = machine();
+        {
+            let ide = io.device_mut::<IdeController>(id).unwrap();
+            ide.disk_mut().write_sector(7, &[0x11; SECTOR_SIZE]);
+        }
+        let snap = io.snapshot();
+        // First restore is a full copy (journal base unknown) and arms
+        // the journal; later restores of the same snapshot are sparse.
+        io.restore(&snap).unwrap();
+        for round in 0..3 {
+            wire_write_sector(&mut io, 7, 0xBEEF);
+            wire_write_sector(&mut io, 42, 0xBEEF);
+            {
+                let ide = io.device::<IdeController>(id).unwrap();
+                assert_eq!(ide.disk().sector(42)[0], 0xEF);
+                assert_eq!(ide.disk().dirty_sector_count(), 2);
+            }
+            io.restore(&snap).unwrap();
+            let ide = io.device::<IdeController>(id).unwrap();
+            assert_eq!(ide.disk().sector(7)[0], 0x11, "round {round}");
+            assert_eq!(ide.disk().sector(42)[0], 0x00, "round {round}");
+            assert_eq!(ide.disk().dirty_sector_count(), 0);
+        }
+        assert_eq!(io.snapshot(), snap, "sparse restores leave the machine snapshot-equal");
+    }
+
+    #[test]
+    fn dirty_journal_rejects_a_different_snapshot() {
+        let (mut io, id) = machine();
+        let snap_a = io.snapshot();
+        io.restore(&snap_a).unwrap(); // arm the journal on A
+        wire_write_sector(&mut io, 5, 0x5555);
+        let snap_b = io.snapshot(); // captures the dirtied sector 5
+        // Restoring A must not trust B's journal state and vice versa:
+        // alternate restores and verify full content each time.
+        io.restore(&snap_a).unwrap();
+        assert_eq!(io.device::<IdeController>(id).unwrap().disk().sector(5)[0], 0);
+        io.restore(&snap_b).unwrap();
+        assert_eq!(io.device::<IdeController>(id).unwrap().disk().sector(5)[0], 0x55);
+        io.restore(&snap_a).unwrap();
+        assert_eq!(io.snapshot(), snap_a);
+    }
+
+    #[test]
+    fn dirty_journal_membership_is_exact_under_repeated_writes() {
+        // A runaway loop alternating between two sectors must cost two
+        // journal bits, not a slot per write — the bitmap keeps the sparse
+        // restore path even for pathological mutants.
+        let (mut io, id) = machine();
+        let snap = io.snapshot();
+        io.restore(&snap).unwrap(); // arm the journal
+        for round in 0..2000u32 {
+            let ide = io.device_mut::<IdeController>(id).unwrap();
+            let fill = [(round & 0xFF) as u8; SECTOR_SIZE];
+            ide.disk_mut().write_sector(9, &fill);
+            ide.disk_mut().write_sector(40, &fill);
+        }
+        assert_eq!(
+            io.device::<IdeController>(id).unwrap().disk().dirty_sector_count(),
+            2,
+            "distinct sectors, not writes"
+        );
+        io.restore(&snap).unwrap();
+        assert_eq!(io.snapshot(), snap);
+        let ide = io.device::<IdeController>(id).unwrap();
+        assert_eq!(ide.disk().sector(9)[0], 0);
+        assert_eq!(ide.disk().sector(40)[0], 0);
     }
 }

@@ -9,24 +9,52 @@
 //! the filesystem `mkfs` again and again; a [`Snapshot`] amortises all of
 //! that to one memcpy-sized `restore` per mutant.
 //!
-//! # Lifecycle
+//! # Lifecycle — the contract every scenario must uphold
 //!
-//! 1. Build the machine: map every device, run host-side setup (`mkfs`,
-//!    motion injection, ...).
+//! The kernel crate's scenario engine (`devil_kernel::scenario`) runs any
+//! workload — IDE boot, mouse event streams, NE2000 packet stress —
+//! through this exact sequence, and a `Scenario` implementation must keep
+//! to it:
+//!
+//! 1. **Build once** (`Scenario::build`): map every device, run *all*
+//!    host-side setup (`mkfs`, pre-loaded device state, ...). Everything
+//!    the workload expects to find on the machine must exist **before**
+//!    the snapshot; anything done later is erased by the next restore.
 //! 2. Capture the pristine state once with
 //!    [`IoSpace::snapshot`](crate::IoSpace::snapshot).
-//! 3. Per mutant: [`IoSpace::restore`](crate::IoSpace::restore), run the
-//!    mutant, classify. Restore rewinds the clock, the access counters,
-//!    the trace, the pending lazy-tick bookkeeping and every device's
-//!    internal state; the routing table is *reused*, never rebuilt —
-//!    the device set must therefore be unchanged, which
-//!    [`RestoreError::DeviceSetChanged`] enforces.
+//! 3. Per mutant: [`IoSpace::restore`](crate::IoSpace::restore), drive
+//!    the workload (`Scenario::drive`), inspect the quiesced machine
+//!    (`Scenario::inspect`), classify. Restore rewinds the clock, the
+//!    access counters, the trace, the pending lazy-tick bookkeeping and
+//!    every device's internal state; the routing table is *reused*, never
+//!    rebuilt — the device set must therefore be unchanged, which
+//!    [`RestoreError::DeviceSetChanged`] enforces. A scenario must never
+//!    map or unmap devices after `build`, and must not keep host-side
+//!    state of its own that a restore cannot rewind (derive everything
+//!    observable from the machine or from per-run locals).
+//! 4. Mid-drive event injection (mouse motion, injected frames) is fine —
+//!    it mutates device state, which the next restore rewinds like any
+//!    other traffic. Injections are per-run workload, not setup: they must
+//!    be replayed by `drive` on every run, not done once in `build`.
 //!
 //! Restoring is allocation-free on the success path as long as every
 //! dynamic log captured by the snapshot (trace, IDE write log, NE2000
 //! transmit log, ...) fits the capacity the live machine already has —
 //! trivially true for the campaign pattern above, where the snapshot is
 //! taken on a freshly built machine with empty logs.
+//!
+//! # Incremental restore (dirty journals)
+//!
+//! A device whose payload is dominated by one large buffer may keep a
+//! *dirty journal* — a record of the regions written since its state last
+//! matched a snapshot — and restore only those regions when rewinding to
+//! the **same** snapshot again. Every [`StateReader`] carries the identity
+//! of the snapshot its payload came from ([`StateReader::snapshot_id`];
+//! 0 when unknown): the fast path is only legal when that identity equals
+//! the one the journal is relative to, and anything else must fall back to
+//! a full reload. The IDE disk's dirty-sector journal is the canonical
+//! implementation — it cut the 2 MiB per-mutant platter copy to the few
+//! sectors a boot actually writes.
 //!
 //! # What a device must implement
 //!
@@ -118,12 +146,29 @@ impl<'a> StateWriter<'a> {
 #[derive(Debug)]
 pub struct StateReader<'a> {
     rest: &'a [u8],
+    snapshot_id: u64,
 }
 
 impl<'a> StateReader<'a> {
-    /// Wrap a saved payload.
+    /// Wrap a saved payload of unknown provenance (no snapshot identity).
     pub fn new(rest: &'a [u8]) -> Self {
-        StateReader { rest }
+        StateReader { rest, snapshot_id: 0 }
+    }
+
+    /// Wrap a payload that belongs to the [`Snapshot`] with identity `id`
+    /// (as [`IoSpace::restore`](crate::IoSpace::restore) does).
+    pub fn with_id(rest: &'a [u8], snapshot_id: u64) -> Self {
+        StateReader { rest, snapshot_id }
+    }
+
+    /// Identity of the snapshot this payload came from, or 0 when unknown.
+    ///
+    /// Devices with an incremental restore fast path (the IDE disk's
+    /// dirty-sector journal) compare this against the identity of the
+    /// snapshot they last diverged from: a match means only the recorded
+    /// divergence needs undoing; any other value forces a full reload.
+    pub fn snapshot_id(&self) -> u64 {
+        self.snapshot_id
     }
 
     /// Bytes not yet consumed.
@@ -206,9 +251,15 @@ impl<'a> StateReader<'a> {
 /// (any number of times) by [`IoSpace::restore`](crate::IoSpace::restore).
 /// See the [module docs](self) for the campaign lifecycle. Two snapshots
 /// compare equal exactly when they capture bit-identical machines, which
-/// is what the equivalence property tests assert.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// is what the equivalence property tests assert — the [`Snapshot::id`]
+/// is an identity, not content, and is excluded from the comparison.
+#[derive(Debug, Clone, Eq)]
 pub struct Snapshot {
+    /// Process-unique identity assigned at capture time (clones share it).
+    /// Passed to every device `load` via [`StateReader::snapshot_id`] so
+    /// incremental restore paths can tell "rewinding to the same snapshot
+    /// again" apart from "rewinding to a different one".
+    pub(crate) id: u64,
     pub(crate) policy: UnmappedPolicy,
     pub(crate) clock: u64,
     pub(crate) reads: u64,
@@ -236,6 +287,26 @@ impl Snapshot {
     /// Total serialized device-state size in bytes.
     pub fn state_bytes(&self) -> usize {
         self.state.len()
+    }
+
+    /// Process-unique identity of this capture (clones share it).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Content equality: everything except the capture identity, so a machine
+/// restored from a snapshot still snapshots equal to it.
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.policy == other.policy
+            && self.clock == other.clock
+            && self.reads == other.reads
+            && self.writes == other.writes
+            && self.last_sync == other.last_sync
+            && self.state == other.state
+            && self.spans == other.spans
+            && self.trace == other.trace
     }
 }
 

@@ -23,22 +23,30 @@
 //! halt, damaged boot, plus compile-time check for mutants that never
 //! build.
 //!
-//! Drivers execute on the `minic` bytecode VM ([`boot_ide`] /
-//! [`boot_ide_compiled`]); the tree-walking interpreter remains available
-//! as the differential oracle through [`boot_ide_interp`], and the two are
-//! pinned observationally identical by `tests/vm_differential.rs`.
+//! Since the scenario engine ([`crate::scenario`]) landed, the boot is
+//! simply the first [`Scenario`](crate::scenario::Scenario) —
+//! [`IdeBootScenario`] — and everything here is a thin IDE-flavoured
+//! wrapper over it: [`boot_ide`] / [`boot_ide_compiled`] run the scenario
+//! on a caller-built machine through the bytecode VM, [`boot_ide_interp`]
+//! through the tree-walking oracle (pinned observationally identical by
+//! `tests/vm_differential.rs`), and [`CampaignMachine`] is the IDE
+//! specialisation of the generic
+//! [`ScenarioMachine`](crate::scenario::ScenarioMachine).
 
 use crate::fs::{self, FsFile};
-use crate::kapi::MachineHost;
+use crate::scenario::{self, ScenarioMachine, ScenarioReport};
+use crate::scenarios::IdeBootScenario;
 use devil_hwsim::devices::{IdeController, IdeDisk};
-use devil_hwsim::snap::Snapshot;
 use devil_hwsim::{DeviceId, IoSpace};
-use devil_minic::interp::{Host, Interpreter, RunError};
-use devil_minic::pp::IncludeCache;
-use devil_minic::value::Value;
-use devil_minic::vm::Vm;
-use devil_minic::{CompiledProgram, Coverage, Program};
-use std::fmt;
+use devil_minic::{CompiledProgram, Program};
+
+// The outcome taxonomy lives in the engine; the historical `boot::` paths
+// keep working as re-exports (a boot is just the first scenario).
+pub use crate::scenario::{classify_run_error, Detail, Outcome};
+
+/// Everything observed during one boot — the boot-flavoured name of the
+/// engine's [`ScenarioReport`].
+pub type BootReport = ScenarioReport;
 
 /// Default interpreter fuel for one boot (a clean boot uses well under 10%).
 pub const DEFAULT_FUEL: u64 = 1_500_000;
@@ -47,84 +55,6 @@ pub const DEFAULT_FUEL: u64 = 1_500_000;
 /// `0x1F0..=0x1F7`, device control at `0x1F8` — the classic `0x3F6`
 /// register mapped contiguously on this machine).
 pub const IDE_BASE: u16 = 0x1F0;
-
-/// The paper's outcome classes (§4.2 cases 1–7 plus compile time).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Outcome {
-    /// Rejected by the compiler (Table 3/4 row 1).
-    CompileCheck,
-    /// Case 1 — a Devil run-time assertion caught the error and reported
-    /// the faulty source line.
-    RuntimeCheck,
-    /// Case 4 — the kernel crashed silently; a hardware reset would be
-    /// needed.
-    Crash,
-    /// Case 5 — the kernel looped forever and never completed the boot.
-    InfiniteLoop,
-    /// Case 6 — the kernel halted with a panic message.
-    Halt,
-    /// Case 7 — the boot completed but left visible damage (unmounted or
-    /// corrupted filesystem, missing files).
-    DamagedBoot,
-    /// Case 3 — the boot completed with no observable damage: the error is
-    /// latent, the *worst* outcome for the developer.
-    Boot,
-    /// Case 2 — the mutated code never executed; the run says nothing.
-    DeadCode,
-}
-
-impl Outcome {
-    /// Whether the error was *detected* (at compile or run time) — the
-    /// paper's headline metric.
-    pub fn is_detected(self) -> bool {
-        matches!(self, Outcome::CompileCheck | Outcome::RuntimeCheck)
-    }
-
-    /// Stable display order used by the tables.
-    pub fn table_order() -> [Outcome; 8] {
-        [
-            Outcome::CompileCheck,
-            Outcome::RuntimeCheck,
-            Outcome::Crash,
-            Outcome::InfiniteLoop,
-            Outcome::Halt,
-            Outcome::DamagedBoot,
-            Outcome::Boot,
-            Outcome::DeadCode,
-        ]
-    }
-}
-
-impl fmt::Display for Outcome {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Outcome::CompileCheck => "Compile-time check",
-            Outcome::RuntimeCheck => "Run-time check",
-            Outcome::Crash => "Crash",
-            Outcome::InfiniteLoop => "Infinite loop",
-            Outcome::Halt => "Halt",
-            Outcome::DamagedBoot => "Damaged boot",
-            Outcome::Boot => "Boot",
-            Outcome::DeadCode => "Dead code",
-        };
-        f.write_str(s)
-    }
-}
-
-/// Everything observed during one boot.
-#[derive(Debug, Clone)]
-pub struct BootReport {
-    /// The classified outcome (never `CompileCheck`/`DeadCode` here; those
-    /// are assigned by the mutant pipeline).
-    pub outcome: Outcome,
-    /// Console (`printk`) output.
-    pub console: Vec<String>,
-    /// One-line explanation.
-    pub detail: String,
-    /// Packed source lines executed (see `devil_minic::token::pack_line`),
-    /// as a per-file bitmap — moved out of the engine, never cloned.
-    pub coverage: Coverage,
-}
 
 /// Build the standard experiment machine: an IDE controller at
 /// [`IDE_BASE`] with a DevilFS image of `files` on its disk.
@@ -136,59 +66,6 @@ pub fn standard_ide_machine(files: &[FsFile]) -> (IoSpace, DeviceId) {
         .map(IDE_BASE, 9, Box::new(IdeController::new(disk)))
         .expect("fresh space has no conflicting mappings");
     (io, id)
-}
-
-enum Step {
-    Done(Value),
-    Fatal(BootFatal),
-}
-
-enum BootFatal {
-    Run(RunError),
-    Halt(String),
-    Damage(String),
-}
-
-/// The engine surface the boot sequence drives — implemented by both the
-/// bytecode [`Vm`] (the production boot path) and the tree-walking
-/// [`Interpreter`] (the differential oracle). Both engines are
-/// observationally identical by construction; `tests/vm_differential.rs`
-/// pins that over the driver corpus and its mutant sets.
-trait BootEngine {
-    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, RunError>;
-    fn global_values(&mut self, name: &str) -> Option<Vec<Value>>;
-    fn set_global_element(&mut self, name: &str, idx: usize, value: Value) -> bool;
-    fn take_coverage(&mut self) -> Coverage;
-}
-
-impl<H: Host> BootEngine for Interpreter<'_, H> {
-    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, RunError> {
-        Interpreter::call(self, name, args)
-    }
-    fn global_values(&mut self, name: &str) -> Option<Vec<Value>> {
-        Interpreter::global_values(self, name)
-    }
-    fn set_global_element(&mut self, name: &str, idx: usize, value: Value) -> bool {
-        Interpreter::set_global_element(self, name, idx, value)
-    }
-    fn take_coverage(&mut self) -> Coverage {
-        Interpreter::take_coverage(self)
-    }
-}
-
-impl<H: Host> BootEngine for Vm<'_, H> {
-    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, RunError> {
-        Vm::call(self, name, args)
-    }
-    fn global_values(&mut self, name: &str) -> Option<Vec<Value>> {
-        Vm::global_values(self, name)
-    }
-    fn set_global_element(&mut self, name: &str, idx: usize, value: Value) -> bool {
-        Vm::set_global_element(self, name, idx, value)
-    }
-    fn take_coverage(&mut self) -> Coverage {
-        Vm::take_coverage(self)
-    }
 }
 
 /// Boot the machine with the given compiled driver, through the bytecode
@@ -216,13 +93,7 @@ pub fn boot_ide_compiled(
     files: &[FsFile],
     fuel: u64,
 ) -> BootReport {
-    let mut host = MachineHost::new(io);
-    let mut vm = Vm::new(compiled, &mut host, fuel);
-    let (fatal, damage, coverage) = drive_boot(&mut vm, files);
-    drop(vm);
-    let console = std::mem::take(&mut host.console);
-    drop(host);
-    finish_boot(io, ide, files, fatal, damage, coverage, console)
+    scenario::run_compiled(&IdeBootScenario::attached(files, ide), compiled, io, fuel)
 }
 
 /// [`boot_ide`] through the tree-walking interpreter — the differential
@@ -234,214 +105,7 @@ pub fn boot_ide_interp(
     files: &[FsFile],
     fuel: u64,
 ) -> BootReport {
-    let mut host = MachineHost::new(io);
-    let mut interp = Interpreter::new(program, &mut host, fuel);
-    let (fatal, damage, coverage) = drive_boot(&mut interp, files);
-    drop(interp);
-    let console = std::mem::take(&mut host.console);
-    drop(host);
-    finish_boot(io, ide, files, fatal, damage, coverage, console)
-}
-
-/// Steps 1–4 of the boot sequence (probe, mount, integrity, write test),
-/// generic over the execution engine.
-fn drive_boot<E: BootEngine>(
-    engine: &mut E,
-    files: &[FsFile],
-) -> (Option<BootFatal>, Vec<String>, Coverage) {
-    let mut damage: Vec<String> = Vec::new();
-
-    let fatal = 'boot: {
-        // 1. Probe.
-        match call(engine, "ide_probe", &[]) {
-            Step::Done(v) => {
-                if v.as_int().unwrap_or(-1) <= 0 {
-                    break 'boot Some(BootFatal::Halt(
-                        "VFS: unable to mount root fs (no disk found)".into(),
-                    ));
-                }
-            }
-            Step::Fatal(f) => break 'boot Some(f),
-        }
-        // 2. Mount: MBR.
-        let mbr = match read_sector(engine, 0) {
-            Ok(b) => b,
-            Err(f) => break 'boot Some(f),
-        };
-        if mbr[510] != 0x55 || mbr[511] != 0xAA {
-            break 'boot Some(BootFatal::Halt(
-                "VFS: unable to mount root fs (bad partition table)".into(),
-            ));
-        }
-        let part = u32::from_le_bytes([mbr[454], mbr[455], mbr[456], mbr[457]]);
-        // Superblock.
-        let sb = match read_sector(engine, part as i64) {
-            Ok(b) => b,
-            Err(f) => break 'boot Some(f),
-        };
-        if &sb[..4] != fs::MAGIC {
-            break 'boot Some(BootFatal::Halt(
-                "VFS: unable to mount root fs (bad superblock)".into(),
-            ));
-        }
-        // 3. Files.
-        for (i, f) in files.iter().enumerate() {
-            if f.writable {
-                continue;
-            }
-            let e = 8 + i * 24;
-            let start = u32::from_le_bytes([sb[e + 8], sb[e + 9], sb[e + 10], sb[e + 11]]);
-            let len = u32::from_le_bytes([sb[e + 12], sb[e + 13], sb[e + 14], sb[e + 15]]) as usize;
-            let sum = u32::from_le_bytes([sb[e + 16], sb[e + 17], sb[e + 18], sb[e + 19]]);
-            let mut data = Vec::with_capacity(len);
-            for s in 0..fs::SECTORS_PER_FILE {
-                match read_sector(engine, (part + start + s) as i64) {
-                    Ok(b) => data.extend_from_slice(&b),
-                    Err(fatal) => break 'boot Some(fatal),
-                }
-            }
-            data.truncate(len);
-            if fs::checksum(&data) != sum {
-                damage.push(format!("file `{}` failed its checksum", f.name));
-            }
-        }
-        // 4. Write test on the log file.
-        if let Some((log_lba, _)) = fs::file_extent(files, "log") {
-            let pattern: Vec<u16> = (0..256u32).map(|i| (i * 7 + 3) as u16).collect();
-            for (i, w) in pattern.iter().enumerate() {
-                engine.set_global_element("io_buf", i, Value::Int(*w as i64));
-            }
-            match call(engine, "ide_write", &[Value::Int(log_lba as i64)]) {
-                Step::Done(v) => {
-                    if v.as_int().unwrap_or(-1) != 0 {
-                        damage.push("log write failed".into());
-                    } else {
-                        // Clear and read back.
-                        for i in 0..256 {
-                            engine.set_global_element("io_buf", i, Value::Int(0));
-                        }
-                        match read_sector(engine, log_lba as i64) {
-                            Ok(back) => {
-                                let expect: Vec<u8> =
-                                    pattern.iter().flat_map(|w| w.to_le_bytes()).collect();
-                                if back != expect {
-                                    damage.push("log read-back mismatch".into());
-                                }
-                            }
-                            Err(f) => break 'boot Some(f),
-                        }
-                    }
-                }
-                Step::Fatal(f) => break 'boot Some(f),
-            }
-        }
-        None
-    };
-
-    (fatal, damage, engine.take_coverage())
-}
-
-/// Step 5 (ground truth) plus outcome classification.
-fn finish_boot(
-    io: &mut IoSpace,
-    ide: DeviceId,
-    files: &[FsFile],
-    fatal: Option<BootFatal>,
-    mut damage: Vec<String>,
-    coverage: Coverage,
-    console: Vec<String>,
-) -> BootReport {
-    // Ground truth. Deliver pending lazy ticks first so timer-driven
-    // device state is current when inspected outside an access sequence.
-    io.sync();
-    let report = io
-        .device::<IdeController>(ide)
-        .map(|c| fs::fsck(c.disk(), files));
-    if let Some(r) = &report {
-        if !r.is_clean() {
-            damage.push(r.describe());
-        }
-    }
-
-    let (outcome, detail) = match fatal {
-        Some(BootFatal::Run(e)) => classify_run_error(&e),
-        Some(BootFatal::Halt(msg)) => (Outcome::Halt, msg),
-        Some(BootFatal::Damage(msg)) => (Outcome::DamagedBoot, msg),
-        None if damage.is_empty() => (Outcome::Boot, "boot completed, no damage".into()),
-        None => (Outcome::DamagedBoot, damage.join("; ")),
-    };
-    BootReport { outcome, console, detail, coverage }
-}
-
-/// Map an interpreter error to an outcome.
-pub fn classify_run_error(e: &RunError) -> (Outcome, String) {
-    match e {
-        RunError::Panic { message, file, line } => {
-            if message.starts_with("Devil assertion failed") {
-                (Outcome::RuntimeCheck, format!("{message} ({file}:{line})"))
-            } else {
-                (Outcome::Halt, format!("kernel panic: {message} ({file}:{line})"))
-            }
-        }
-        RunError::Fault { kind, file, line } => {
-            (Outcome::Crash, format!("silent crash: {kind} at {file}:{line}"))
-        }
-        RunError::OutOfFuel => (Outcome::InfiniteLoop, "boot never completed".into()),
-        RunError::NoSuchFunction(n) => {
-            (Outcome::Halt, format!("kernel panic: missing driver entry `{n}`"))
-        }
-    }
-}
-
-fn call<E: BootEngine>(engine: &mut E, name: &str, args: &[Value]) -> Step {
-    match engine.call(name, args) {
-        Ok(v) => Step::Done(v),
-        Err(e) => Step::Fatal(BootFatal::Run(e)),
-    }
-}
-
-/// Read one sector through the driver into bytes.
-fn read_sector<E: BootEngine>(engine: &mut E, lba: i64) -> Result<Vec<u8>, BootFatal> {
-    match call(engine, "ide_read", &[Value::Int(lba), Value::Int(1)]) {
-        Step::Done(v) => {
-            if v.as_int().unwrap_or(-1) != 0 {
-                return Err(BootFatal::Halt(format!(
-                    "VFS: I/O error reading sector {lba}"
-                )));
-            }
-        }
-        Step::Fatal(f) => return Err(f),
-    }
-    let Some(words) = engine.global_values("io_buf") else {
-        return Err(BootFatal::Damage("driver has no io_buf".into()));
-    };
-    let mut bytes = Vec::with_capacity(512);
-    for w in words.iter().take(256) {
-        let v = w.as_int().unwrap_or(0) as u16;
-        bytes.extend_from_slice(&v.to_le_bytes());
-    }
-    Ok(bytes)
-}
-
-/// Refine a `Boot` outcome into `DeadCode` when the mutated line was never
-/// executed. `dead_site` is the 1-based line of the mutation in `file_name`.
-fn refine_dead_code(
-    program: &Program,
-    report: BootReport,
-    file_name: &str,
-    dead_site: Option<u32>,
-) -> (Outcome, String) {
-    if report.outcome == Outcome::Boot {
-        if let Some(line) = dead_site {
-            if let Some(fid) = program.unit.file_id(file_name) {
-                let packed = devil_minic::token::pack_line(fid, line);
-                if !report.coverage.contains(packed) {
-                    return (Outcome::DeadCode, "mutated line never executed".into());
-                }
-            }
-        }
-    }
-    (report.outcome, report.detail)
+    scenario::run_interp(&IdeBootScenario::attached(files, ide), program, io, fuel)
 }
 
 /// Full mutant pipeline, rebuild-per-mutant flavour: compile, build a
@@ -459,25 +123,26 @@ pub fn run_mutant(
     dead_site: Option<u32>,
     files: &[FsFile],
     fuel: u64,
-) -> (Outcome, String) {
-    let program = match devil_minic::compile_with_includes(file_name, source, includes) {
-        Ok(p) => p,
-        Err(e) => return (Outcome::CompileCheck, e.to_string()),
-    };
-    let (mut io, ide) = standard_ide_machine(files);
-    let report = boot_ide(&program, &mut io, ide, files, fuel);
-    refine_dead_code(&program, report, file_name, dead_site)
+) -> (Outcome, Detail) {
+    scenario::run_mutant_in(
+        IdeBootScenario::new(files),
+        file_name,
+        source,
+        includes,
+        dead_site,
+        fuel,
+    )
 }
 
-/// A reusable boot machine for mutation campaigns.
+/// A reusable boot machine for mutation campaigns: the IDE specialisation
+/// of the generic [`ScenarioMachine`], kept under its historical name.
 ///
 /// Builds the standard experiment machine **once** ([`standard_ide_machine`]
-/// plus `mkfs`), captures its pristine state as a
-/// [`Snapshot`](devil_hwsim::snap::Snapshot), and then evaluates each
-/// mutant as *restore → compile → boot → classify* — the per-mutant reset
-/// is a memcpy instead of a machine reconstruction. Use one
-/// `CampaignMachine` per worker thread, e.g. as the workspace of a
-/// `devil_mutagen::Campaign`:
+/// plus `mkfs`), captures its pristine state as a snapshot, and then
+/// evaluates each mutant as *restore → compile → boot → classify* — the
+/// per-mutant reset is a journal-assisted memcpy instead of a machine
+/// reconstruction. Use one `CampaignMachine` per worker thread, e.g. as
+/// the workspace of a `devil_mutagen::Campaign`:
 ///
 /// ```ignore
 /// let files = fs::standard_files();
@@ -487,120 +152,25 @@ pub fn run_mutant(
 /// )
 /// .run(&mutants);
 /// ```
-#[derive(Debug)]
-pub struct CampaignMachine {
-    io: IoSpace,
-    ide: DeviceId,
-    pristine: Snapshot,
-    files: Vec<FsFile>,
-    fuel: u64,
-    /// Pre-lexed include headers, built lazily on the first mutant that
-    /// compiles against a given include set and reused while the set is
-    /// unchanged — which in a mutation campaign is every mutant, since
-    /// only the driver file is spliced.
-    include_cache: Option<IncludeCache>,
-}
+pub type CampaignMachine = ScenarioMachine<IdeBootScenario<'static>>;
 
 impl CampaignMachine {
     /// Build the standard IDE machine with a DevilFS image of `files` and
     /// capture its pristine snapshot.
     pub fn new(files: &[FsFile], fuel: u64) -> Self {
-        let (io, ide) = standard_ide_machine(files);
-        let pristine = io.snapshot();
-        CampaignMachine {
-            io,
-            ide,
-            pristine,
-            files: files.to_vec(),
-            fuel,
-            include_cache: None,
-        }
+        ScenarioMachine::with_scenario(IdeBootScenario::new(files.to_vec()), fuel)
     }
 
     /// The boot image the machine was built with.
     pub fn files(&self) -> &[FsFile] {
-        &self.files
-    }
-
-    /// Evaluate one mutant: compile it (headers served from the pre-lexed
-    /// include cache), rewind the machine to its pristine snapshot, boot
-    /// through the bytecode VM, and classify — including the dead-code
-    /// refinement of [`run_mutant`]. Produces exactly the same
-    /// classification as the rebuild-per-mutant path, without rebuilding
-    /// anything.
-    pub fn run(
-        &mut self,
-        file_name: &str,
-        source: &str,
-        includes: &[(&str, &str)],
-        dead_site: Option<u32>,
-    ) -> (Outcome, String) {
-        let program = match self.compile_mutant(file_name, source, includes) {
-            Ok(p) => p,
-            Err(e) => return (Outcome::CompileCheck, e.to_string()),
-        };
-        self.boot_and_classify(&program, file_name, dead_site)
-    }
-
-    /// Like [`CampaignMachine::run`], compiling against an externally
-    /// shared [`IncludeCache`]. The cache is `Sync`: build it once per
-    /// campaign and let every worker's machine borrow it, so the header
-    /// set is lexed once per *campaign* instead of once per worker.
-    pub fn run_cached(
-        &mut self,
-        file_name: &str,
-        source: &str,
-        cache: &IncludeCache,
-        dead_site: Option<u32>,
-    ) -> (Outcome, String) {
-        let program = match devil_minic::compile_with_cache(file_name, source, cache) {
-            Ok(p) => p,
-            Err(e) => return (Outcome::CompileCheck, e.to_string()),
-        };
-        self.boot_and_classify(&program, file_name, dead_site)
-    }
-
-    fn boot_and_classify(
-        &mut self,
-        program: &Program,
-        file_name: &str,
-        dead_site: Option<u32>,
-    ) -> (Outcome, String) {
-        let compiled = program.to_bytecode();
-        self.io
-            .restore(&self.pristine)
-            .expect("pristine snapshot matches its own machine");
-        let report =
-            boot_ide_compiled(&compiled, &mut self.io, self.ide, &self.files, self.fuel);
-        refine_dead_code(program, report, file_name, dead_site)
-    }
-
-    /// Compile one mutant, re-lexing only the spliced driver file when the
-    /// include set is unchanged since the previous mutant.
-    fn compile_mutant(
-        &mut self,
-        file_name: &str,
-        source: &str,
-        includes: &[(&str, &str)],
-    ) -> Result<Program, devil_minic::CError> {
-        if includes.is_empty() {
-            return devil_minic::compile(file_name, source);
-        }
-        let reusable = self
-            .include_cache
-            .as_ref()
-            .is_some_and(|c| c.matches(includes));
-        if !reusable {
-            self.include_cache = Some(IncludeCache::new(includes));
-        }
-        let cache = self.include_cache.as_ref().expect("cache just ensured");
-        devil_minic::compile_with_cache(file_name, source, cache)
+        self.scenario().files()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use devil_minic::interp::RunError;
 
     /// A deliberately small but correct PIO driver used to validate the
     /// harness itself; the experiment corpus lives in `devil-drivers`.
@@ -866,6 +436,30 @@ int ide_write(int lba)
     }
 
     #[test]
+    fn outcome_table_order_is_complete_and_unique() {
+        // Completeness gate: adding an `Outcome` variant without teaching
+        // `table_order` about it fails this match (and therefore the
+        // build), not just the table rendering.
+        fn index_of(o: Outcome) -> usize {
+            match o {
+                Outcome::CompileCheck => 0,
+                Outcome::RuntimeCheck => 1,
+                Outcome::Crash => 2,
+                Outcome::InfiniteLoop => 3,
+                Outcome::Halt => 4,
+                Outcome::DamagedBoot => 5,
+                Outcome::Boot => 6,
+                Outcome::DeadCode => 7,
+            }
+        }
+        let mut seen = [0usize; 8];
+        for o in Outcome::table_order() {
+            seen[index_of(o)] += 1;
+        }
+        assert_eq!(seen, [1; 8], "every variant exactly once in table_order");
+    }
+
+    #[test]
     fn devil_assertion_panic_classifies_as_runtime_check() {
         let e = RunError::Panic {
             message: "Devil assertion failed in file drv.c line 12".into(),
@@ -875,5 +469,18 @@ int ide_write(int lba)
         assert_eq!(classify_run_error(&e).0, Outcome::RuntimeCheck);
         let e = RunError::Panic { message: "hd: controller stuck".into(), file: "d".into(), line: 1 };
         assert_eq!(classify_run_error(&e).0, Outcome::Halt);
+    }
+
+    #[test]
+    fn fixed_verdicts_borrow_their_detail_strings() {
+        // The common classifications must not allocate a detail per
+        // mutant: a clean boot, a dead-code refinement and a fuel
+        // exhaustion all return borrowed strings.
+        let files = fs::standard_files();
+        let (_, detail) = run_mutant("mini.c", MINI_DRIVER, &[], None, &files, DEFAULT_FUEL);
+        assert!(matches!(detail, Detail::Borrowed(_)), "clean boot detail is borrowed");
+        let (o, detail) = classify_run_error(&RunError::OutOfFuel);
+        assert_eq!(o, Outcome::InfiniteLoop);
+        assert!(matches!(detail, Detail::Borrowed(_)), "fuel detail is borrowed");
     }
 }

@@ -1,0 +1,96 @@
+//! IDE read/write/fsck stress scenario — the disk workload past a clean
+//! boot.
+//!
+//! Same machine and driver contract as [`super::IdeBootScenario`]
+//! (`ide_probe` / `ide_read` / `ide_write` / `io_buf`), but the activity
+//! is what a running system does to its disk, not just what a boot does:
+//!
+//! 1. probe and mount (MBR + superblock), exactly like the boot;
+//! 2. a first full integrity pass over every file;
+//! 3. **three** write/read-back rounds on the log sector, each with a
+//!    different pattern — a write path that works once but corrupts
+//!    state for later commands (a stuck DRQ, a task-file register left
+//!    dirty) fails the later rounds;
+//! 4. a second full integrity pass *after* the writes — a wild write is
+//!    caught by the driver's own reads, not only by the final fsck;
+//! 5. a re-read of the MBR and superblock, exercising low-LBA addressing
+//!    again after the high-LBA traffic;
+//! 6. ground truth: the same platter-level fsck as the boot.
+
+use crate::boot::standard_ide_machine;
+use crate::fs::{self, FsFile};
+use crate::scenario::{Detail, Drive, Scenario, ScenarioEngine};
+use crate::scenarios::ide_boot;
+use devil_hwsim::{DeviceId, IoSpace};
+use std::borrow::Cow;
+
+/// Write/read-back rounds on the log sector.
+const WRITE_ROUNDS: u32 = 3;
+
+/// The sustained read/write disk workload (see the module docs).
+#[derive(Debug, Clone)]
+pub struct IdeStressScenario<'a> {
+    files: Cow<'a, [FsFile]>,
+    ide: Option<DeviceId>,
+}
+
+impl<'a> IdeStressScenario<'a> {
+    /// A scenario that will build the standard IDE machine with a DevilFS
+    /// image of `files`.
+    pub fn new(files: impl Into<Cow<'a, [FsFile]>>) -> Self {
+        IdeStressScenario { files: files.into(), ide: None }
+    }
+}
+
+impl Scenario for IdeStressScenario<'_> {
+    fn name(&self) -> &'static str {
+        "ide-stress"
+    }
+
+    fn build(&mut self) -> IoSpace {
+        let (io, ide) = standard_ide_machine(&self.files);
+        self.ide = Some(ide);
+        io
+    }
+
+    fn drive(&self, engine: &mut dyn ScenarioEngine) -> Drive {
+        let mut damage = Vec::new();
+        let run = (|| -> Result<(), crate::scenario::Fatal> {
+            ide_boot::probe(engine)?;
+            let (part, sb) = ide_boot::mount(engine)?;
+            ide_boot::verify_files(engine, &self.files, part, &sb, &mut damage, " (before writes)")?;
+            if let Some((log_lba, _)) = fs::file_extent(&self.files, "log") {
+                for round in 0..WRITE_ROUNDS {
+                    ide_boot::write_read_back(
+                        engine,
+                        log_lba,
+                        ide_boot::log_pattern(round),
+                        &mut damage,
+                    )?;
+                }
+            }
+            // The integrity pass again, through the driver, after the
+            // write traffic.
+            ide_boot::verify_files(engine, &self.files, part, &sb, &mut damage, " (after writes)")?;
+            // Low-LBA addressing must still work after high-LBA traffic.
+            let mbr = ide_boot::read_sector(engine, 0)?;
+            if mbr[510] != 0x55 || mbr[511] != 0xAA {
+                damage.push("partition table unreadable after write traffic".into());
+            }
+            let sb2 = ide_boot::read_sector(engine, part as i64)?;
+            if sb2 != sb {
+                damage.push("superblock changed under the workload".into());
+            }
+            Ok(())
+        })();
+        Drive::from_result(run, damage)
+    }
+
+    fn inspect(&self, io: &mut IoSpace, damage: &mut Vec<String>) {
+        ide_boot::fsck_damage(io, self.ide, &self.files, damage);
+    }
+
+    fn clean_detail(&self) -> Detail {
+        Detail::Borrowed("disk stress completed, no damage")
+    }
+}

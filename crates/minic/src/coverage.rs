@@ -99,6 +99,22 @@ impl Coverage {
             .sum()
     }
 
+    /// Union `other` into `self`, growing the bitmaps as needed — e.g. to
+    /// aggregate per-mutant coverage into campaign-wide coverage.
+    pub fn merge(&mut self, other: &Coverage) {
+        if self.files.len() < other.files.len() {
+            self.files.resize(other.files.len(), Vec::new());
+        }
+        for (mine, theirs) in self.files.iter_mut().zip(&other.files) {
+            if mine.len() < theirs.len() {
+                mine.resize(theirs.len(), 0);
+            }
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m |= *t;
+            }
+        }
+    }
+
     /// Iterate the executed packed line ids in `(file_id, line)` order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.files.iter().enumerate().flat_map(|(fid, f)| {
@@ -311,6 +327,72 @@ mod tests {
         }
         let got: Vec<u32> = c.iter().collect();
         assert_eq!(got, vec![pack_line(0, 2), pack_line(0, 64), pack_line(1, 3)]);
+    }
+
+    #[test]
+    fn line_zero_round_trips() {
+        // Line 0 never comes from real tokens (lines are 1-based), but the
+        // bitmap must not treat it specially: bit 0 of word 0.
+        let mut c = Coverage::with_bounds(&[10]);
+        assert!(!c.contains(pack_line(0, 0)));
+        c.insert(pack_line(0, 0));
+        assert!(c.contains(pack_line(0, 0)));
+        assert!(!c.contains(pack_line(0, 1)), "line 1 must stay clear");
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn lines_past_the_last_word_grow_and_query_clean() {
+        // `with_bounds(&[64])` sizes two words (lines 0..=127). Lines past
+        // the last word must query false without panicking, and insert
+        // through the grow path.
+        let mut c = Coverage::with_bounds(&[64]);
+        assert!(!c.contains(pack_line(0, 128)));
+        assert!(!c.contains(pack_line(0, 100_000)));
+        c.insert(pack_line(0, 128)); // first bit of the word past the end
+        c.insert(pack_line(0, 191)); // last bit of that word
+        assert!(c.contains(pack_line(0, 128)));
+        assert!(c.contains(pack_line(0, 191)));
+        assert!(!c.contains(pack_line(0, 127)));
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    fn merge_of_differently_sized_bitmaps() {
+        // Small ∪ large and large ∪ small must agree, grow correctly, and
+        // leave the source untouched.
+        let mut small = Coverage::with_bounds(&[10]);
+        small.insert(pack_line(0, 3));
+        let mut large = Coverage::with_bounds(&[500, 100]);
+        large.insert(pack_line(0, 400));
+        large.insert(pack_line(1, 64));
+
+        let mut a = small.clone();
+        a.merge(&large);
+        let mut b = large.clone();
+        b.merge(&small);
+        assert_eq!(a, b, "merge must be symmetric in content");
+        for p in [pack_line(0, 3), pack_line(0, 400), pack_line(1, 64)] {
+            assert!(a.contains(p));
+        }
+        assert_eq!(a.count(), 3);
+        // Sources untouched.
+        assert_eq!(small.count(), 1);
+        assert_eq!(large.count(), 2);
+        // Merging an empty map changes nothing.
+        let before = a.clone();
+        a.merge(&Coverage::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut c = Coverage::with_bounds(&[64]);
+        c.insert(pack_line(0, 5));
+        let copy = c.clone();
+        c.merge(&copy);
+        assert_eq!(c, copy);
+        assert_eq!(c.count(), 1);
     }
 
     #[test]

@@ -205,6 +205,12 @@ impl<'a, H: Host> Interpreter<'a, H> {
         self.fuel
     }
 
+    /// Mutable access to the host environment — for harnesses that inject
+    /// device events (mouse motion, network frames) between driver calls.
+    pub fn host_mut(&mut self) -> &mut H {
+        self.host
+    }
+
     /// Packed line ids executed so far (see [`crate::token::pack_line`]).
     pub fn coverage(&self) -> &Coverage {
         &self.coverage
@@ -243,6 +249,15 @@ impl<'a, H: Host> Interpreter<'a, H> {
         self.ensure_globals().ok()?;
         let id = *self.globals.get(name)?;
         self.objects.get(id.0)?.clone()
+    }
+
+    /// Read one element of a global object without snapshotting the whole
+    /// object (no allocation); `None` for unknown names, dead objects or
+    /// out-of-range indexes.
+    pub fn global_value(&mut self, name: &str, idx: usize) -> Option<Value> {
+        self.ensure_globals().ok()?;
+        let id = *self.globals.get(name)?;
+        self.objects.get(id.0)?.as_ref()?.get(idx).cloned()
     }
 
     /// Overwrite element `idx` of a global object (for harness-injected

@@ -155,6 +155,12 @@ impl<'a, H: Host> Vm<'a, H> {
         self.fuel
     }
 
+    /// Mutable access to the host environment — for harnesses that inject
+    /// device events (mouse motion, network frames) between driver calls.
+    pub fn host_mut(&mut self) -> &mut H {
+        self.host
+    }
+
     /// Executed-line coverage so far.
     pub fn coverage(&self) -> &Coverage {
         &self.coverage
@@ -198,6 +204,20 @@ impl<'a, H: Host> Vm<'a, H> {
         let id = self.globals[gidx as usize]?;
         let o = self.objects.get(id)?;
         o.live.then(|| o.data.clone())
+    }
+
+    /// Read one element of a global object without snapshotting the whole
+    /// object (no allocation); `None` for unknown names, dead objects or
+    /// out-of-range indexes.
+    pub fn global_value(&mut self, name: &str, idx: usize) -> Option<Value> {
+        self.ensure_globals().ok()?;
+        let gidx = self.program.global(name)?;
+        let id = self.globals[gidx as usize]?;
+        let o = self.objects.get(id)?;
+        if !o.live {
+            return None;
+        }
+        o.data.get(idx).cloned()
     }
 
     /// Overwrite element `idx` of a global object; `false` when the global

@@ -1,40 +1,50 @@
-//! Run a miniature mutation campaign (a 5% sample) against both IDE
-//! drivers and print the outcome distribution — a fast preview of
-//! Tables 3 and 4. The full campaigns live in `devil-bench`.
-//!
-//! Each worker thread owns one [`CampaignMachine`]: the simulated machine
-//! is built (and `mkfs`ed) once per worker and snapshot-restored before
-//! every mutant, instead of being reconstructed ~100 times. The generated
-//! stub headers are pre-lexed once per campaign into a shared
-//! [`IncludeCache`] (it is `Sync`), so every worker re-lexes only the
-//! spliced driver file, and each mutant boots through the minic bytecode
-//! VM.
+//! Run a miniature mutation campaign (a 5% sample) under any scenario in
+//! the catalog and print the outcome distribution — a fast preview of
+//! Tables 3 and 4 for the IDE boot, and of their equivalents for every
+//! other workload. The full campaigns live in `devil-bench`.
 //!
 //! ```text
-//! cargo run --release --example mutation_campaign
+//! cargo run --release --example mutation_campaign [-- <scenario>]
 //! ```
+//!
+//! `<scenario>` defaults to `ide-boot`; any name from
+//! `devil::drivers::corpus::scenario_names()` works (`ide-stress`,
+//! `mouse-stream`, `ne2000-stress`). Every driver paired with the
+//! scenario is mutated and campaigned.
+//!
+//! Each worker thread owns one [`ScenarioMachine`]: the simulated machine
+//! is built once per worker and snapshot-restored before every mutant
+//! (IDE platter restores ride the dirty-sector journal), instead of being
+//! reconstructed ~100 times. The generated stub headers are pre-lexed
+//! once per campaign into a shared [`IncludeCache`] (it is `Sync`), so
+//! every worker re-lexes only the spliced driver file, and each mutant
+//! runs through the minic bytecode VM.
 
-use devil::kernel::boot::{CampaignMachine, Outcome, DEFAULT_FUEL};
-use devil::kernel::fs;
+use devil::drivers::corpus::{build_scenario, scenario_catalog, scenario_names, DriverVariant};
+use devil::kernel::boot::{Outcome, DEFAULT_FUEL};
+use devil::kernel::scenario::ScenarioMachine;
 use devil::minic::pp::IncludeCache;
-use devil::mutagen::c::{CMutationModel, CStyle};
+use devil::mutagen::c::CMutationModel;
 use devil::mutagen::{sample, Campaign, Mutant};
 use std::collections::BTreeMap;
 
-fn campaign(label: &str, file: &str, source: &str, headers: &[(String, String)], style: CStyle) {
-    let header_texts: Vec<&str> = headers.iter().map(|(_, t)| t.as_str()).collect();
-    let model = CMutationModel::new(source, &header_texts, style);
+fn campaign(scenario_name: &'static str, v: &DriverVariant) {
+    let header_texts: Vec<&str> = v.headers.iter().map(|(_, t)| t.as_str()).collect();
+    let model = CMutationModel::new(v.source, &header_texts, v.style);
     let mutants = sample(model.mutants(), 0.05, 42);
     let incs: Vec<(&str, &str)> =
-        headers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        v.headers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
     // One pre-lexed header set for the whole campaign; workers share it.
     let cache = IncludeCache::new(&incs);
-    let files = fs::standard_files();
+    let file = v.file;
     let outcomes = Campaign::new(
-        || CampaignMachine::new(&files, DEFAULT_FUEL),
-        |machine: &mut CampaignMachine, m: &Mutant| {
-            machine.run_cached(file, &m.source, &cache, Some(m.line)).0
+        || {
+            ScenarioMachine::with_scenario(
+                build_scenario(scenario_name).expect("catalog scenario builds"),
+                DEFAULT_FUEL,
+            )
         },
+        |machine, m: &Mutant| machine.run_cached(file, &m.source, &cache, Some(m.line)).0,
     )
     .with_threads(8)
     .run(&mutants);
@@ -42,7 +52,12 @@ fn campaign(label: &str, file: &str, source: &str, headers: &[(String, String)],
     for o in outcomes {
         *tally.entry(o).or_default() += 1;
     }
-    println!("{label}: {} sites, {} mutants evaluated", model.sites().len(), mutants.len());
+    println!(
+        "{} under {scenario_name}: {} sites, {} mutants evaluated",
+        v.label,
+        model.sites().len(),
+        mutants.len()
+    );
     for outcome in Outcome::table_order() {
         if let Some(n) = tally.get(&outcome) {
             println!(
@@ -63,14 +78,15 @@ fn campaign(label: &str, file: &str, source: &str, headers: &[(String, String)],
 }
 
 fn main() {
-    let ide = devil::drivers::ide::IDE_C_DRIVER;
-    campaign("C driver", devil::drivers::ide::IDE_C_FILE, ide, &[], CStyle::PlainC);
-    let headers = devil::drivers::ide::cdevil_includes();
-    campaign(
-        "CDevil driver",
-        devil::drivers::ide::IDE_CDEVIL_FILE,
-        devil::drivers::ide::IDE_CDEVIL_DRIVER,
-        &headers,
-        CStyle::CDevil,
-    );
+    let requested = std::env::args().nth(1).unwrap_or_else(|| "ide-boot".into());
+    let Some(case) = scenario_catalog().into_iter().find(|c| c.scenario == requested) else {
+        eprintln!(
+            "unknown scenario `{requested}`; available: {}",
+            scenario_names().join(", ")
+        );
+        std::process::exit(1);
+    };
+    for v in &case.drivers {
+        campaign(case.scenario, v);
+    }
 }

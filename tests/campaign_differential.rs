@@ -49,7 +49,7 @@ fn mutant_sets() -> Vec<MutantSet> {
     vec![
         MutantSet {
             label: "busmouse_c",
-            file: "busmouse_c.c",
+            file: busmouse::BM_C_FILE,
             source: busmouse::BM_C_DRIVER,
             headers: Vec::new(),
             style: CStyle::PlainC,

@@ -2,14 +2,14 @@
 //! what kind of mutant lands in each row of Tables 3/4.
 
 use devil::drivers::ide;
-use devil::kernel::boot::{run_mutant, Outcome, DEFAULT_FUEL};
+use devil::kernel::boot::{run_mutant, Detail, Outcome, DEFAULT_FUEL};
 use devil::kernel::fs;
 
-fn classify(source: &str) -> (Outcome, String) {
+fn classify(source: &str) -> (Outcome, Detail) {
     run_mutant(ide::IDE_C_FILE, source, &[], None, &fs::standard_files(), DEFAULT_FUEL)
 }
 
-fn classify_with_line(source: &str, line: u32) -> (Outcome, String) {
+fn classify_with_line(source: &str, line: u32) -> (Outcome, Detail) {
     run_mutant(
         ide::IDE_C_FILE,
         source,

@@ -53,9 +53,9 @@ fn clean_boots_are_engine_identical() {
             ide::IDE_CDEVIL_DRIVER,
             ide_includes.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect(),
         ),
-        ("busmouse_c.c", busmouse::BM_C_DRIVER, vec![]),
+        (busmouse::BM_C_FILE, busmouse::BM_C_DRIVER, vec![]),
         (
-            "busmouse_cdevil.c",
+            busmouse::BM_CDEVIL_FILE,
             busmouse::BM_CDEVIL_DRIVER,
             bm_includes.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect(),
         ),
@@ -97,7 +97,7 @@ fn mutant_sets() -> Vec<MutantSet> {
     vec![
         MutantSet {
             label: "busmouse_c",
-            file: "busmouse_c.c",
+            file: busmouse::BM_C_FILE,
             source: busmouse::BM_C_DRIVER,
             headers: Vec::new(),
             style: CStyle::PlainC,
