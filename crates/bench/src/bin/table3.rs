@@ -1,11 +1,21 @@
-//! Regenerate Table 3: mutations on the C code of the IDE disk driver.
+//! Regenerate Table 3: mutations on the C code of a driver corpus.
 //!
-//! Usage: `table3 [--all] [--fraction=F] [--seed=N]`
+//! Usage: `table3 [--scenario=NAME] [--all] [--fraction=F] [--seed=N]`
+//!
+//! `--scenario` selects any workload from the scenario catalog
+//! (`corpus::scenario_names()`: `ide-boot`, `ide-stress`, `mouse-stream`,
+//! `ne2000-stress`, ...); the default is the paper's IDE boot. One table
+//! is printed per plain-C driver paired with the scenario.
 
-use devil_bench::tables::{driver_campaign, render_outcome_table, CampaignOptions, Driver};
+use devil_bench::tables::{
+    render_outcome_table, scenario_campaign, scenario_variants, CampaignOptions,
+};
+use devil_drivers::corpus::scenario_names;
+use devil_mutagen::c::CStyle;
 
 fn main() {
     let mut opts = CampaignOptions::default();
+    let mut scenario = String::from("ide-boot");
     for arg in std::env::args().skip(1) {
         if arg == "--all" {
             opts.fraction = 1.0;
@@ -13,17 +23,31 @@ fn main() {
             opts.fraction = f.parse().expect("--fraction=0.25");
         } else if let Some(s) = arg.strip_prefix("--seed=") {
             opts.seed = s.parse().expect("--seed=1234");
+        } else if let Some(s) = arg.strip_prefix("--scenario=") {
+            scenario = s.to_string();
         } else {
             eprintln!("unknown argument {arg}");
             std::process::exit(2);
         }
     }
+    if !scenario_names().contains(&scenario.as_str()) {
+        eprintln!("unknown scenario `{scenario}`; try one of {:?}", scenario_names());
+        std::process::exit(2);
+    }
     println!(
-        "Table 3: Mutations on C code (sampling {:.0}%, seed {:#x})",
+        "Table 3: Mutations on C code, `{scenario}` scenario (sampling {:.0}%, seed {:#x})",
         opts.fraction * 100.0,
         opts.seed
     );
-    println!("(paper: compile 26.7, crash 2.9, loop 11.2, halt 21.5, damaged 2.9, boot 34.7 %)\n");
-    let t = driver_campaign(Driver::C, &opts);
-    println!("{}", render_outcome_table(&t, "Mutations on the C IDE driver"));
+    if scenario == "ide-boot" {
+        println!("(paper: compile 26.7, crash 2.9, loop 11.2, halt 21.5, damaged 2.9, boot 34.7 %)");
+    }
+    println!();
+    for v in scenario_variants(&scenario, CStyle::PlainC) {
+        let t = scenario_campaign(&scenario, &v, &opts);
+        println!(
+            "{}",
+            render_outcome_table(&t, &format!("Mutations on the C driver `{}`", v.label))
+        );
+    }
 }

@@ -1,19 +1,29 @@
-//! Regenerate Table 4: mutations on the CDevil code of the IDE driver.
+//! Regenerate Table 4: mutations on the CDevil glue of a driver corpus.
 //!
-//! Usage: `table4 [--all] [--fraction=F] [--seed=N] [--weak-types] [--no-asserts]`
+//! Usage: `table4 [--scenario=NAME] [--all] [--fraction=F] [--seed=N]
+//! [--weak-types] [--no-asserts]`
+//!
+//! `--scenario` selects any workload from the scenario catalog; the
+//! default is the paper's IDE boot. One table is printed per CDevil glue
+//! driver paired with the scenario (a scenario whose corpus has no CDevil
+//! variant, e.g. `ne2000-stress`, reports so and exits cleanly).
 //!
 //! Ablations (DESIGN.md §5): `--weak-types` runs the campaign against
 //! *production* stubs (plain integer typedefs — the struct encoding and
 //! all assertions gone); `--no-asserts` keeps the struct encoding but
 //! strips every run-time assertion, isolating what the type system alone
-//! buys.
+//! buys. Both apply to the IDE glue, whose header is regenerated per
+//! flavour.
 
 use devil_bench::tables::{
-    driver_campaign, render_outcome_table, CampaignOptions, Driver, StubFlavor,
+    render_outcome_table, scenario_campaign, scenario_variants, CampaignOptions, StubFlavor,
 };
+use devil_drivers::corpus::scenario_names;
+use devil_mutagen::c::CStyle;
 
 fn main() {
     let mut opts = CampaignOptions::default();
+    let mut scenario = String::from("ide-boot");
     for arg in std::env::args().skip(1) {
         if arg == "--all" {
             opts.fraction = 1.0;
@@ -25,13 +35,19 @@ fn main() {
             opts.fraction = f.parse().expect("--fraction=0.25");
         } else if let Some(s) = arg.strip_prefix("--seed=") {
             opts.seed = s.parse().expect("--seed=1234");
+        } else if let Some(s) = arg.strip_prefix("--scenario=") {
+            scenario = s.to_string();
         } else {
             eprintln!("unknown argument {arg}");
             std::process::exit(2);
         }
     }
+    if !scenario_names().contains(&scenario.as_str()) {
+        eprintln!("unknown scenario `{scenario}`; try one of {:?}", scenario_names());
+        std::process::exit(2);
+    }
     println!(
-        "Table 4: Mutations on CDevil code (sampling {:.0}%, seed {:#x}{})",
+        "Table 4: Mutations on CDevil code, `{scenario}` scenario (sampling {:.0}%, seed {:#x}{})",
         opts.fraction * 100.0,
         opts.seed,
         match opts.stub_flavor {
@@ -40,9 +56,22 @@ fn main() {
             StubFlavor::DebugNoAsserts => ", NO ASSERTS ablation",
         }
     );
-    println!(
-        "(paper: compile 58.0, run-time 14.1, crash 0, loop 0.7, halt 4.9, damaged 0.5, boot 12.3, dead 9.4 %)\n"
-    );
-    let t = driver_campaign(Driver::CDevil, &opts);
-    println!("{}", render_outcome_table(&t, "Mutations on the CDevil IDE driver"));
+    if scenario == "ide-boot" {
+        println!(
+            "(paper: compile 58.0, run-time 14.1, crash 0, loop 0.7, halt 4.9, damaged 0.5, boot 12.3, dead 9.4 %)"
+        );
+    }
+    println!();
+    let variants = scenario_variants(&scenario, CStyle::CDevil);
+    if variants.is_empty() {
+        println!("the `{scenario}` corpus has no CDevil glue driver yet — nothing to mutate");
+        return;
+    }
+    for v in variants {
+        let t = scenario_campaign(&scenario, &v, &opts);
+        println!(
+            "{}",
+            render_outcome_table(&t, &format!("Mutations on the CDevil driver `{}`", v.label))
+        );
+    }
 }

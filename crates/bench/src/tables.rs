@@ -1,11 +1,20 @@
 //! Campaign runners and table renderers shared by the bench binaries.
+//!
+//! Since the scenario engine landed, the Table 3/4 campaigns run through
+//! the catalog (`devil_drivers::corpus`): [`scenario_campaign`] evaluates
+//! any `(scenario, driver)` pairing with the snapshot-reset
+//! `ScenarioMachine` engine (one machine per worker, dirty-journal
+//! restores per mutant), so `table3`/`table4` can emit a paper-style
+//! table for every `corpus::scenario_names()` entry, not just the IDE
+//! boot.
 
+use devil_drivers::corpus::{build_scenario, scenario_catalog, DriverVariant};
 use devil_drivers::{ide, specs};
-use devil_kernel::boot::{run_mutant, Outcome, DEFAULT_FUEL};
-use devil_kernel::fs;
+use devil_kernel::boot::{Outcome, DEFAULT_FUEL};
+use devil_kernel::scenario::ScenarioMachine;
 use devil_mutagen::c::{CMutationModel, CStyle};
 use devil_mutagen::devil::DevilMutationModel;
-use devil_mutagen::{run_parallel, sample, Mutant};
+use devil_mutagen::{run_parallel, sample, Campaign, Mutant};
 use std::collections::{BTreeMap, HashSet};
 
 /// Default seed for the 25% sample, matching the paper's methodology of
@@ -199,31 +208,59 @@ pub fn driver_mutants(driver: Driver) -> (CMutationModel, Vec<Mutant>) {
     (model, mutants)
 }
 
-/// Run a Table 3/4 campaign.
-pub fn driver_campaign(driver: Driver, opts: &CampaignOptions) -> OutcomeTable {
-    let (_, all_mutants) = driver_mutants(driver);
+/// The include set a catalog variant compiles against, with the Table 4
+/// ablation flavours applied to the IDE CDevil glue (the only variant
+/// whose header is regenerated per flavour; everything else keeps its
+/// catalog headers).
+fn variant_headers(v: &DriverVariant, flavor: StubFlavor) -> Vec<(String, String)> {
+    if v.file == ide::IDE_CDEVIL_FILE {
+        match flavor {
+            StubFlavor::Debug => ide::cdevil_includes(),
+            StubFlavor::DebugNoAsserts => {
+                vec![(ide::IDE_HEADER_NAME.to_string(), ide::ide_no_assert_header())]
+            }
+            StubFlavor::Production => {
+                vec![(ide::IDE_HEADER_NAME.to_string(), ide::ide_production_header())]
+            }
+        }
+    } else {
+        v.headers.clone()
+    }
+}
+
+/// Run one `(scenario, driver)` campaign through the snapshot-reset
+/// engine: one `ScenarioMachine` per worker thread, each mutant evaluated
+/// as restore → compile → drive → classify. This is the generalisation of
+/// the old boot-only Table 3/4 runner to the whole scenario catalog.
+pub fn scenario_campaign(
+    scenario: &str,
+    v: &DriverVariant,
+    opts: &CampaignOptions,
+) -> OutcomeTable {
+    // The mutant set always comes from the *catalog* headers (the debug
+    // stubs for the IDE glue): the §5 ablations swap only what the
+    // mutants compile against, so every flavour samples the same seeded
+    // mutant population and the tables stay comparable across flavours.
+    let model_texts: Vec<&str> = v.headers.iter().map(|(_, t)| t.as_str()).collect();
+    let model = CMutationModel::new(v.source, &model_texts, v.style);
+    let all_mutants = model.mutants();
     let generated = all_mutants.len();
     let mutants = sample(all_mutants, opts.fraction, opts.seed);
-    let includes: Vec<(String, String)> = match (driver, opts.stub_flavor) {
-        (Driver::C, _) => Vec::new(),
-        (Driver::CDevil, StubFlavor::Debug) => ide::cdevil_includes(),
-        (Driver::CDevil, StubFlavor::DebugNoAsserts) => {
-            vec![(ide::IDE_HEADER_NAME.to_string(), ide::ide_no_assert_header())]
-        }
-        (Driver::CDevil, StubFlavor::Production) => {
-            vec![(ide::IDE_HEADER_NAME.to_string(), ide::ide_production_header())]
-        }
-    };
-    let file_name = match driver {
-        Driver::C => ide::IDE_C_FILE,
-        Driver::CDevil => ide::IDE_CDEVIL_FILE,
-    };
-    let files = fs::standard_files();
+    let headers = variant_headers(v, opts.stub_flavor);
     let inc_refs: Vec<(&str, &str)> =
-        includes.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
-    let outcomes = run_parallel(&mutants, opts.threads, |m| {
-        run_mutant(file_name, &m.source, &inc_refs, Some(m.line), &files, opts.fuel).0
-    });
+        headers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let fuel = opts.fuel;
+    let outcomes = Campaign::new(
+        || {
+            ScenarioMachine::with_scenario(
+                build_scenario(scenario).expect("catalog scenario builds"),
+                fuel,
+            )
+        },
+        |machine, m: &Mutant| machine.run(v.file, &m.source, &inc_refs, Some(m.line)).0,
+    )
+    .with_threads(opts.threads)
+    .run(&mutants);
     let mut rows: BTreeMap<Outcome, (HashSet<usize>, usize)> = BTreeMap::new();
     let mut all_sites = HashSet::new();
     for (m, o) in mutants.iter().zip(outcomes) {
@@ -238,6 +275,28 @@ pub fn driver_campaign(driver: Driver, opts: &CampaignOptions) -> OutcomeTable {
         total_sites: all_sites.len(),
         generated,
     }
+}
+
+/// The catalog variants of `scenario` on one side of the Table 3/4 split:
+/// plain-C drivers for Table 3, CDevil glue drivers for Table 4.
+pub fn scenario_variants(scenario: &str, style: CStyle) -> Vec<DriverVariant> {
+    scenario_catalog()
+        .into_iter()
+        .filter(|c| c.scenario == scenario)
+        .flat_map(|c| c.drivers)
+        .filter(|v| v.style == style)
+        .collect()
+}
+
+/// Run a Table 3/4 campaign on the classic IDE boot scenario.
+pub fn driver_campaign(driver: Driver, opts: &CampaignOptions) -> OutcomeTable {
+    let style = match driver {
+        Driver::C => CStyle::PlainC,
+        Driver::CDevil => CStyle::CDevil,
+    };
+    let variants = scenario_variants("ide-boot", style);
+    let v = variants.first().expect("catalog pairs the IDE boot with both drivers");
+    scenario_campaign("ide-boot", v, opts)
 }
 
 /// Render an outcome table in the paper's Table 3/4 format.

@@ -23,12 +23,202 @@
 //! ring-wrap arithmetic, the doubled-PROM decode and the little-endian
 //! ring-header parsing are exactly the kind of byte-order/pointer
 //! manipulation the Devil evaluation mutates.
+//!
+//! Since the VM grew block-transfer builtins, the driver moves its DMA
+//! streams with the string-I/O forms (`insb` for the PROM dump, `insw`
+//! for ring reads, `outsw` for TX uploads) exactly like the real `ne.c`
+//! does — and rides the `hwsim` bulk-access device hook. The previous
+//! word-at-a-time form survives as [`NE2000_C_DRIVER_WORDS`], the A/B
+//! baseline for the `vm_exec` bench and the outcome-count regression
+//! test in `tests/scenario_differential.rs`.
 
 /// File name used for the NE2000 driver in diagnostics and coverage.
 pub const NE2000_C_FILE: &str = "ne2000_c.c";
 
 /// The polled C driver (see the module docs for the exported contract).
 pub const NE2000_C_DRIVER: &str = r#"/* ne.c-style polled driver for the simulated NE2000 at 0x300. */
+typedef unsigned char u8;
+typedef unsigned short u16;
+
+unsigned char ne_mac[6];
+unsigned short net_buf[512];
+int ne_rx_len;
+
+static int ne_next;
+
+#define NE_CMD    0x300
+#define NE_PSTART 0x301
+#define NE_PSTOP  0x302
+#define NE_BNRY   0x303
+#define NE_TPSR   0x304
+#define NE_TBCR0  0x305
+#define NE_TBCR1  0x306
+#define NE_ISR    0x307
+#define NE_RSAR0  0x308
+#define NE_RSAR1  0x309
+#define NE_RBCR0  0x30a
+#define NE_RBCR1  0x30b
+#define NE_RCR    0x30c
+#define NE_TCR    0x30d
+#define NE_DCR    0x30e
+#define NE_PAR0   0x301
+#define NE_CURR   0x307
+#define NE_DATA   0x310
+#define NE_RESET  0x31f
+
+#define E8390_STOP   0x21
+#define E8390_START  0x22
+#define E8390_TRANS  0x26
+#define E8390_RREAD  0x0a
+#define E8390_RWRITE 0x12
+#define E8390_PAGE1  0x62
+#define E8390_P1STOP 0x61
+
+#define ISR_PRX 0x01
+#define ISR_PTX 0x02
+#define ISR_RDC 0x40
+#define ISR_RST 0x80
+
+#define RX_START 0x46
+#define RX_STOP  0x80
+#define TX_PAGE  0x40
+
+/* DEVIL_MUT_BEGIN */
+static void ne_dma_setup(int addr, int len)
+{
+    outb(len & 0xff, NE_RBCR0);
+    outb((len >> 8) & 0xff, NE_RBCR1);
+    outb(addr & 0xff, NE_RSAR0);
+    outb((addr >> 8) & 0xff, NE_RSAR1);
+}
+
+static void ne_block_read(int addr, int len, int dst)
+{
+    ne_dma_setup(addr, len);
+    outb(E8390_RREAD, NE_CMD);
+    insw(NE_DATA, net_buf + dst, (len + 1) / 2);
+    outb(ISR_RDC, NE_ISR);
+}
+
+int ne_probe(void)
+{
+    int i;
+    u8 prom[32];
+
+    inb(NE_RESET);
+    if ((inb(NE_ISR) & ISR_RST) == 0) {
+        printk("ne2000: reset did not take");
+        return -1;
+    }
+    outb(E8390_STOP, NE_CMD);
+    ne_dma_setup(0, 32);
+    outb(E8390_RREAD, NE_CMD);
+    insb(NE_DATA, prom, 32);
+    outb(ISR_RDC, NE_ISR);
+    for (i = 0; i < 6; i++)
+        ne_mac[i] = prom[2 * i];
+    if (prom[28] != 0x57 || prom[29] != 0x57) {
+        printk("ne2000: bad PROM signature");
+        return -1;
+    }
+    printk("ne2000: NE2000 found at 0x300");
+    return 0;
+}
+
+int ne_start(void)
+{
+    int i;
+
+    outb(E8390_STOP, NE_CMD);
+    outb(0x48, NE_DCR);
+    outb(RX_START, NE_PSTART);
+    outb(RX_STOP, NE_PSTOP);
+    outb(RX_START, NE_BNRY);
+    outb(0x00, NE_TCR);
+    outb(0x04, NE_RCR);
+    outb(E8390_P1STOP, NE_CMD);
+    for (i = 0; i < 6; i++)
+        outb(ne_mac[i], NE_PAR0 + i);
+    outb(RX_START + 1, NE_CURR);
+    outb(E8390_STOP, NE_CMD);
+    outb(0xff, NE_ISR);
+    outb(E8390_START, NE_CMD);
+    ne_next = RX_START + 1;
+    return 0;
+}
+
+int ne_send(int len)
+{
+    ne_dma_setup(TX_PAGE << 8, len);
+    outb(E8390_RWRITE, NE_CMD);
+    outsw(NE_DATA, net_buf, (len + 1) / 2);
+    outb(ISR_RDC, NE_ISR);
+    outb(TX_PAGE, NE_TPSR);
+    outb(len & 0xff, NE_TBCR0);
+    outb((len >> 8) & 0xff, NE_TBCR1);
+    outb(E8390_TRANS, NE_CMD);
+    if ((inb(NE_ISR) & ISR_PTX) == 0) {
+        printk("ne2000: transmit did not complete");
+        return -1;
+    }
+    outb(ISR_PTX, NE_ISR);
+    return 0;
+}
+
+int ne_recv(void)
+{
+    int curr;
+    int hdr;
+    int status;
+    int next_page;
+    int total;
+    int len;
+    int addr;
+    int tail;
+
+    outb(E8390_PAGE1, NE_CMD);
+    curr = inb(NE_CURR);
+    outb(E8390_START, NE_CMD);
+    if (curr == ne_next)
+        return -1;
+    ne_dma_setup(ne_next << 8, 4);
+    outb(E8390_RREAD, NE_CMD);
+    hdr = inw(NE_DATA);
+    total = inw(NE_DATA);
+    outb(ISR_RDC, NE_ISR);
+    status = hdr & 0xff;
+    next_page = (hdr >> 8) & 0xff;
+    if ((status & 0x01) == 0)
+        return (printk("ne2000: bad receive status %x", status), -1);
+    len = total - 4;
+    if (len < 0 || len > 1024)
+        return (printk("ne2000: bogus packet length %d", total), -1);
+    addr = (ne_next << 8) + 4;
+    tail = (RX_STOP << 8) - addr;
+    if (tail >= len) {
+        ne_block_read(addr, len, 0);
+    } else {
+        ne_block_read(addr, tail, 0);
+        ne_block_read(RX_START << 8, len - tail, tail / 2);
+    }
+    ne_rx_len = len;
+    ne_next = next_page;
+    if (ne_next == RX_START)
+        outb(RX_STOP - 1, NE_BNRY);
+    else
+        outb(ne_next - 1, NE_BNRY);
+    outb(ISR_PRX, NE_ISR);
+    return len;
+}
+/* DEVIL_MUT_END */
+"#;
+
+/// The PR-4 word-at-a-time form of the same driver (one `inw`/`outw`
+/// per word of DMA traffic) — kept verbatim as the A/B baseline: the
+/// `vm_exec` bench measures the block-transfer speedup against it, and
+/// the scenario differential test pins its mutant outcome counts
+/// against `tests/golden/scenario_ne2000_stress_words.txt`.
+pub const NE2000_C_DRIVER_WORDS: &str = r#"/* ne.c-style polled driver for the simulated NE2000 at 0x300. */
 typedef unsigned char u8;
 typedef unsigned short u16;
 

@@ -284,6 +284,43 @@ pub trait IoDevice: Any {
         let _ = r;
     }
 
+    /// Serve `out.len()` consecutive reads at `offset` as **one** call —
+    /// the bulk-access hook behind [`IoSpace::read_block`], which is how
+    /// `insb`/`insw`-style string I/O moves a whole repetition count to
+    /// the device at memcpy speed instead of one dispatch per element.
+    ///
+    /// # Contract
+    ///
+    /// * Return `false` **without touching any state** when the fast path
+    ///   does not apply (wrong offset or width, wrong transfer phase,
+    ///   unaligned stream position, a pending busy timer); the bus then
+    ///   falls back to the single-access loop.
+    /// * When returning `true`, every element must be filled exactly as
+    ///   the equivalent sequence of [`IoDevice::read`] calls would have
+    ///   filled it, including mid-block state transitions (a transfer
+    ///   that completes part-way floats the remainder, just as the
+    ///   per-access reads would).
+    /// * An accepting device must be insensitive to tick granularity
+    ///   across the block: the bus delivers the block's clock ticks in
+    ///   one [`IoDevice::tick`] batch rather than one per element, so a
+    ///   device whose timers could fire *mid-block* must decline while
+    ///   such a timer is pending.
+    ///
+    /// The default declines everything, which is always correct.
+    fn read_block(&mut self, offset: u16, size: AccessSize, out: &mut [u32]) -> bool {
+        let _ = (offset, size, out);
+        false
+    }
+
+    /// Serve `values.len()` consecutive writes at `offset` as one call —
+    /// the `outsb`/`outsw` counterpart of [`IoDevice::read_block`], under
+    /// the same all-or-decline contract. Values arrive unmasked; use only
+    /// the low `size` bits of each, as [`IoDevice::write`] would see.
+    fn write_block(&mut self, offset: u16, size: AccessSize, values: &[u32]) -> bool {
+        let _ = (offset, size, values);
+        false
+    }
+
     /// Upcast for state inspection in tests and the boot harness.
     fn as_any(&self) -> &dyn Any;
 
@@ -688,6 +725,73 @@ impl IoSpace {
         } & size.mask();
         self.record(port, size, AccessKind::Read, value);
         Ok(value)
+    }
+
+    /// Block read: `out.len()` consecutive reads of `size` at `port` —
+    /// the bulk fast path behind `insb`/`insw`-style string I/O.
+    ///
+    /// Observationally identical to the equivalent loop of single
+    /// accesses with per-element errors replaced by the ISA float value
+    /// (exactly how the kernel host consumes single-access errors): same
+    /// clock and counter advance, same total tick delivery, same device
+    /// end state. When the owning device accepts the block via
+    /// [`IoDevice::read_block`] the whole transfer is one device call;
+    /// otherwise it degrades to the per-access loop. Traced spaces always
+    /// take the per-access loop, so a recorded wire log keeps
+    /// single-access granularity.
+    pub fn read_block(&mut self, port: u16, size: AccessSize, out: &mut [u32]) {
+        if out.is_empty() {
+            return;
+        }
+        let slot = self.table[port as usize];
+        if self.trace.is_none() && slot != EMPTY_SLOT {
+            let (idx, base) = unpack_slot(slot);
+            // Catch the device up before it inspects its own state; an
+            // accepting device is tick-batch-insensitive by contract.
+            self.touch(idx);
+            if self.devices[idx].read_block(port - base, size, out) {
+                let n = out.len() as u64;
+                self.clock += n;
+                self.reads += n;
+                // Deliver the block's own ticks as one batch, so a timer
+                // due *after* the block still fires on schedule.
+                self.touch(idx);
+                let mask = size.mask();
+                for v in out.iter_mut() {
+                    *v &= mask;
+                }
+                return;
+            }
+        }
+        for v in out.iter_mut() {
+            *v = self.read_any(port, size).unwrap_or_else(|_| size.mask());
+        }
+    }
+
+    /// Block write of `values` — the `outsb`/`outsw` counterpart of
+    /// [`IoSpace::read_block`], with the same equivalence guarantees
+    /// (per-element errors are swallowed, as the kernel host does for
+    /// single writes).
+    pub fn write_block(&mut self, port: u16, size: AccessSize, values: &[u32]) {
+        if values.is_empty() {
+            return;
+        }
+        let slot = self.table[port as usize];
+        if self.trace.is_none() && slot != EMPTY_SLOT {
+            let (idx, base) = unpack_slot(slot);
+            self.touch(idx);
+            if self.devices[idx].write_block(port - base, size, values) {
+                let n = values.len() as u64;
+                self.clock += n;
+                self.writes += n;
+                // See `read_block`: the block's ticks are owed in one batch.
+                self.touch(idx);
+                return;
+            }
+        }
+        for v in values {
+            let _ = self.write_any(port, size, *v);
+        }
     }
 
     /// Width-generic write: the single hot path behind `outb`/`outw`/`outl`.

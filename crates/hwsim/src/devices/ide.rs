@@ -496,18 +496,27 @@ impl IdeController {
             self.buffer[self.buf_pos.min(SECTOR_SIZE - 1)] = (value >> (8 * i)) as u8;
             self.buf_pos += 1;
             if self.buf_pos >= SECTOR_SIZE {
-                let lba = self.current_lba;
-                let buf = self.buffer;
-                self.disk.wire_write(lba, &buf);
-                self.sectors_left = self.sectors_left.saturating_sub(1);
-                self.buf_pos = 0;
-                if self.sectors_left == 0 {
-                    self.status = ST_DRDY | ST_DSC;
-                    self.phase = Phase::Idle;
+                self.sector_filled();
+                if self.phase != Phase::DataOut {
                     break;
                 }
-                self.current_lba += 1;
             }
+        }
+    }
+
+    /// Commit a completely staged sector to the platter and advance the
+    /// transfer — the write-side twin of [`IdeController::sector_drained`].
+    fn sector_filled(&mut self) {
+        let lba = self.current_lba;
+        let buf = self.buffer;
+        self.disk.wire_write(lba, &buf);
+        self.sectors_left = self.sectors_left.saturating_sub(1);
+        self.buf_pos = 0;
+        if self.sectors_left == 0 {
+            self.status = ST_DRDY | ST_DSC;
+            self.phase = Phase::Idle;
+        } else {
+            self.current_lba += 1;
         }
     }
 
@@ -638,6 +647,71 @@ impl IoDevice for IdeController {
             }
             _ => Err(DeviceFault::OutOfWindow { offset }),
         }
+    }
+
+    /// Bulk word reads from the data register — the `insw` fast path for
+    /// sector transfers. Accepts only the in-transfer, word-aligned case
+    /// (`DataIn` implies no busy timer is pending, so tick batching is
+    /// safe); everything else declines to the single-access loop.
+    fn read_block(&mut self, offset: u16, size: AccessSize, out: &mut [u32]) -> bool {
+        if offset != 0
+            || size != AccessSize::Word
+            || self.phase != Phase::DataIn
+            || !self.buf_pos.is_multiple_of(2)
+        {
+            return false;
+        }
+        let mut i = 0;
+        while i < out.len() {
+            if self.phase != Phase::DataIn {
+                // Transfer complete mid-block: the remaining reads float,
+                // exactly as per-access `data_read` calls would.
+                for v in &mut out[i..] {
+                    *v = AccessSize::Word.mask();
+                }
+                break;
+            }
+            let take = ((SECTOR_SIZE - self.buf_pos) / 2).min(out.len() - i);
+            for (k, v) in out[i..i + take].iter_mut().enumerate() {
+                let p = self.buf_pos + 2 * k;
+                *v = u16::from_le_bytes([self.buffer[p], self.buffer[p + 1]]) as u32;
+            }
+            self.buf_pos += 2 * take;
+            i += take;
+            if self.buf_pos >= SECTOR_SIZE {
+                self.sector_drained();
+            }
+        }
+        true
+    }
+
+    /// Bulk word writes to the data register — the `outsw` fast path.
+    fn write_block(&mut self, offset: u16, size: AccessSize, values: &[u32]) -> bool {
+        if offset != 0
+            || size != AccessSize::Word
+            || self.phase != Phase::DataOut
+            || !self.buf_pos.is_multiple_of(2)
+        {
+            return false;
+        }
+        let mut i = 0;
+        while i < values.len() {
+            if self.phase != Phase::DataOut {
+                break; // transfer complete: the remaining writes vanish
+            }
+            let take = ((SECTOR_SIZE - self.buf_pos) / 2).min(values.len() - i);
+            for (k, v) in values[i..i + take].iter().enumerate() {
+                let [lo, hi] = (*v as u16).to_le_bytes();
+                self.buffer[self.buf_pos + 2 * k] = lo;
+                self.buffer[self.buf_pos + 2 * k + 1] = hi;
+            }
+            self.buf_pos += 2 * take;
+            i += take;
+            if self.buf_pos >= SECTOR_SIZE {
+                self.sector_filled();
+            }
+        }
+        true
     }
 
     fn tick(&mut self, ticks: u64) {
@@ -815,6 +889,50 @@ mod tests {
             assert_eq!(io.inw(BASE).unwrap(), 0x0202);
         }
         assert_eq!(io.inb(STATUS).unwrap() & ST_DRQ, 0);
+    }
+
+    /// The bulk data-port hooks must be bit-equivalent to the equivalent
+    /// single-access loops — values, machine counters and the complete
+    /// device snapshot — including a transfer that completes mid-block.
+    #[test]
+    fn block_transfers_match_single_accesses() {
+        let drive = |io: &mut IoSpace, lba: u32, cmd: u8| {
+            select_lba(io, lba, 2);
+            io.outb(CMD, cmd).unwrap();
+            wait_ready(io);
+        };
+        // Read path: drain 2 sectors plus 8 overshoot words (floats).
+        let (mut a, id_a) = machine();
+        let (mut b, id_b) = machine();
+        for (io, id) in [(&mut a, id_a), (&mut b, id_b)] {
+            let ide = io.device_mut::<IdeController>(id).unwrap();
+            let mut s = [3u8; SECTOR_SIZE];
+            s[7] = 0x5A;
+            ide.disk_mut().write_sector(4, &s);
+            ide.disk_mut().write_sector(5, &[4u8; SECTOR_SIZE]);
+        }
+        drive(&mut a, 4, 0x20);
+        drive(&mut b, 4, 0x20);
+        let mut block = [0u32; 520];
+        a.read_block(BASE, AccessSize::Word, &mut block);
+        let singles: Vec<u32> = (0..block.len())
+            .map(|_| u32::from(b.inw(BASE).unwrap()))
+            .collect();
+        assert_eq!(&block[..], &singles[..], "read values diverged");
+        assert_eq!(a.clock(), b.clock());
+        assert_eq!(a.read_count(), b.read_count());
+        assert_eq!(a.snapshot(), b.snapshot(), "machine state diverged after reads");
+        // Write path: 2 sectors plus overshoot words (vanish).
+        drive(&mut a, 4, 0x30);
+        drive(&mut b, 4, 0x30);
+        let pattern: Vec<u32> = (0..520u32).map(|i| (i * 31 + 7) & 0xFFFF).collect();
+        a.write_block(BASE, AccessSize::Word, &pattern);
+        for w in &pattern {
+            b.outw(BASE, *w as u16).unwrap();
+        }
+        assert_eq!(a.clock(), b.clock());
+        assert_eq!(a.write_count(), b.write_count());
+        assert_eq!(a.snapshot(), b.snapshot(), "machine state diverged after writes");
     }
 
     #[test]

@@ -180,6 +180,28 @@ impl Ne2000 {
         }
     }
 
+    /// Advance the remote-DMA byte counter by a whole block's worth,
+    /// raising `ISR.RDC` on completion — the batched equivalent of the
+    /// per-byte bookkeeping in [`Ne2000::remote_read_byte`].
+    fn advance_rbcr(&mut self, bytes: u16) {
+        if self.rbcr > 0 {
+            if bytes >= self.rbcr {
+                self.rbcr = 0;
+                self.isr |= ISR_RDC;
+            } else {
+                self.rbcr -= bytes;
+            }
+        }
+    }
+
+    /// Whether a `bytes`-long remote-DMA burst starting at `RSAR` lies
+    /// wholly inside packet RAM (the chunk-copy fast-path precondition;
+    /// PROM reads and out-of-RAM addresses take the per-byte loop).
+    fn dma_span_in_ram(&self, bytes: usize) -> bool {
+        let addr = self.rsar as usize;
+        addr >= RAM_START && addr + bytes <= RAM_START + RAM_SIZE
+    }
+
     fn transmit(&mut self) {
         let start = self.tpsr as usize * 256;
         let len = self.tbcr as usize;
@@ -289,6 +311,64 @@ impl IoDevice for Ne2000 {
             _ => {}
         }
         Ok(())
+    }
+
+    /// Bulk data-port reads — the `insb`/`insw` fast path for remote-DMA
+    /// streams (ring traffic, PROM dumps). The NE2000 has no timers, so
+    /// every data-port block is accepted: word streams wholly inside
+    /// packet RAM chunk-copy, everything else replays the per-byte
+    /// engine, which is still one dispatch for the whole block.
+    fn read_block(&mut self, offset: u16, size: AccessSize, out: &mut [u32]) -> bool {
+        if offset != 0x10 {
+            return false;
+        }
+        let n = (size.bits() / 8) as usize;
+        let bytes = n * out.len();
+        if n == 2 && self.dma_span_in_ram(bytes) {
+            let base = self.rsar as usize - RAM_START;
+            for (i, v) in out.iter_mut().enumerate() {
+                *v = u16::from_le_bytes([self.ram[base + 2 * i], self.ram[base + 2 * i + 1]])
+                    as u32;
+            }
+            self.rsar = self.rsar.wrapping_add(bytes as u16);
+            self.advance_rbcr(bytes as u16);
+        } else {
+            for v in out.iter_mut() {
+                let mut w = 0u32;
+                for b in 0..n {
+                    w |= (self.remote_read_byte() as u32) << (8 * b);
+                }
+                *v = w;
+            }
+        }
+        true
+    }
+
+    /// Bulk data-port writes — the `outsb`/`outsw` fast path for
+    /// remote-DMA uploads (TX frames).
+    fn write_block(&mut self, offset: u16, size: AccessSize, values: &[u32]) -> bool {
+        if offset != 0x10 {
+            return false;
+        }
+        let n = (size.bits() / 8) as usize;
+        let bytes = n * values.len();
+        if n == 2 && self.dma_span_in_ram(bytes) {
+            let base = self.rsar as usize - RAM_START;
+            for (i, v) in values.iter().enumerate() {
+                let [lo, hi] = (*v as u16).to_le_bytes();
+                self.ram[base + 2 * i] = lo;
+                self.ram[base + 2 * i + 1] = hi;
+            }
+            self.rsar = self.rsar.wrapping_add(bytes as u16);
+            self.advance_rbcr(bytes as u16);
+        } else {
+            for v in values {
+                for b in 0..n {
+                    self.remote_write_byte((*v >> (8 * b)) as u8);
+                }
+            }
+        }
+        true
     }
 
     fn save(&self, w: &mut StateWriter<'_>) {
@@ -426,6 +506,54 @@ mod tests {
         io.outw(BASE + 0x10, 0x2211).unwrap();
         io.outw(BASE + 0x10, 0x4433).unwrap();
         assert_eq!(remote_read(&mut io, 0x4000, 4), vec![0x11, 0x22, 0x33, 0x44]);
+    }
+
+    /// The bulk data-port hooks must be bit-equivalent to the equivalent
+    /// single-access loops — values, counters, `RSAR`/`RBCR` bookkeeping,
+    /// the `RDC` interrupt — on both the RAM chunk-copy path and the
+    /// per-byte fallback (PROM reads).
+    #[test]
+    fn block_transfers_match_single_accesses() {
+        let setup_dma = |io: &mut IoSpace, addr: u16, len: u16, cmd: u8| {
+            io.outb(BASE + 0x0A, (len & 0xFF) as u8).unwrap();
+            io.outb(BASE + 0x0B, (len >> 8) as u8).unwrap();
+            io.outb(BASE + 0x08, (addr & 0xFF) as u8).unwrap();
+            io.outb(BASE + 0x09, (addr >> 8) as u8).unwrap();
+            io.outb(BASE, cmd).unwrap();
+        };
+        let (mut a, _) = machine();
+        let (mut b, _) = machine();
+        // Word-wide block write into RAM vs single outw loop.
+        let pattern: Vec<u32> = (0..40u32).map(|i| (i * 257 + 3) & 0xFFFF).collect();
+        setup_dma(&mut a, 0x4000, 80, 0x12);
+        setup_dma(&mut b, 0x4000, 80, 0x12);
+        a.write_block(BASE + 0x10, AccessSize::Word, &pattern);
+        for w in &pattern {
+            b.outw(BASE + 0x10, *w as u16).unwrap();
+        }
+        assert_eq!(a.snapshot(), b.snapshot(), "state diverged after RAM write");
+        // Word-wide block read back (chunk-copy path) + RDC raised.
+        setup_dma(&mut a, 0x4000, 80, 0x0A);
+        setup_dma(&mut b, 0x4000, 80, 0x0A);
+        let mut block = [0u32; 40];
+        a.read_block(BASE + 0x10, AccessSize::Word, &mut block);
+        let singles: Vec<u32> =
+            (0..40).map(|_| u32::from(b.inw(BASE + 0x10).unwrap())).collect();
+        assert_eq!(&block[..], &singles[..], "RAM read values diverged");
+        assert_ne!(a.inb(BASE + 7).unwrap() & ISR_RDC, 0, "RDC after the block DMA");
+        assert_ne!(b.inb(BASE + 7).unwrap() & ISR_RDC, 0, "RDC after the single DMA");
+        assert_eq!(a.snapshot(), b.snapshot(), "state diverged after RAM read");
+        // Byte-wide PROM read: exercises the per-byte fallback inside the
+        // accepted block.
+        setup_dma(&mut a, 0, 32, 0x0A);
+        setup_dma(&mut b, 0, 32, 0x0A);
+        let mut prom = [0u32; 32];
+        a.read_block(BASE + 0x10, AccessSize::Byte, &mut prom);
+        let singles: Vec<u32> =
+            (0..32).map(|_| u32::from(b.inb(BASE + 0x10).unwrap())).collect();
+        assert_eq!(&prom[..], &singles[..], "PROM read values diverged");
+        assert_eq!(prom[0], MAC[0] as u32);
+        assert_eq!(a.snapshot(), b.snapshot(), "state diverged after PROM read");
     }
 
     #[test]

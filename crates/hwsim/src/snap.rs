@@ -43,6 +43,20 @@
 //! trivially true for the campaign pattern above, where the snapshot is
 //! taken on a freshly built machine with empty logs.
 //!
+//! # Bulk transfers between restores
+//!
+//! Since the block-transfer fast path landed
+//! ([`IoSpace::read_block`](crate::IoSpace::read_block) /
+//! [`write_block`](crate::IoSpace::write_block)), a device may serve a
+//! whole `insw`-style repetition count as **one** call between restores.
+//! This is invisible to the snapshot machinery by construction: the
+//! bulk-access contract (documented on
+//! [`IoDevice::read_block`](crate::bus::IoDevice::read_block)) requires
+//! the device to end in exactly the state the equivalent single-access
+//! loop would have produced, so `save`/`load` codecs never see a
+//! difference and restore equality stays byte-exact whichever path the
+//! driver took.
+//!
 //! # Incremental restore (dirty journals)
 //!
 //! A device whose payload is dominated by one large buffer may keep a

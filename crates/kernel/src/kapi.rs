@@ -1,7 +1,21 @@
 //! The kernel's hardware environment for interpreted drivers.
 
+use devil_hwsim::bus::AccessSize;
 use devil_hwsim::{IoBus, IoSpace};
 use devil_minic::interp::Host;
+
+/// Elements staged per [`IoSpace::read_block`]/`write_block` call when
+/// bridging the engines' `i64` buffers to the bus's `u32` ones — sized so
+/// a whole 256-word IDE sector moves in one hop without heap allocation.
+const BLOCK_CHUNK: usize = 256;
+
+fn access_size(size: u8) -> AccessSize {
+    match size {
+        1 => AccessSize::Byte,
+        2 => AccessSize::Word,
+        _ => AccessSize::Dword,
+    }
+}
 
 /// Adapts an [`IoSpace`] to the interpreter's [`Host`] interface.
 ///
@@ -43,6 +57,35 @@ impl Host for MachineHost<'_> {
             2 => self.io.outw(port, value as u16),
             _ => self.io.outl(port, value as u32),
         };
+    }
+
+    /// Block reads ride [`IoSpace::read_block`], so a whole `insw`
+    /// repetition count reaches the device model as one bulk call (the
+    /// bus guarantees it is observationally identical to the
+    /// single-access loop this method's default would run).
+    fn io_read_block(&mut self, port: u16, size: u8, out: &mut [i64]) {
+        let size = access_size(size);
+        let mut buf = [0u32; BLOCK_CHUNK];
+        for chunk in out.chunks_mut(BLOCK_CHUNK) {
+            let staged = &mut buf[..chunk.len()];
+            self.io.read_block(port, size, staged);
+            for (slot, v) in chunk.iter_mut().zip(staged.iter()) {
+                *slot = *v as i64;
+            }
+        }
+    }
+
+    /// Block writes ride [`IoSpace::write_block`].
+    fn io_write_block(&mut self, port: u16, size: u8, values: &[i64]) {
+        let size = access_size(size);
+        let mut buf = [0u32; BLOCK_CHUNK];
+        for chunk in values.chunks(BLOCK_CHUNK) {
+            let staged = &mut buf[..chunk.len()];
+            for (slot, v) in staged.iter_mut().zip(chunk.iter()) {
+                *slot = *v as u32;
+            }
+            self.io.write_block(port, size, staged);
+        }
     }
 
     fn console(&mut self, message: &str) {

@@ -31,6 +31,36 @@
 //! The tree-walker stays alive as the differential oracle; the
 //! `vm_differential` integration test and the minic proptests pin the
 //! contract.
+//!
+//! # Superinstructions
+//!
+//! Driver boots are dominated by polling loops — `while (t < 20000)`,
+//! `while ((inb(port) & BUSY) != 0)`, `while (--retries > 0)` — whose
+//! bodies lower to 4–8 tiny ops per iteration, each paying a full
+//! dispatch round. A post-lowering peephole pass ([`fuse`]) collapses the
+//! dominant shapes into single *superinstructions*:
+//!
+//! * **load + compare + branch** (`t < 20000` loop conditions),
+//! * **load + binop-const + compare + branch** (`(s & 0x80) == 0`),
+//! * **incdec + compare + branch** (`--retries > 0`, prefix or postfix),
+//! * **port-read + mask + compare** (status-register spins over
+//!   `inb`/`inw`/`inl` with a constant port), and
+//! * the for-loop step+back-jump pair (`i++` + `Jump`).
+//!
+//! Each fused op is described by a [`FusedOp`] in a side table
+//! ([`CompiledProgram`]`::fused`), keeping [`Op`] itself small; the
+//! branchless flavour ([`FuseBr::None`]) also folds interior
+//! `Line*;Load;BinConst` runs of straight-line code. The pass preserves
+//! the equivalence contract **exactly**: every fused op replays the burn
+//! sequence of the ops it replaces, in order, interleaved with the same
+//! side effects and the same fault sites, so fuel exhaustion, coverage
+//! and device traffic are bit-identical with fusion on or off. A fused
+//! op never spans a branch-in point — any interior jump target vetoes
+//! the match (`crate::fuse` owns that analysis and the target remap).
+//!
+//! The unfused encoding stays reachable through
+//! [`Program::to_bytecode_unfused`], which the differential tests and the
+//! `vm_exec` bench use as the A/B baseline.
 
 use crate::ast::*;
 use crate::coverage;
@@ -107,7 +137,9 @@ pub(crate) enum Builtin {
     Outb,
     Outw,
     Outl,
+    Insb,
     Insw,
+    Outsb,
     Outsw,
     Printk,
     Panic,
@@ -127,7 +159,9 @@ fn builtin_of(name: &str) -> Option<Builtin> {
         "outb" => Builtin::Outb,
         "outw" => Builtin::Outw,
         "outl" => Builtin::Outl,
+        "insb" => Builtin::Insb,
         "insw" => Builtin::Insw,
+        "outsb" => Builtin::Outsb,
         "outsw" => Builtin::Outsw,
         "printk" => Builtin::Printk,
         "panic" => Builtin::Panic,
@@ -246,6 +280,45 @@ pub(crate) enum Op {
     /// Declare a struct local; pops `items` initialisers, coercing each
     /// through `field_coerces[coerces]`.
     DeclStruct { slot: u16, template: u32, items: u16, coerces: u32 },
+    /// Fused `x++;`-style statement followed by an unconditional jump —
+    /// the step + back-jump pair every `for` loop executes once per
+    /// iteration. `slot` is a global index when `global` is set.
+    /// Burn/fault behaviour identical to `Line; IncDec*Pop; Jump`.
+    IncDecJmp { slot: u16, global: bool, inc: bool, line: u32, target: u32 },
+    /// Fused `local.field = <expr>;` statement tail: pop the value, write
+    /// it through one field step of a local struct. Replaces
+    /// `PlaceLocal; MemberStep; Store; Pop` when all three carry the same
+    /// packed line (single-source-line member assigns — the shape every
+    /// generated stub's `mk_*`/`get_*` constructor is made of).
+    StoreFieldLocalPop { slot: u16, fidx: u16, line: u32 },
+    /// A fused superinstruction: `fused[idx]` describes a whole
+    /// burns → load → fold → compare → branch sequence executed in one
+    /// dispatch (see [`FusedOp`]).
+    FusedBr { idx: u32 },
+    /// Open an inlined call: depth-check (`StackOverflow` at the callee's
+    /// definition `line`, exactly where a real call faults), enter the
+    /// frame scope, and bind the top `argc` stack values to the
+    /// contiguous parameter slots starting at `first_slot` (coercing each
+    /// through `field_coerces[coerces]`) — byte-for-byte the object churn
+    /// of the out-of-line call machinery, minus the frame bookkeeping.
+    /// `call_line` is `u32::MAX` when no burn was folded in; the [`fuse`]
+    /// pass folds the call expression's leading `Op::Line` here for
+    /// zero-argument calls (burned before the depth check, exactly as the
+    /// standalone `Line` would have been).
+    InlineEnter { first_slot: u16, argc: u8, coerces: u32, call_line: u32, line: u32 },
+    /// Close an inlined call: exit the frame scope, drop the call depth.
+    /// The return value sits on the stack, as after a real `Ret`.
+    InlineExit,
+    /// `InlineExit` + `Op::Pop`: a statement-level inlined call whose
+    /// return value is discarded.
+    InlineExitPop,
+    /// `InlineExit` + `Op::Jump`: a nested inlined call whose value is
+    /// immediately returned by the enclosing inlined body.
+    InlineExitJmp { target: u32 },
+    /// `InlineExit` + `Op::DeclScalar`: `int x = small_call();`.
+    InlineExitDecl { slot: u16, coerce: Coerce },
+    /// `InlineExit` + `Op::StoreLocalPop`: `x = small_call();`.
+    InlineExitStore { slot: u16, line: u32 },
     /// Call a user function with the top `argc` values as arguments.
     CallUser { fidx: u16, argc: u8 },
     /// Call a kernel builtin with the top `argc` values.
@@ -255,6 +328,166 @@ pub(crate) enum Op {
     /// Unconditional fault (defensive lowering of checker-rejected shapes).
     Trap { kind: FaultKind, line: u32 },
 }
+
+/// One superinstruction, referenced by [`Op::FusedBr`] and produced only
+/// by the [`fuse`] pass. Execution order (each step able to fault or run
+/// out of fuel exactly where the unfused sequence would):
+///
+/// 1. burn every line in `pre` (the leading `Op::Line`s of the span);
+/// 2. produce the source value per [`FuseSrc`] (with its own burns),
+///    then pick `field` out of it when set (`Op::MemberValue`);
+/// 3. apply `stage1` then `stage2` (burn the rhs line, then the binop —
+///    the `Op::BinConst` / `Op::LoadLocal;Op::Bin` semantics);
+/// 4. optionally cast (`Op::Cast`), then optionally coerce to 0/1
+///    (`Op::CoerceBool`), in that matched order;
+/// 5. consume the value per [`FuseEnd`]: push it, branch on it, store it
+///    (plain local/global, member field, fresh declaration).
+#[derive(Debug, Clone)]
+pub(crate) struct FusedOp {
+    /// Leading `Op::Line` burns, in program order.
+    pub(crate) pre: Box<[u32]>,
+    /// How the value under test is produced.
+    pub(crate) src: FuseSrc,
+    /// First folded binary stage, if any.
+    pub(crate) stage1: Option<FuseStage>,
+    /// Second folded binary stage, if any (never set without `stage1`).
+    pub(crate) stage2: Option<FuseStage>,
+    /// A folded `Op::MemberValue` (struct-rvalue field pick), applied
+    /// right after the source value materialises.
+    pub(crate) field: Option<(u16, u32)>,
+    /// A folded `Op::Cast`, applied after the stages.
+    pub(crate) cast: Option<(CastKind, u32)>,
+    /// Whether an `Op::CoerceBool` was folded in (`&&`/`||` results).
+    pub(crate) coerce_bool: bool,
+    /// What happens to the computed value.
+    pub(crate) end: FuseEnd,
+    /// Branch target (op index); meaningless for non-branch ends.
+    pub(crate) target: u32,
+}
+
+impl FusedOp {
+    /// Whether `target` is live (the end is a branch flavour).
+    pub(crate) fn has_target(&self) -> bool {
+        matches!(
+            self.end,
+            FuseEnd::IfFalse
+                | FuseEnd::IfTrue
+                | FuseEnd::FalseConst
+                | FuseEnd::TrueConst
+                | FuseEnd::Jump
+        )
+    }
+}
+
+/// Terminal action of a [`FusedOp`] — the branch or store the computed
+/// value flows into, each replaying its unfused op(s) exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FuseEnd {
+    /// No consumer fused: push the value (interior expression fusion).
+    Push,
+    /// `Op::JumpIfFalse`.
+    IfFalse,
+    /// `Op::JumpIfTrue`.
+    IfTrue,
+    /// `Op::BrFalseConst` (`&&` short-circuit: push 0 and jump on falsy).
+    FalseConst,
+    /// `Op::BrTrueConst` (`||` short-circuit: push 1 and jump on truthy).
+    TrueConst,
+    /// `Op::StoreLocalPop`: `x = <value>;` statement sink.
+    StoreLocal { slot: u16, line: u32 },
+    /// `Op::StoreGlobalPop`.
+    StoreGlobal { gidx: u16, line: u32 },
+    /// The `PlaceLocal; MemberStep; Store; Pop` tail (see
+    /// [`Op::StoreFieldLocalPop`]): `local.field = <value>;` sink.
+    StoreField { slot: u16, fidx: u16, line: u32 },
+    /// `Op::DeclScalar`: `int x = <value>;` sink.
+    DeclScalar { slot: u16, coerce: Coerce },
+    /// `Op::Jump`: push the value, then branch unconditionally — the
+    /// `return <value>;` tail of an inlined call (value + jump to the
+    /// frame's `InlineExit`).
+    Jump,
+    /// `Op::Const` (the port, burns `line`) + a 2-argument
+    /// `Op::CallBuiltin` for `outb`/`outw`/`outl`, plus the statement's
+    /// `Op::Pop` when `pop` is set: one host port write consuming the
+    /// computed value.
+    PortOut { which: Builtin, cidx: u32, line: u32, pop: bool },
+    /// A 1-argument `Op::CallBuiltin` for `inb`/`inw`/`inl` whose *port*
+    /// is the computed value (generated stubs read `base + offset` ports
+    /// resolved at init time): pop nothing, read, push the result.
+    In { which: Builtin },
+    /// A 2-argument `Op::CallBuiltin` for `outb`/`outw`/`outl` whose port
+    /// is the computed value and whose data word is the next value down
+    /// the operand stack, plus the statement's `Op::Pop` when set.
+    OutDyn { which: Builtin, pop: bool },
+    /// The `LoadLocal; IndexPlace; Store; Pop` tail of `g[i] = <value>;`
+    /// where the computed value is the *base* (a decayed array) — all
+    /// four ops on one source line, which is all that is stored. The
+    /// stored value is the next value down the operand stack.
+    StoreIndexLocal { slot: u16, line: u32 },
+}
+
+/// The value-producing head of a [`FusedOp`].
+#[derive(Debug, Clone)]
+pub(crate) enum FuseSrc {
+    /// `Op::LoadLocal` (burns `line`; arrays decay; unset slot faults).
+    Local { slot: u16, line: u32 },
+    /// `Op::LoadGlobal`.
+    Global { gidx: u16, line: u32 },
+    /// `Op::PlaceLocal` + `Op::IncDec`: `--x` / `x++` as a value.
+    /// `place_line` is the identifier's (unset-slot fault site), `line`
+    /// the operator's (read/write fault site). No burn — the enclosing
+    /// expression's `Line`s are in `pre`.
+    IncDecLocal { slot: u16, inc: bool, prefix: bool, place_line: u32, line: u32 },
+    /// `Op::PlaceGlobal` + `Op::IncDec`.
+    IncDecGlobal { gidx: u16, inc: bool, prefix: bool, place_line: u32, line: u32 },
+    /// `Op::Const` (the port, burns `port_line`) + a 1-argument
+    /// `Op::CallBuiltin` for `inb`/`inw`/`inl`: one host port read.
+    PortIn { which: Builtin, cidx: u32, port_line: u32 },
+    /// `Op::PlaceLocal` + `Op::MemberStep` + `Op::ReadPlace`: the rvalue
+    /// of `local.field` (`dil_val(x)`, stub type tags, ...). No burn —
+    /// the member expression's `Line` is in `pre`; faults replay the
+    /// three ops' order exactly.
+    FieldLocal { slot: u16, fidx: u16, place_line: u32, line: u32 },
+    /// `Op::Const`: a folded constant source (burns `line`) — `return 0;`
+    /// values, constant arguments, `v.type = 1;` right-hand sides.
+    ConstVal { cidx: u32, line: u32 },
+    /// `Op::ConstN`: a folded constant subtree, replaying its whole burn
+    /// sequence (`-1` literals and friends).
+    ConstSeq { cidx: u32, seq: u32 },
+    /// The value already on the operand stack (a call's return value, a
+    /// previously fused push): pop it. Only matched when a folded middle
+    /// op (stage, cast, member pick, bool coercion) guarantees the
+    /// unfused sequence would pop at exactly this point.
+    StackTop,
+}
+
+/// One folded binary stage of a [`FusedOp`] — the `Op::BinConst` (or
+/// `Op::LoadLocal`/`Op::LoadGlobal` + `Op::Bin`) it replaces.
+#[derive(Debug, Clone)]
+pub(crate) struct FuseStage {
+    /// The operator.
+    pub(crate) op: BinOp,
+    /// Where the right-hand operand comes from.
+    pub(crate) rhs: FuseRhs,
+    /// The binary expression's own line (fault site of the apply).
+    pub(crate) line: u32,
+}
+
+/// Right-hand operand of a [`FuseStage`]; every flavour burns `line`
+/// before the value materialises, exactly like the op it replaces.
+#[derive(Debug, Clone)]
+pub(crate) enum FuseRhs {
+    /// Interned constant (`Op::BinConst`'s `rhs_line` burn).
+    Const { cidx: u32, line: u32 },
+    /// A local load (`Op::LoadLocal` + `Op::Bin`).
+    Local { slot: u16, line: u32 },
+    /// A global load.
+    Global { gidx: u16, line: u32 },
+    /// A local member load (`Line; PlaceLocal; MemberStep; ReadPlace` +
+    /// `Op::Bin`) — `a.val == b.val` comparisons in generated stubs.
+    FieldLocal { slot: u16, fidx: u16, place_line: u32, line: u32 },
+}
+
 
 /// How a global's object is assembled from its evaluated initialisers —
 /// the lowered form of `Interpreter::ensure_globals` (which, unlike local
@@ -321,6 +554,9 @@ pub struct CompiledProgram {
     pub(crate) templates: Vec<Box<[Value]>>,
     pub(crate) field_coerces: Vec<Box<[Coerce]>>,
     pub(crate) switches: Vec<SwitchTable>,
+    /// Superinstruction descriptors referenced by [`Op::FusedBr`]; empty
+    /// until [`fuse`] runs.
+    pub(crate) fused: Vec<FusedOp>,
     /// Per-file maximum source line, for coverage sizing.
     pub(crate) line_bounds: Vec<u32>,
     /// Participating file names (index = `file_id`).
@@ -353,12 +589,34 @@ impl CompiledProgram {
     pub fn function_count(&self) -> usize {
         self.funcs.len()
     }
+
+    /// Number of superinstructions the [`fuse`] pass produced — zero for
+    /// an unfused program (diagnostics; the zero-alloc and fusion tests
+    /// use this to prove the fast path is actually exercised).
+    pub fn fused_op_count(&self) -> usize {
+        self.fused.len()
+    }
 }
 
+/// Run the superinstruction peephole pass over a lowered program in
+/// place — see the module docs and [`crate::fuse`]. Idempotent.
+pub use crate::fuse::fuse;
+
 impl Program {
-    /// Lower this checked program to bytecode (see [`lower`]).
+    /// Lower this checked program to bytecode and apply the
+    /// superinstruction [`fuse`] pass — the production path.
     pub fn to_bytecode(&self) -> CompiledProgram {
-        lower(self)
+        let mut compiled = lower(self);
+        fuse(&mut compiled);
+        compiled
+    }
+
+    /// Lower without the superinstruction pass or the call-inlining pass
+    /// — the flag that keeps the PR-4 encoding reachable, so differential
+    /// tests cover both dispatch paths and the `vm_exec` bench has a
+    /// faithful A/B baseline.
+    pub fn to_bytecode_unfused(&self) -> CompiledProgram {
+        lower_with(self, false)
     }
 }
 
@@ -369,8 +627,17 @@ impl Program {
 /// [`crate::compile`]) lower to the same runtime fault the tree-walker
 /// raises.
 pub fn lower(program: &Program) -> CompiledProgram {
+    lower_with(program, true)
+}
+
+/// [`lower`] with the call-inlining pass switched off — together with
+/// skipping [`fuse`], this reproduces the PR-4 encoding exactly, which is
+/// what [`Program::to_bytecode_unfused`] serves as the differential/bench
+/// baseline.
+pub(crate) fn lower_with(program: &Program, inline: bool) -> CompiledProgram {
     let mut lw = Lower {
         program,
+        inline,
         builtin_sigs: crate::check::builtin_signatures(),
         consts: Vec::new(),
         int_consts: HashMap::new(),
@@ -384,6 +651,8 @@ pub fn lower(program: &Program) -> CompiledProgram {
         scopes: Vec::new(),
         ctxs: Vec::new(),
         next_slot: 0,
+        inline_stack: Vec::new(),
+        resolve_floor: 0,
     };
     let globals = program.unit.globals().map(|g| lw.lower_global(g)).collect();
     let funcs = program.unit.functions().map(|f| lw.lower_function(f)).collect();
@@ -395,6 +664,7 @@ pub fn lower(program: &Program) -> CompiledProgram {
         templates: lw.templates,
         field_coerces: lw.field_coerces,
         switches: lw.switches,
+        fused: Vec::new(),
         line_bounds: coverage::line_bounds(&program.unit),
         files: program.unit.files.clone(),
     }
@@ -422,6 +692,10 @@ struct LScope {
 enum CtxKind {
     Loop,
     Switch,
+    /// An inlined call body: `return` statements unwind to here and jump
+    /// to the `InlineExit` (collected in `break_patches`), and `break`/
+    /// `continue` resolution never crosses this boundary.
+    Inline,
 }
 
 struct Ctx {
@@ -438,6 +712,8 @@ struct Ctx {
 
 struct Lower<'p> {
     program: &'p Program,
+    /// Whether small calls are flattened ([`Lower::should_inline`]).
+    inline: bool,
     builtin_sigs: HashMap<String, crate::check::Sig>,
     consts: Vec<Value>,
     int_consts: HashMap<i64, u32>,
@@ -452,6 +728,11 @@ struct Lower<'p> {
     scopes: Vec<LScope>,
     ctxs: Vec<Ctx>,
     next_slot: u16,
+    /// Function indices currently being inlined (cycle guard).
+    inline_stack: Vec<usize>,
+    /// Name resolution stops at this scope index — an inlined body must
+    /// see its own frame and the globals, never the caller's locals.
+    resolve_floor: usize,
 }
 
 enum Resolved {
@@ -501,6 +782,18 @@ impl<'p> Lower<'p> {
         self.burn_seqs.len() as u32 - 1
     }
 
+    fn intern_coerces(&mut self, coerces: Vec<Coerce>) -> u32 {
+        if let Some(i) = self
+            .field_coerces
+            .iter()
+            .position(|c| c.as_ref() == coerces.as_slice())
+        {
+            return i as u32;
+        }
+        self.field_coerces.push(coerces.into_boxed_slice());
+        self.field_coerces.len() as u32 - 1
+    }
+
     fn intern_template(&mut self, t: Vec<Value>) -> u32 {
         if let Some(i) = self.templates.iter().position(|s| s.as_ref() == t.as_slice()) {
             return i as u32;
@@ -536,7 +829,7 @@ impl<'p> Lower<'p> {
     }
 
     fn resolve(&self, name: &str) -> Resolved {
-        for scope in self.scopes.iter().rev() {
+        for scope in self.scopes[self.resolve_floor..].iter().rev() {
             if let Some((_, slot)) = scope.names.iter().rev().find(|(n, _)| n == name) {
                 return Resolved::Local(*slot);
             }
@@ -571,7 +864,7 @@ impl<'p> Lower<'p> {
             Expr::IntLit { value, line } => Some((Value::Int(*value as i64), vec![*line])),
             Expr::CharLit { value, line } => Some((Value::Int(*value as i64), vec![*line])),
             Expr::StrLit { value, line } => {
-                Some((Value::Str(Rc::from(value.as_str())), vec![*line]))
+                Some((Value::Str(Rc::new(value.clone())), vec![*line]))
             }
             Expr::SizeofType { ty, line } => Some((
                 Value::Int(ty.size_bytes(&self.program.structs) as i64),
@@ -794,12 +1087,22 @@ impl<'p> Lower<'p> {
                     self.ops.push(Op::Trap { kind: FaultKind::BadValue, line: *line });
                     return;
                 };
-                if let Some(fidx) = self.program.unit.functions().position(|f| f.name == *name)
-                {
+                let program = self.program;
+                if let Some(fidx) = program.unit.functions().position(|f| f.name == *name) {
                     for a in args {
                         self.emit_expr(a);
                     }
-                    self.ops.push(Op::CallUser { fidx: fidx as u16, argc: args.len() as u8 });
+                    let func = program
+                        .unit
+                        .functions()
+                        .nth(fidx)
+                        .expect("function index just resolved");
+                    if self.should_inline(fidx, func, args.len()) {
+                        self.emit_inline_call(fidx, func);
+                    } else {
+                        self.ops
+                            .push(Op::CallUser { fidx: fidx as u16, argc: args.len() as u8 });
+                    }
                 } else if let Some(which) = builtin_of(name) {
                     for a in args {
                         self.emit_expr(a);
@@ -890,6 +1193,92 @@ impl<'p> Lower<'p> {
         }
     }
 
+    // ----- inlining -------------------------------------------------------
+
+    /// Whether a call to `func` is flattened into the caller. Small
+    /// leaf-ish functions only — the generated stub accessors
+    /// (`reg_get_*`, `dil_get_*_raw`, `get_*`/`set_*`/`mk_*`/`eq_*`) and
+    /// the drivers' little wait/select helpers — where the out-of-line
+    /// frame machinery costs more than the body. Guards: exact arity
+    /// (anything else keeps the call's argument-dropping semantics in one
+    /// place), no recursion through the current inline chain, bounded
+    /// nesting depth, bounded body size.
+    fn should_inline(&self, fidx: usize, func: &Function, argc: usize) -> bool {
+        const MAX_INLINE_DEPTH: usize = 4;
+        const MAX_INLINE_STMTS: usize = 16;
+        self.inline
+            && argc == func.params.len()
+            && self.inline_stack.len() < MAX_INLINE_DEPTH
+            && !self.inline_stack.contains(&fidx)
+            && block_stmts(&func.body) <= MAX_INLINE_STMTS
+    }
+
+    /// Lower `func`'s body in place of a `CallUser`, with the arguments
+    /// already evaluated on the stack. Byte-equivalent to the real call:
+    /// `InlineEnter` replays the depth check and the parameter-object
+    /// churn, the body's `return`s unwind their scopes and jump to the
+    /// closing `InlineExit`, and falling off the end yields 0 — so object
+    /// ids, burns, faults and `StackOverflow` sites all match the
+    /// tree-walking oracle's out-of-line execution exactly.
+    fn emit_inline_call(&mut self, fidx: usize, func: &Function) {
+        self.inline_stack.push(fidx);
+        let coerces: Vec<Coerce> = func.params.iter().map(|(_, ty)| Coerce::of(ty)).collect();
+        let coerces = self.intern_coerces(coerces);
+        // The frame scope: emitted via InlineEnter's scope entry. The
+        // callee must not see the caller's locals, so resolution floors
+        // at this scope for the duration of the body.
+        self.scopes.push(LScope { names: Vec::new(), emitted: true });
+        let saved_floor = std::mem::replace(&mut self.resolve_floor, self.scopes.len() - 1);
+        let first_slot = self.next_slot;
+        for (name, _) in &func.params {
+            self.declare(name);
+        }
+        self.ops.push(Op::InlineEnter {
+            first_slot,
+            argc: func.params.len() as u8,
+            coerces,
+            call_line: u32::MAX,
+            line: func.line,
+        });
+        self.ctxs.push(Ctx {
+            kind: CtxKind::Inline,
+            scopes_outside: 0, // unused: nothing branches past an inline frame
+            scopes_body: self.emitted_scopes(),
+            break_patches: Vec::new(), // return-to-exit patches
+            continue_patches: Vec::new(),
+            continue_target: None,
+        });
+        for s in &func.body.stmts {
+            self.emit_stmt(s);
+        }
+        // Falling off the end returns 0 (without burning), like `Ret`.
+        let cidx = self.intern(Value::Int(0));
+        self.ops.push(Op::PushConst { cidx });
+        let end = self.here();
+        let ctx = self.ctxs.pop().expect("inline ctx pushed");
+        self.patch(ctx.break_patches, end);
+        debug_assert!(ctx.continue_patches.is_empty());
+        self.ops.push(Op::InlineExit);
+        self.scopes.pop();
+        self.resolve_floor = saved_floor;
+        self.inline_stack.pop();
+    }
+
+    /// The innermost context a `break`/`continue` may bind to, never
+    /// crossing an inlined frame (the checker guarantees checked code
+    /// never tries; this keeps checker-rejected shapes inert).
+    fn branch_ctx(&self, loops_only: bool) -> Option<usize> {
+        for (i, c) in self.ctxs.iter().enumerate().rev() {
+            match c.kind {
+                CtxKind::Inline => return None,
+                CtxKind::Loop => return Some(i),
+                CtxKind::Switch if !loops_only => return Some(i),
+                CtxKind::Switch => {}
+            }
+        }
+        None
+    }
+
     // ----- statements -----------------------------------------------------
 
     fn placeholder(&mut self) -> usize {
@@ -946,18 +1335,7 @@ impl<'p> Lower<'p> {
                         );
                         let coerces: Vec<Coerce> =
                             fields.iter().map(|(_, t)| Coerce::of(t)).collect();
-                        let cidx = {
-                            if let Some(i) = self
-                                .field_coerces
-                                .iter()
-                                .position(|c| c.as_ref() == coerces.as_slice())
-                            {
-                                i as u32
-                            } else {
-                                self.field_coerces.push(coerces.into_boxed_slice());
-                                self.field_coerces.len() as u32 - 1
-                            }
-                        };
+                        let cidx = self.intern_coerces(coerces);
                         for it in list {
                             self.emit_expr(it);
                         }
@@ -1145,11 +1523,24 @@ impl<'p> Lower<'p> {
                         self.ops.push(Op::PushConst { cidx });
                     }
                 }
-                self.ops.push(Op::Ret);
+                // Inside an inlined body, `return` unwinds the scopes it
+                // opened and jumps to the frame's `InlineExit`; a real
+                // `Ret` would tear down the whole (caller's) frame.
+                match self.ctxs.iter().rposition(|c| matches!(c.kind, CtxKind::Inline)) {
+                    Some(i) => {
+                        let unwind = self.emitted_scopes() - self.ctxs[i].scopes_body;
+                        for _ in 0..unwind {
+                            self.ops.push(Op::ExitScope);
+                        }
+                        let p = self.placeholder();
+                        self.ctxs[i].break_patches.push(p);
+                    }
+                    None => self.ops.push(Op::Ret),
+                }
             }
             Stmt::Break(line) => {
                 self.ops.push(Op::Line(*line));
-                if let Some(i) = self.ctxs.len().checked_sub(1) {
+                if let Some(i) = self.branch_ctx(false) {
                     let unwind = self.emitted_scopes() - self.ctxs[i].scopes_outside;
                     for _ in 0..unwind {
                         self.ops.push(Op::ExitScope);
@@ -1161,11 +1552,7 @@ impl<'p> Lower<'p> {
             }
             Stmt::Continue(line) => {
                 self.ops.push(Op::Line(*line));
-                if let Some(i) = self
-                    .ctxs
-                    .iter()
-                    .rposition(|c| matches!(c.kind, CtxKind::Loop))
-                {
+                if let Some(i) = self.branch_ctx(true) {
                     let unwind = self.emitted_scopes() - self.ctxs[i].scopes_body;
                     for _ in 0..unwind {
                         self.ops.push(Op::ExitScope);
@@ -1258,6 +1645,8 @@ impl<'p> Lower<'p> {
         self.scopes.clear();
         self.ctxs.clear();
         self.next_slot = 0;
+        self.inline_stack.clear();
+        self.resolve_floor = 0;
         // The frame scope (params + body top-level decls) is pushed by the
         // call machinery itself, so it is "emitted" without an op.
         self.scopes.push(LScope { names: Vec::new(), emitted: true });
@@ -1290,6 +1679,8 @@ impl<'p> Lower<'p> {
         self.scopes.clear();
         self.ctxs.clear();
         self.next_slot = 0;
+        self.inline_stack.clear();
+        self.resolve_floor = 0;
         // Mirror `ensure_globals`: aggregates store evaluated items *raw*,
         // scalars coerce; missing initialisers clone the zero template.
         let finish = match (&g.ty, &g.init) {
@@ -1332,6 +1723,32 @@ impl<'p> Lower<'p> {
             finish,
             line: g.line,
         }
+    }
+}
+
+/// Recursive statement count of a block — the inlining size metric
+/// (statements are a good proxy for emitted ops in the C subset; the
+/// limit in [`Lower::should_inline`] is calibrated to the generated stub
+/// accessors and the drivers' small wait/select helpers).
+fn block_stmts(b: &Block) -> usize {
+    b.stmts.iter().map(stmt_count).sum()
+}
+
+fn stmt_count(s: &Stmt) -> usize {
+    1 + match s {
+        Stmt::If { then_blk, else_blk, .. } => {
+            block_stmts(then_blk) + else_blk.as_ref().map_or(0, block_stmts)
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => block_stmts(body),
+        Stmt::For { init, body, .. } => {
+            init.as_deref().map_or(0, stmt_count) + block_stmts(body)
+        }
+        Stmt::Switch { arms, .. } => arms
+            .iter()
+            .map(|a| a.stmts.iter().map(stmt_count).sum::<usize>())
+            .sum(),
+        Stmt::Block(b) => block_stmts(b),
+        _ => 0,
     }
 }
 
@@ -1407,7 +1824,8 @@ mod tests {
     #[test]
     fn constant_subtrees_fold_with_burns_preserved() {
         let p = compile("t.c", "int f(void) { return (3 + 4) * 2; }").unwrap();
-        let c = p.to_bytecode();
+        // The unfused encoding: lowering shapes, before the peephole pass.
+        let c = p.to_bytecode_unfused();
         // The whole arithmetic subtree folds to one ConstN carrying the
         // five-node burn sequence (mul, add, 3, 4, 2).
         let folded = c.funcs[0].ops.iter().find_map(|op| match op {
@@ -1422,7 +1840,7 @@ mod tests {
     #[test]
     fn division_by_zero_does_not_fold() {
         let p = compile("t.c", "int f(void) { return 1 / 0; }").unwrap();
-        let c = p.to_bytecode();
+        let c = p.to_bytecode_unfused();
         assert!(
             c.funcs[0].ops.iter().any(|op| matches!(
                 op,

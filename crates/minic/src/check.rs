@@ -49,7 +49,9 @@ pub fn builtin_signatures() -> HashMap<String, Sig> {
     def("outb", CType::Void, vec![u8t.clone(), u16t.clone()], false);
     def("outw", CType::Void, vec![u16t.clone(), u16t.clone()], false);
     def("outl", CType::Void, vec![u32t.clone(), u16t.clone()], false);
+    def("insb", CType::Void, vec![u16t.clone(), vptr.clone(), intt.clone()], false);
     def("insw", CType::Void, vec![u16t.clone(), vptr.clone(), intt.clone()], false);
+    def("outsb", CType::Void, vec![u16t.clone(), vptr.clone(), intt.clone()], false);
     def("outsw", CType::Void, vec![u16t.clone(), vptr.clone(), intt.clone()], false);
     def("printk", intt.clone(), vec![cstr.clone()], true);
     def("panic", intt.clone(), vec![cstr.clone()], true);

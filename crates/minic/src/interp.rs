@@ -36,6 +36,24 @@ pub trait Host {
     fn delay(&mut self, usec: u64) {
         let _ = usec;
     }
+    /// Bulk port read: fill `out` with `out.len()` consecutive reads of
+    /// `size` bytes — the block-transfer fast path behind `insb`/`insw`.
+    /// The default loops [`Host::io_read`]; an override must be
+    /// observationally identical to that loop (same values, same device
+    /// end state), which is how the bytecode VM's bulk path stays
+    /// equivalent to the tree-walking oracle's single accesses.
+    fn io_read_block(&mut self, port: u16, size: u8, out: &mut [i64]) {
+        for slot in out {
+            *slot = self.io_read(port, size);
+        }
+    }
+    /// Bulk port write of `values` — the `outsb`/`outsw` counterpart of
+    /// [`Host::io_read_block`], with the same equivalence obligation.
+    fn io_write_block(&mut self, port: u16, size: u8, values: &[i64]) {
+        for v in values {
+            self.io_write(port, size, *v);
+        }
+    }
 }
 
 /// A host with no hardware: reads float to all-ones, writes vanish,
@@ -718,7 +736,7 @@ impl<'a, H: Host> Interpreter<'a, H> {
         match e {
             Expr::IntLit { value, .. } => Ok(Value::Int(*value as i64)),
             Expr::CharLit { value, .. } => Ok(Value::Int(*value as i64)),
-            Expr::StrLit { value, .. } => Ok(Value::Str(Rc::from(value.as_str()))),
+            Expr::StrLit { value, .. } => Ok(Value::Str(Rc::new(value.clone()))),
             Expr::Ident { name, line } => {
                 let Some(id) = self.lookup_var(name) else {
                     // A function designator used as a value: produce a
@@ -1138,7 +1156,9 @@ impl<'a, H: Host> Interpreter<'a, H> {
     ) -> Result<Option<Value>, RunError> {
         let known = matches!(
             name,
-            "inb" | "inw" | "inl" | "outb" | "outw" | "outl" | "insw" | "outsw" | "printk"
+            "inb" | "inw" | "inl" | "outb" | "outw" | "outl" | "insb" | "insw" | "outsb"
+                | "outsw"
+                | "printk"
                 | "panic"
                 | "udelay"
                 | "mdelay"
@@ -1170,14 +1190,15 @@ impl<'a, H: Host> Interpreter<'a, H> {
                 self.host.io_write(int_arg(1) as u16, 4, int_arg(0) & 0xFFFF_FFFF);
                 Value::Int(0)
             }
-            "insw" => {
+            "insw" | "insb" => {
                 let port = int_arg(0) as u16;
                 let count = int_arg(2).max(0) as usize;
+                let (size, mask) = if name == "insb" { (1, 0xFF) } else { (2, 0xFFFF) };
                 let Some(Value::Ptr(Some(p))) = vals.get(1).cloned() else {
                     return Err(self.fault(FaultKind::NullDeref, line));
                 };
                 for i in 0..count {
-                    let w = self.host.io_read(port, 2) & 0xFFFF;
+                    let w = self.host.io_read(port, size) & mask;
                     let lv = Lv {
                         place: Place { obj: p.obj, idx: p.idx + i },
                         fields: Vec::new(),
@@ -1190,9 +1211,10 @@ impl<'a, H: Host> Interpreter<'a, H> {
                 }
                 Value::Int(0)
             }
-            "outsw" => {
+            "outsw" | "outsb" => {
                 let port = int_arg(0) as u16;
                 let count = int_arg(2).max(0) as usize;
+                let (size, mask) = if name == "outsb" { (1, 0xFF) } else { (2, 0xFFFF) };
                 let Some(Value::Ptr(Some(p))) = vals.get(1).cloned() else {
                     return Err(self.fault(FaultKind::NullDeref, line));
                 };
@@ -1205,7 +1227,7 @@ impl<'a, H: Host> Interpreter<'a, H> {
                         .read_place(&lv, line)?
                         .as_int()
                         .unwrap_or(0);
-                    self.host.io_write(port, 2, w & 0xFFFF);
+                    self.host.io_write(port, size, w & mask);
                     if self.fuel == 0 {
                         return Err(RunError::OutOfFuel);
                     }

@@ -10,7 +10,8 @@
 //! panic) can be observed deterministically.
 //!
 //! Pipeline: [`pp`] (preprocessor) → [`parser`] → [`check`] (the
-//! "compile") → [`bytecode`] (lowering) → [`vm`] (the "run").
+//! "compile") → [`bytecode`] (lowering, with small-call inlining and the
+//! superinstruction fusion pass) → [`vm`] (the "run").
 //!
 //! The tree-walking [`interp`] predates the VM and survives as its
 //! differential oracle: both engines execute the same checked [`Program`]
@@ -39,6 +40,7 @@ pub mod bytecode;
 pub mod check;
 pub mod coverage;
 pub mod error;
+mod fuse;
 pub mod interp;
 pub mod lexer;
 pub mod parser;

@@ -26,7 +26,10 @@ pub enum Value {
     /// A pointer; `None` is the null pointer.
     Ptr(Option<Place>),
     /// A string literal (the runtime shape of `const char *` literals).
-    Str(Rc<str>),
+    /// `Rc<String>` rather than `Rc<str>`: the thin pointer keeps the
+    /// whole `Value` at 16 bytes, and values move constantly on the VM's
+    /// operand stack.
+    Str(Rc<String>),
 }
 
 impl Value {
@@ -53,7 +56,7 @@ impl Value {
         match self {
             Value::Int(_) => Value::Int(0),
             Value::Ptr(_) => Value::Ptr(None),
-            Value::Str(_) => Value::Str(Rc::from("")),
+            Value::Str(_) => Value::Str(Rc::new(String::new())),
             Value::Struct(fields) => {
                 Value::Struct(Rc::new(fields.iter().map(Value::zero_like).collect()))
             }
@@ -125,12 +128,12 @@ mod tests {
         assert!(!Value::Int(0).truthy());
         assert!(!Value::Ptr(None).truthy());
         assert!(Value::Ptr(Some(Place { obj: ObjId(0), idx: 0 })).truthy());
-        assert!(Value::Str(Rc::from("x")).truthy());
+        assert!(Value::Str(Rc::new("x".into())).truthy());
     }
 
     #[test]
     fn zero_like_struct() {
-        let s = Value::Struct(Rc::new(vec![Value::Int(5), Value::Str(Rc::from("f"))]));
+        let s = Value::Struct(Rc::new(vec![Value::Int(5), Value::Str(Rc::new("f".into()))]));
         let z = s.zero_like();
         let Value::Struct(fields) = z else { panic!() };
         assert_eq!(fields[0], Value::Int(0));

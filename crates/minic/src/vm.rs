@@ -31,7 +31,10 @@
 //! The `vm_differential` integration test and the minic proptests pin the
 //! oracle relationship over the full driver corpus and mutant sets.
 
-use crate::bytecode::{Builtin, CastKind, Coerce, CompiledProgram, GFinish, Op, NO_FIELD};
+use crate::bytecode::{
+    Builtin, CastKind, Coerce, CompiledProgram, FuseEnd, FuseRhs, FuseSrc, FusedOp, GFinish, Op,
+    NO_FIELD,
+};
 use crate::coverage::Coverage;
 use crate::interp::{FaultKind, Host, RunError, ABSORB_OBJ, MAX_DEPTH, OOB_SLACK, WILD_OBJ};
 use crate::value::{wrap_int, ObjId, Place, Value};
@@ -41,6 +44,12 @@ use std::rc::Rc;
 /// Field-path length stored inline; driver structs nest ≤ 2 deep, so the
 /// heap spill beyond this is a correctness escape hatch, not a hot path.
 pub const MAX_FIELD_DEPTH: usize = 12;
+
+/// Internal result type: errors ride boxed so the `Result` every
+/// dispatched op returns stays two words — `RunError` itself carries
+/// `String`s, and moving a ~7-word `Result` per op was measurable on the
+/// execution core. Unboxed at the public [`Vm::call`] boundary.
+type VmResult<T> = Result<T, Box<RunError>>;
 
 /// A resolved lvalue: an element place plus a field path into nested
 /// structs. The path lives inline up to [`MAX_FIELD_DEPTH`] and spills to
@@ -122,7 +131,22 @@ pub struct Vm<'a, H: Host> {
     scope_floor: usize,
     depth: u32,
     scratch: Vec<Value>,
+    /// Reusable staging buffer for the block-transfer builtins
+    /// (`insb`/`insw`/`outsb`/`outsw`) — sized once, then steady-state
+    /// allocation-free like the rest of the dispatch loop.
+    io_block: Vec<i64>,
+    /// Last line recorded in `coverage` (`u32::MAX` = none): the burn
+    /// fast path skips the bitmap when the line repeats.
+    last_cov: u32,
+    /// Recycled struct-value buffers: stub-style code constructs (and
+    /// drops) thousands of small struct rvalues per boot, and reusing
+    /// their `Vec`s halves the dispatch loop's allocator traffic.
+    struct_pool: Vec<Vec<Value>>,
 }
+
+/// Upper bound on pooled struct buffers (they are tiny — a few `Value`s
+/// each — so the cap is about pathological programs, not memory).
+const STRUCT_POOL_CAP: usize = 256;
 
 impl<'a, H: Host> Vm<'a, H> {
     /// Create a VM with a fuel budget (same unit as the interpreter's:
@@ -147,6 +171,9 @@ impl<'a, H: Host> Vm<'a, H> {
             scope_floor: 0,
             depth: 0,
             scratch: Vec::new(),
+            io_block: Vec::new(),
+            last_cov: u32::MAX,
+            struct_pool: Vec::new(),
         }
     }
 
@@ -168,6 +195,7 @@ impl<'a, H: Host> Vm<'a, H> {
 
     /// Move the coverage map out, leaving an empty one behind.
     pub fn take_coverage(&mut self) -> Coverage {
+        self.last_cov = u32::MAX; // the memo must not outlive its bitmap
         std::mem::take(&mut self.coverage)
     }
 
@@ -183,7 +211,7 @@ impl<'a, H: Host> Vm<'a, H> {
     /// Returns a [`RunError`] for panics, faults, fuel exhaustion, or an
     /// unknown entry point — identically to the interpreter.
     pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, RunError> {
-        self.ensure_globals()?;
+        self.ensure_globals().map_err(|e| *e)?;
         let Some(fidx) = self.program.function(name) else {
             return Err(RunError::NoSuchFunction(name.to_string()));
         };
@@ -193,7 +221,7 @@ impl<'a, H: Host> Vm<'a, H> {
         } else {
             debug_assert!(self.stack.is_empty() && self.lvs.is_empty());
         }
-        result
+        result.map_err(|e| *e)
     }
 
     /// Snapshot a global object's elements; `None` for unknown names or
@@ -243,7 +271,7 @@ impl<'a, H: Host> Vm<'a, H> {
 
     // ----- setup ----------------------------------------------------------
 
-    fn ensure_globals(&mut self) -> Result<(), RunError> {
+    fn ensure_globals(&mut self) -> VmResult<()> {
         if self.globals_ready {
             return Ok(());
         }
@@ -255,7 +283,7 @@ impl<'a, H: Host> Vm<'a, H> {
                 Err(mut err) => {
                     // `eval_const` re-stamps only the fault *line* to the
                     // global's declaration line.
-                    if let RunError::Fault { line: l, .. } = &mut err {
+                    if let RunError::Fault { line: l, .. } = &mut *err {
                         let (_, local) = crate::token::unpack_line(g.line);
                         *l = local;
                     }
@@ -269,7 +297,7 @@ impl<'a, H: Host> Vm<'a, H> {
     }
 
     /// Evaluate one global's initialiser ops and assemble its object.
-    fn run_global(&mut self, gidx: usize) -> Result<usize, RunError> {
+    fn run_global(&mut self, gidx: usize) -> VmResult<usize> {
         let g = &self.program.globals[gidx];
         let ops: &'a [Op] = &g.ops;
         let mut pc = 0usize;
@@ -325,7 +353,7 @@ impl<'a, H: Host> Vm<'a, H> {
 
     // ----- frame machinery ------------------------------------------------
 
-    fn run_call(&mut self, fidx: u16, args: &[Value]) -> Result<Value, RunError> {
+    fn run_call(&mut self, fidx: u16, args: &[Value]) -> VmResult<Value> {
         let func = &self.program.funcs[fidx as usize];
         if self.depth >= MAX_DEPTH {
             return Err(self.fault(FaultKind::StackOverflow, func.line));
@@ -441,8 +469,31 @@ impl<'a, H: Host> Vm<'a, H> {
     fn kill(&mut self, id: usize) {
         if let Some(o) = self.objects.get_mut(id) {
             o.live = false;
-            o.data.clear(); // drop values now; keep the buffer for reuse
+            // Drop values now; keep the buffer for reuse — and reclaim
+            // uniquely-owned struct buffers into the pool while at it.
+            for v in o.data.drain(..) {
+                if let Value::Struct(rc) = v {
+                    if self.struct_pool.len() < STRUCT_POOL_CAP {
+                        if let Ok(mut inner) = Rc::try_unwrap(rc) {
+                            inner.clear();
+                            self.struct_pool.push(inner);
+                        }
+                    }
+                }
+            }
             self.free.push(id);
+        }
+    }
+
+    /// Recycle a struct rvalue's buffer once its last owner lets go —
+    /// `dil_val`-style field extraction is where most stub structs die.
+    #[inline]
+    fn reclaim_struct(&mut self, fields: Rc<Vec<Value>>) {
+        if self.struct_pool.len() < STRUCT_POOL_CAP {
+            if let Ok(mut inner) = Rc::try_unwrap(fields) {
+                inner.clear();
+                self.struct_pool.push(inner);
+            }
         }
     }
 
@@ -463,22 +514,29 @@ impl<'a, H: Host> Vm<'a, H> {
         (file.to_string(), line)
     }
 
-    fn fault(&self, kind: FaultKind, packed: u32) -> RunError {
+    fn fault(&self, kind: FaultKind, packed: u32) -> Box<RunError> {
         let (file, line) = self.loc(packed);
-        RunError::Fault { kind, file, line }
+        Box::new(RunError::Fault { kind, file, line })
     }
 
     #[inline]
-    fn burn(&mut self, packed: u32) -> Result<(), RunError> {
-        self.coverage.insert(packed);
+    fn burn(&mut self, packed: u32) -> VmResult<()> {
+        // One-entry memo: polling loops burn the same source line many
+        // times per iteration (condition, operand and constant all sit on
+        // one line), and re-setting an already-set coverage bit is the
+        // single most repeated piece of work in the dispatch loop.
+        if packed != self.last_cov {
+            self.coverage.insert(packed);
+            self.last_cov = packed;
+        }
         if self.fuel == 0 {
-            return Err(RunError::OutOfFuel);
+            return Err(Box::new(RunError::OutOfFuel));
         }
         self.fuel -= 1;
         Ok(())
     }
 
-    fn obj(&self, place: Place, packed: u32) -> Result<&Vec<Value>, RunError> {
+    fn obj(&self, place: Place, packed: u32) -> VmResult<&Vec<Value>> {
         if place.obj.0 == WILD_OBJ || place.obj.0 == ABSORB_OBJ {
             return Err(self.fault(FaultKind::WildDeref, packed));
         }
@@ -489,7 +547,7 @@ impl<'a, H: Host> Vm<'a, H> {
         }
     }
 
-    fn read_place(&self, lv: &Lval, packed: u32) -> Result<Value, RunError> {
+    fn read_place(&self, lv: &Lval, packed: u32) -> VmResult<Value> {
         if lv.place.obj.0 == ABSORB_OBJ {
             return Ok(Value::Int(0));
         }
@@ -515,30 +573,36 @@ impl<'a, H: Host> Vm<'a, H> {
         Ok(v.clone())
     }
 
-    fn write_place(&mut self, lv: &Lval, value: Value, packed: u32) -> Result<(), RunError> {
+    fn write_place(&mut self, lv: &Lval, value: Value, packed: u32) -> VmResult<()> {
         if lv.place.obj.0 == ABSORB_OBJ {
             return Ok(()); // nearby memory: silent corruption
         }
         if lv.place.obj.0 == WILD_OBJ {
             return Err(self.fault(FaultKind::WildDeref, packed));
         }
-        // Nearby overruns corrupt silently; far ones crash.
-        if let Some(o) = self.objects.get(lv.place.obj.0) {
-            if o.live && lv.place.idx >= o.data.len() {
-                return if lv.place.idx < o.data.len() + OOB_SLACK {
-                    Ok(())
+        // One object lookup for the whole store. Unlike the tree-walker,
+        // fault values build lazily: a fault carries an allocated file
+        // name, and the success path of a store must stay allocation-free
+        // (which is also why the faults below are bare kinds until the
+        // very end).
+        let kind = match self.objects.get_mut(lv.place.obj.0) {
+            Some(o) => {
+                // Nearby overruns corrupt silently; far ones crash.
+                if o.live && lv.place.idx >= o.data.len() {
+                    if lv.place.idx < o.data.len() + OOB_SLACK {
+                        return Ok(());
+                    }
+                    FaultKind::OutOfBounds
                 } else {
-                    Err(self.fault(FaultKind::OutOfBounds, packed))
-                };
+                    match Self::write_slot(o, lv, value) {
+                        Ok(()) => return Ok(()),
+                        Err(kind) => kind,
+                    }
+                }
             }
-        }
-        // Unlike the tree-walker, build fault values lazily: a fault
-        // carries an allocated file name, and the success path of a store
-        // must stay allocation-free.
-        let Some(o) = self.objects.get_mut(lv.place.obj.0) else {
-            return Err(self.fault(FaultKind::WildDeref, packed));
+            None => FaultKind::WildDeref,
         };
-        Self::write_slot(o, lv, value).map_err(|kind| self.fault(kind, packed))
+        Err(self.fault(kind, packed))
     }
 
     /// The mutation half of [`Vm::write_place`], with faults as bare kinds
@@ -558,7 +622,7 @@ impl<'a, H: Host> Vm<'a, H> {
         Ok(())
     }
 
-    fn apply_binop(&self, op: BinOp, l: Value, r: Value, line: u32) -> Result<Value, RunError> {
+    fn apply_binop(&self, op: BinOp, l: Value, r: Value, line: u32) -> VmResult<Value> {
         use BinOp::*;
         // Pointer arithmetic and comparisons.
         match (&l, &r) {
@@ -662,7 +726,7 @@ impl<'a, H: Host> Vm<'a, H> {
     /// Inlined into both drivers (`run_call`'s hot loop and the cold
     /// global-initialiser loop) so the per-op call overhead vanishes.
     #[inline(always)]
-    fn dispatch(&mut self, op: &Op) -> Result<Flow, RunError> {
+    fn dispatch(&mut self, op: &Op) -> VmResult<Flow> {
         match op {
             Op::Line(l) => self.burn(*l)?,
             Op::Const { cidx, line } => {
@@ -785,6 +849,7 @@ impl<'a, H: Host> Vm<'a, H> {
                     .get(*fidx as usize)
                     .cloned()
                     .ok_or_else(|| self.fault(FaultKind::BadValue, *line))?;
+                self.reclaim_struct(fields);
                 self.stack.push(v);
             }
             Op::AddrOf => {
@@ -845,17 +910,8 @@ impl<'a, H: Host> Vm<'a, H> {
             }
             Op::IncDec { inc, prefix, line } => {
                 let lv = self.lvs.pop().expect("incdec target");
-                let old = self.read_place(&lv, *line)?;
-                let new = match &old {
-                    Value::Int(i) => Value::Int(if *inc { i + 1 } else { i - 1 }),
-                    Value::Ptr(Some(p)) => {
-                        let idx = if *inc { p.idx + 1 } else { p.idx.wrapping_sub(1) };
-                        Value::Ptr(Some(Place { obj: p.obj, idx }))
-                    }
-                    _ => return Err(self.fault(FaultKind::BadValue, *line)),
-                };
-                self.write_place(&lv, new.clone(), *line)?;
-                self.stack.push(if *prefix { new } else { old });
+                let v = self.inc_dec_value(&lv, *inc, *prefix, *line)?;
+                self.stack.push(v);
             }
             Op::Neg { line } => {
                 let v = self.stack.pop().expect("negate operand");
@@ -894,26 +950,7 @@ impl<'a, H: Host> Vm<'a, H> {
             }
             Op::Cast { kind, line } => {
                 let v = self.stack.pop().expect("cast operand");
-                let out = match (kind, v) {
-                    (CastKind::Int { signed, bits }, Value::Int(i)) => {
-                        Value::Int(wrap_int(i, *bits, *signed))
-                    }
-                    (CastKind::Int { .. }, Value::Ptr(Some(p))) => {
-                        Value::Int((p.obj.0 as i64 + 1) * 0x1_0000 + p.idx as i64)
-                    }
-                    (CastKind::Int { .. }, Value::Ptr(None)) => Value::Int(0),
-                    (CastKind::Int { .. }, Value::Str(_)) => Value::Int(0x5_0000),
-                    (CastKind::Ptr, Value::Int(0)) => Value::Ptr(None),
-                    (CastKind::Ptr, Value::Int(i)) => {
-                        Value::Ptr(Some(Place { obj: ObjId(WILD_OBJ), idx: i as usize }))
-                    }
-                    (CastKind::Ptr, v @ (Value::Ptr(_) | Value::Str(_))) => v,
-                    (CastKind::Void, _) => Value::Int(0),
-                    (_, v) => {
-                        let _ = v;
-                        return Err(self.fault(FaultKind::BadValue, *line));
-                    }
-                };
+                let out = self.apply_cast(*kind, v, *line)?;
                 self.stack.push(out);
             }
             Op::Pop => {
@@ -973,7 +1010,20 @@ impl<'a, H: Host> Vm<'a, H> {
             Op::DeclZero { slot, template } => {
                 let id = self.alloc();
                 let mut data = std::mem::take(&mut self.objects[id].data);
-                data.extend_from_slice(&self.program.templates[*template as usize]);
+                let template = &self.program.templates[*template as usize];
+                match &template[..] {
+                    // Struct locals copy into a pooled, *unshared* buffer
+                    // up front, so later field stores never pay a
+                    // `Rc::make_mut` deep copy against the interned
+                    // template. Value-identical to the plain clone.
+                    [Value::Struct(fields)] => {
+                        let mut buf = self.struct_pool.pop().unwrap_or_default();
+                        buf.clear();
+                        buf.extend_from_slice(fields);
+                        data.push(Value::Struct(Rc::new(buf)));
+                    }
+                    _ => data.extend_from_slice(template),
+                }
                 self.objects[id].data = data;
                 self.scope_objs.push(id);
                 self.slots[self.slot_base + *slot as usize] = id;
@@ -1014,6 +1064,86 @@ impl<'a, H: Host> Vm<'a, H> {
                 self.objects[id].data.push(Value::Struct(Rc::new(vals)));
                 self.scope_objs.push(id);
                 self.slots[self.slot_base + *slot as usize] = id;
+            }
+            Op::StoreFieldLocalPop { slot, fidx, line } => {
+                let rv = self.stack.pop().expect("store value");
+                self.store_field_local(*slot, *fidx, *line, rv)?;
+            }
+            Op::IncDecJmp { slot, global, inc, line, target } => {
+                self.burn(*line)?;
+                let lv = if *global {
+                    self.global_place(*slot, *line)?
+                } else {
+                    self.local_place(*slot, *line)?
+                };
+                self.inc_dec_discard(&lv, *inc, *line)?;
+                return Ok(Flow::Jump(*target));
+            }
+            Op::FusedBr { idx } => {
+                let program: &'a CompiledProgram = self.program;
+                let f = &program.fused[*idx as usize];
+                if let Some(target) = self.exec_fused(f)? {
+                    return Ok(Flow::Jump(target));
+                }
+            }
+            Op::InlineEnter { first_slot, argc, coerces, call_line, line } => {
+                // A folded call-expression `Line` burns before anything,
+                // exactly where the standalone op did.
+                if *call_line != u32::MAX {
+                    self.burn(*call_line)?;
+                }
+                // The depth check of a real call, at the same fault site.
+                if self.depth >= MAX_DEPTH {
+                    return Err(self.fault(FaultKind::StackOverflow, *line));
+                }
+                self.depth += 1;
+                self.enter_scope();
+                // Bind arguments exactly like the out-of-line machinery:
+                // first argument deepest, objects allocated in parameter
+                // order (the ObjId sequence the oracle produces).
+                let coerces = &self.program.field_coerces[*coerces as usize];
+                let argc = *argc as usize;
+                let base = self.stack.len() - argc;
+                for i in 0..argc.min(coerces.len()) {
+                    let arg = std::mem::replace(&mut self.stack[base + i], Value::Int(0));
+                    let v = apply_coerce(coerces[i], arg);
+                    let id = self.alloc();
+                    self.objects[id].data.push(v);
+                    self.scope_objs.push(id);
+                    self.slots[self.slot_base + *first_slot as usize + i] = id;
+                }
+                self.stack.truncate(base);
+            }
+            Op::InlineExit => {
+                self.exit_scope();
+                self.depth -= 1;
+            }
+            Op::InlineExitPop => {
+                self.exit_scope();
+                self.depth -= 1;
+                self.stack.pop().expect("discarded return value");
+            }
+            Op::InlineExitJmp { target } => {
+                self.exit_scope();
+                self.depth -= 1;
+                return Ok(Flow::Jump(*target));
+            }
+            Op::InlineExitDecl { slot, coerce } => {
+                self.exit_scope();
+                self.depth -= 1;
+                let v = self.stack.pop().expect("initialiser value");
+                let v = apply_coerce(*coerce, v);
+                let id = self.alloc();
+                self.objects[id].data.push(v);
+                self.scope_objs.push(id);
+                self.slots[self.slot_base + *slot as usize] = id;
+            }
+            Op::InlineExitStore { slot, line } => {
+                self.exit_scope();
+                self.depth -= 1;
+                let lv = self.local_place(*slot, *line)?;
+                let rv = self.stack.pop().expect("store value");
+                self.write_place(&lv, rv, *line)?;
             }
             Op::CallUser { fidx, .. } => return Ok(Flow::Call { fidx: *fidx }),
             Op::CallBuiltin { which, argc, line } => {
@@ -1056,7 +1186,7 @@ impl<'a, H: Host> Vm<'a, H> {
     /// The place of a local slot (the fused-store ops' form of
     /// `PlaceLocal`, with the same unset-slot fault).
     #[inline]
-    fn local_place(&self, slot: u16, line: u32) -> Result<Lval, RunError> {
+    fn local_place(&self, slot: u16, line: u32) -> VmResult<Lval> {
         let id = self.slots[self.slot_base + slot as usize];
         if id == usize::MAX {
             return Err(self.fault(FaultKind::BadValue, line));
@@ -1066,16 +1196,342 @@ impl<'a, H: Host> Vm<'a, H> {
 
     /// The place of a global (the fused-store ops' form of `PlaceGlobal`).
     #[inline]
-    fn global_place(&self, gidx: u16, line: u32) -> Result<Lval, RunError> {
+    fn global_place(&self, gidx: u16, line: u32) -> VmResult<Lval> {
         let Some(id) = self.globals[gidx as usize] else {
             return Err(self.fault(FaultKind::BadValue, line));
         };
         Ok(Lval::at(Place { obj: ObjId(id), idx: 0 }))
     }
 
+    /// Execute one superinstruction (see [`FusedOp`] for the exact
+    /// replayed sequence). Returns the branch target when taken. Kept
+    /// `inline(always)` for the same reason as `dispatch`: polling loops
+    /// are almost nothing but this.
+    #[inline(always)]
+    fn exec_fused(&mut self, f: &FusedOp) -> VmResult<Option<u32>> {
+        for l in f.pre.iter() {
+            self.burn(*l)?;
+        }
+        let mut v = match &f.src {
+            FuseSrc::Local { slot, line } => {
+                self.burn(*line)?;
+                let id = self.slots[self.slot_base + *slot as usize];
+                if id == usize::MAX {
+                    return Err(self.fault(FaultKind::BadValue, *line));
+                }
+                self.object_value(id, *line)?
+            }
+            FuseSrc::Global { gidx, line } => {
+                self.burn(*line)?;
+                let Some(id) = self.globals[*gidx as usize] else {
+                    return Err(self.fault(FaultKind::BadValue, *line));
+                };
+                self.object_value(id, *line)?
+            }
+            FuseSrc::IncDecLocal { slot, inc, prefix, place_line, line } => {
+                let lv = self.local_place(*slot, *place_line)?;
+                self.inc_dec_value(&lv, *inc, *prefix, *line)?
+            }
+            FuseSrc::IncDecGlobal { gidx, inc, prefix, place_line, line } => {
+                let lv = self.global_place(*gidx, *place_line)?;
+                self.inc_dec_value(&lv, *inc, *prefix, *line)?
+            }
+            FuseSrc::PortIn { which, cidx, port_line } => {
+                self.burn(*port_line)?;
+                let port =
+                    self.program.consts[*cidx as usize].as_int().unwrap_or(0) as u16;
+                let (size, mask) = match which {
+                    Builtin::Inb => (1, 0xFF),
+                    Builtin::Inw => (2, 0xFFFF),
+                    _ => (4, 0xFFFF_FFFF),
+                };
+                Value::Int(self.host.io_read(port, size) & mask)
+            }
+            FuseSrc::FieldLocal { slot, fidx, place_line, line } => {
+                self.field_local_value(*slot, *fidx, *place_line, *line)?
+            }
+            FuseSrc::ConstVal { cidx, line } => {
+                self.burn(*line)?;
+                self.program.consts[*cidx as usize].clone()
+            }
+            FuseSrc::ConstSeq { cidx, seq } => {
+                let seq = &self.program.burn_seqs[*seq as usize];
+                for l in seq.iter() {
+                    self.burn(*l)?;
+                }
+                self.program.consts[*cidx as usize].clone()
+            }
+            FuseSrc::StackTop => self.stack.pop().expect("fused operand"),
+        };
+        if let Some((fidx, line)) = f.field {
+            // `Op::MemberValue`: pick one field out of a struct rvalue.
+            let Value::Struct(fields) = v else {
+                return Err(self.fault(FaultKind::BadValue, line));
+            };
+            if fidx == NO_FIELD {
+                return Err(self.fault(FaultKind::BadValue, line));
+            }
+            v = fields
+                .get(fidx as usize)
+                .cloned()
+                .ok_or_else(|| self.fault(FaultKind::BadValue, line))?;
+            self.reclaim_struct(fields);
+        }
+        for stage in f.stage1.iter().chain(f.stage2.iter()) {
+            let r = match &stage.rhs {
+                FuseRhs::Const { cidx, line } => {
+                    self.burn(*line)?;
+                    self.program.consts[*cidx as usize].clone()
+                }
+                FuseRhs::Local { slot, line } => {
+                    self.burn(*line)?;
+                    let id = self.slots[self.slot_base + *slot as usize];
+                    if id == usize::MAX {
+                        return Err(self.fault(FaultKind::BadValue, *line));
+                    }
+                    self.object_value(id, *line)?
+                }
+                FuseRhs::Global { gidx, line } => {
+                    self.burn(*line)?;
+                    let Some(id) = self.globals[*gidx as usize] else {
+                        return Err(self.fault(FaultKind::BadValue, *line));
+                    };
+                    self.object_value(id, *line)?
+                }
+                FuseRhs::FieldLocal { slot, fidx, place_line, line } => {
+                    self.burn(*line)?;
+                    self.field_local_value(*slot, *fidx, *place_line, *line)?
+                }
+            };
+            v = self.apply_binop(stage.op, v, r, stage.line)?;
+        }
+        if let Some((kind, line)) = &f.cast {
+            v = self.apply_cast(*kind, v, *line)?;
+        }
+        if f.coerce_bool {
+            v = Value::Int(i64::from(v.truthy()));
+        }
+        match f.end {
+            FuseEnd::Push => self.stack.push(v),
+            FuseEnd::IfFalse => {
+                if !v.truthy() {
+                    return Ok(Some(f.target));
+                }
+            }
+            FuseEnd::IfTrue => {
+                if v.truthy() {
+                    return Ok(Some(f.target));
+                }
+            }
+            FuseEnd::FalseConst => {
+                if !v.truthy() {
+                    self.stack.push(Value::Int(0));
+                    return Ok(Some(f.target));
+                }
+            }
+            FuseEnd::TrueConst => {
+                if v.truthy() {
+                    self.stack.push(Value::Int(1));
+                    return Ok(Some(f.target));
+                }
+            }
+            FuseEnd::StoreLocal { slot, line } => {
+                let lv = self.local_place(slot, line)?;
+                self.write_place(&lv, v, line)?;
+            }
+            FuseEnd::StoreGlobal { gidx, line } => {
+                let lv = self.global_place(gidx, line)?;
+                self.write_place(&lv, v, line)?;
+            }
+            FuseEnd::StoreField { slot, fidx, line } => {
+                self.store_field_local(slot, fidx, line, v)?;
+            }
+            FuseEnd::DeclScalar { slot, coerce } => {
+                let v = apply_coerce(coerce, v);
+                let id = self.alloc();
+                self.objects[id].data.push(v);
+                self.scope_objs.push(id);
+                self.slots[self.slot_base + slot as usize] = id;
+            }
+            FuseEnd::Jump => {
+                self.stack.push(v);
+                return Ok(Some(f.target));
+            }
+            FuseEnd::In { which } => {
+                let port = v.as_int().unwrap_or(0) as u16;
+                let (size, mask) = match which {
+                    Builtin::Inb => (1, 0xFF),
+                    Builtin::Inw => (2, 0xFFFF),
+                    _ => (4, 0xFFFF_FFFF),
+                };
+                self.stack.push(Value::Int(self.host.io_read(port, size) & mask));
+            }
+            FuseEnd::OutDyn { which, pop } => {
+                let port = v.as_int().unwrap_or(0) as u16;
+                let value = self.stack.pop().and_then(|v| v.as_int()).unwrap_or(0);
+                let (size, mask) = match which {
+                    Builtin::Outb => (1, 0xFF),
+                    Builtin::Outw => (2, 0xFFFF),
+                    _ => (4, 0xFFFF_FFFF),
+                };
+                self.host.io_write(port, size, value & mask);
+                if !pop {
+                    self.stack.push(Value::Int(0));
+                }
+            }
+            FuseEnd::StoreIndexLocal { slot, line } => {
+                // The `LoadLocal` index burn, then `IndexPlace` + `Store`
+                // semantics with the computed value as the base.
+                self.burn(line)?;
+                let id = self.slots[self.slot_base + slot as usize];
+                if id == usize::MAX {
+                    return Err(self.fault(FaultKind::BadValue, line));
+                }
+                let index = self.object_value(id, line)?;
+                let i = index
+                    .as_int()
+                    .ok_or_else(|| self.fault(FaultKind::BadValue, line))?;
+                let place = match v {
+                    Value::Ptr(Some(p)) => {
+                        let idx = p.idx as i64 + i;
+                        if idx < 0 {
+                            if idx > -(OOB_SLACK as i64) {
+                                Place { obj: ObjId(ABSORB_OBJ), idx: 0 }
+                            } else {
+                                return Err(self.fault(FaultKind::OutOfBounds, line));
+                            }
+                        } else {
+                            Place { obj: p.obj, idx: idx as usize }
+                        }
+                    }
+                    Value::Ptr(None) => {
+                        return Err(self.fault(FaultKind::NullDeref, line))
+                    }
+                    _ => return Err(self.fault(FaultKind::BadValue, line)),
+                };
+                let rv = self.stack.pop().expect("indexed store value");
+                self.write_place(&Lval::at(place), rv, line)?;
+            }
+            FuseEnd::PortOut { which, cidx, line, pop } => {
+                self.burn(line)?;
+                let port =
+                    self.program.consts[cidx as usize].as_int().unwrap_or(0) as u16;
+                let (size, mask) = match which {
+                    Builtin::Outb => (1, 0xFF),
+                    Builtin::Outw => (2, 0xFFFF),
+                    _ => (4, 0xFFFF_FFFF),
+                };
+                self.host.io_write(port, size, v.as_int().unwrap_or(0) & mask);
+                if !pop {
+                    self.stack.push(Value::Int(0));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// The rvalue of `local.field` — exact replay of the
+    /// `PlaceLocal; MemberStep; ReadPlace` sequence (fault order
+    /// included), without the three dispatches and the intermediate
+    /// struct clone walk.
+    #[inline]
+    fn field_local_value(
+        &self,
+        slot: u16,
+        fidx: u16,
+        place_line: u32,
+        line: u32,
+    ) -> VmResult<Value> {
+        let lv = self.local_place(slot, place_line)?;
+        let base = self.read_place(&lv, line)?;
+        let Value::Struct(fields) = base else {
+            return Err(self.fault(FaultKind::BadValue, line));
+        };
+        if fidx == NO_FIELD {
+            return Err(self.fault(FaultKind::BadValue, line));
+        }
+        fields
+            .get(fidx as usize)
+            .cloned()
+            .ok_or_else(|| self.fault(FaultKind::BadValue, line))
+    }
+
+    /// `Op::Cast` semantics over a popped value.
+    #[inline]
+    fn apply_cast(&self, kind: CastKind, v: Value, line: u32) -> VmResult<Value> {
+        Ok(match (kind, v) {
+            (CastKind::Int { signed, bits }, Value::Int(i)) => {
+                Value::Int(wrap_int(i, bits, signed))
+            }
+            (CastKind::Int { .. }, Value::Ptr(Some(p))) => {
+                Value::Int((p.obj.0 as i64 + 1) * 0x1_0000 + p.idx as i64)
+            }
+            (CastKind::Int { .. }, Value::Ptr(None)) => Value::Int(0),
+            (CastKind::Int { .. }, Value::Str(_)) => Value::Int(0x5_0000),
+            (CastKind::Ptr, Value::Int(0)) => Value::Ptr(None),
+            (CastKind::Ptr, Value::Int(i)) => {
+                Value::Ptr(Some(Place { obj: ObjId(WILD_OBJ), idx: i as usize }))
+            }
+            (CastKind::Ptr, v @ (Value::Ptr(_) | Value::Str(_))) => v,
+            (CastKind::Void, _) => Value::Int(0),
+            (_, v) => {
+                let _ = v;
+                return Err(self.fault(FaultKind::BadValue, line));
+            }
+        })
+    }
+
+    /// Write `rv` through `local.field` — the `PlaceLocal; MemberStep;
+    /// Store; Pop` tail in one step, fault order preserved (MemberStep's
+    /// struct read first, then the field write).
+    fn store_field_local(
+        &mut self,
+        slot: u16,
+        fidx: u16,
+        line: u32,
+        rv: Value,
+    ) -> VmResult<()> {
+        let mut lv = self.local_place(slot, line)?;
+        let base = self.read_place(&lv, line)?;
+        if !matches!(base, Value::Struct(_)) {
+            return Err(self.fault(FaultKind::BadValue, line));
+        }
+        // Release the base's Rc clone *before* the write: a live extra
+        // reference would force `Rc::make_mut` to deep-copy the struct on
+        // every single field store.
+        drop(base);
+        if fidx == NO_FIELD {
+            return Err(self.fault(FaultKind::BadValue, line));
+        }
+        lv.push_field(fidx);
+        self.write_place(&lv, rv, line)
+    }
+
+    /// `++`/`--` through a place producing the expression's value —
+    /// identical semantics to `Op::IncDec`, used by the fused forms.
+    fn inc_dec_value(
+        &mut self,
+        lv: &Lval,
+        inc: bool,
+        prefix: bool,
+        line: u32,
+    ) -> VmResult<Value> {
+        let old = self.read_place(lv, line)?;
+        let new = match &old {
+            Value::Int(i) => Value::Int(if inc { i + 1 } else { i - 1 }),
+            Value::Ptr(Some(p)) => {
+                let idx = if inc { p.idx + 1 } else { p.idx.wrapping_sub(1) };
+                Value::Ptr(Some(Place { obj: p.obj, idx }))
+            }
+            _ => return Err(self.fault(FaultKind::BadValue, line)),
+        };
+        self.write_place(lv, new.clone(), line)?;
+        Ok(if prefix { new } else { old })
+    }
+
     /// `++`/`--` through a place with the result discarded — identical
     /// value/fault semantics to `Op::IncDec` minus the stack traffic.
-    fn inc_dec_discard(&mut self, lv: &Lval, inc: bool, line: u32) -> Result<(), RunError> {
+    fn inc_dec_discard(&mut self, lv: &Lval, inc: bool, line: u32) -> VmResult<()> {
         let old = self.read_place(lv, line)?;
         let new = match &old {
             Value::Int(i) => Value::Int(if inc { i + 1 } else { i - 1 }),
@@ -1088,16 +1544,22 @@ impl<'a, H: Host> Vm<'a, H> {
         self.write_place(lv, new, line)
     }
 
-    fn load_object(&mut self, id: usize, line: u32) -> Result<(), RunError> {
+    fn load_object(&mut self, id: usize, line: u32) -> VmResult<()> {
+        let v = self.object_value(id, line)?;
+        self.stack.push(v);
+        Ok(())
+    }
+
+    /// An object's rvalue (`Op::LoadLocal` semantics without the push).
+    #[inline]
+    fn object_value(&self, id: usize, line: u32) -> VmResult<Value> {
         let data = self.obj(Place { obj: ObjId(id), idx: 0 }, line)?;
         // Arrays decay to a pointer to their first element.
-        let v = if data.len() > 1 {
+        Ok(if data.len() > 1 {
             Value::Ptr(Some(Place { obj: ObjId(id), idx: 0 }))
         } else {
             data[0].clone()
-        };
-        self.stack.push(v);
-        Ok(())
+        })
     }
 
     // ----- builtins (verbatim semantics of `try_builtin`) -----------------
@@ -1107,7 +1569,7 @@ impl<'a, H: Host> Vm<'a, H> {
         which: Builtin,
         argc: usize,
         line: u32,
-    ) -> Result<(), RunError> {
+    ) -> VmResult<()> {
         let mut vals = std::mem::take(&mut self.scratch);
         vals.clear();
         let base = self.stack.len() - argc;
@@ -1124,7 +1586,7 @@ impl<'a, H: Host> Vm<'a, H> {
         which: Builtin,
         vals: &[Value],
         line: u32,
-    ) -> Result<Value, RunError> {
+    ) -> VmResult<Value> {
         let int_arg = |i: usize| -> i64 { vals.get(i).and_then(Value::as_int).unwrap_or(0) };
         let v = match which {
             Builtin::Inb => Value::Int(self.host.io_read(int_arg(0) as u16, 1) & 0xFF),
@@ -1144,37 +1606,70 @@ impl<'a, H: Host> Vm<'a, H> {
                 self.host.io_write(int_arg(1) as u16, 4, int_arg(0) & 0xFFFF_FFFF);
                 Value::Int(0)
             }
-            Builtin::Insw => {
+            Builtin::Insw | Builtin::Insb => {
                 let port = int_arg(0) as u16;
                 let count = int_arg(2).max(0) as usize;
                 let Some(Value::Ptr(Some(p))) = vals.get(1).cloned() else {
                     return Err(self.fault(FaultKind::NullDeref, line));
                 };
-                for i in 0..count {
-                    let w = self.host.io_read(port, 2) & 0xFFFF;
-                    let lv = Lval::at(Place { obj: p.obj, idx: p.idx + i });
-                    self.write_place(&lv, Value::Int(w), line)?;
-                    if self.fuel == 0 {
-                        return Err(RunError::OutOfFuel);
+                let (size, mask) = if which == Builtin::Insb { (1, 0xFF) } else { (2, 0xFFFF) };
+                if self.fuel >= count as u64 && self.block_span_ok(&p, count) {
+                    // Block fast path: one bulk host call, then a straight
+                    // element copy into the (bounds-checked) destination.
+                    // Burn-exact: the per-element loop below would burn one
+                    // fuel point per element with no possible fault.
+                    let mut buf = std::mem::take(&mut self.io_block);
+                    buf.clear();
+                    buf.resize(count, 0);
+                    self.host.io_read_block(port, size, &mut buf);
+                    let data = &mut self.objects[p.obj.0].data;
+                    for (slot, w) in data[p.idx..p.idx + count].iter_mut().zip(&buf) {
+                        *slot = Value::Int(*w & mask);
                     }
-                    self.fuel -= 1;
+                    self.io_block = buf;
+                    self.fuel -= count as u64;
+                } else {
+                    for i in 0..count {
+                        let w = self.host.io_read(port, size) & mask;
+                        let lv = Lval::at(Place { obj: p.obj, idx: p.idx + i });
+                        self.write_place(&lv, Value::Int(w), line)?;
+                        if self.fuel == 0 {
+                            return Err(Box::new(RunError::OutOfFuel));
+                        }
+                        self.fuel -= 1;
+                    }
                 }
                 Value::Int(0)
             }
-            Builtin::Outsw => {
+            Builtin::Outsw | Builtin::Outsb => {
                 let port = int_arg(0) as u16;
                 let count = int_arg(2).max(0) as usize;
                 let Some(Value::Ptr(Some(p))) = vals.get(1).cloned() else {
                     return Err(self.fault(FaultKind::NullDeref, line));
                 };
-                for i in 0..count {
-                    let lv = Lval::at(Place { obj: p.obj, idx: p.idx + i });
-                    let w = self.read_place(&lv, line)?.as_int().unwrap_or(0);
-                    self.host.io_write(port, 2, w & 0xFFFF);
-                    if self.fuel == 0 {
-                        return Err(RunError::OutOfFuel);
+                let (size, mask) = if which == Builtin::Outsb { (1, 0xFF) } else { (2, 0xFFFF) };
+                if self.fuel >= count as u64 && self.block_span_ok(&p, count) {
+                    let mut buf = std::mem::take(&mut self.io_block);
+                    buf.clear();
+                    let data = &self.objects[p.obj.0].data;
+                    buf.extend(
+                        data[p.idx..p.idx + count]
+                            .iter()
+                            .map(|v| v.as_int().unwrap_or(0) & mask),
+                    );
+                    self.host.io_write_block(port, size, &buf);
+                    self.io_block = buf;
+                    self.fuel -= count as u64;
+                } else {
+                    for i in 0..count {
+                        let lv = Lval::at(Place { obj: p.obj, idx: p.idx + i });
+                        let w = self.read_place(&lv, line)?.as_int().unwrap_or(0);
+                        self.host.io_write(port, size, w & mask);
+                        if self.fuel == 0 {
+                            return Err(Box::new(RunError::OutOfFuel));
+                        }
+                        self.fuel -= 1;
                     }
-                    self.fuel -= 1;
                 }
                 Value::Int(0)
             }
@@ -1186,7 +1681,7 @@ impl<'a, H: Host> Vm<'a, H> {
             Builtin::Panic => {
                 let message = self.format_message(vals, line)?;
                 let (file, local) = self.loc(line);
-                return Err(RunError::Panic { message, file, line: local });
+                return Err(Box::new(RunError::Panic { message, file, line: local }));
             }
             Builtin::Udelay | Builtin::Mdelay => {
                 let n = int_arg(0).max(0) as u64;
@@ -1197,15 +1692,25 @@ impl<'a, H: Host> Vm<'a, H> {
                 let cost = usec.max(1);
                 if self.fuel < cost {
                     self.fuel = 0;
-                    return Err(RunError::OutOfFuel);
+                    return Err(Box::new(RunError::OutOfFuel));
                 }
                 self.fuel -= cost;
                 Value::Int(0)
             }
             Builtin::Strcmp => {
-                let a = self.cstr_of(vals.first(), line)?;
-                let b = self.cstr_of(vals.get(1), line)?;
-                Value::Int(match a.cmp(&b) {
+                // Two literal operands (`dil_eq`'s filename check — the
+                // hottest strcmp there is) compare without materialising
+                // `String`s; anything pointer-shaped takes the exact
+                // `cstr_of` path.
+                let ord = match (vals.first(), vals.get(1)) {
+                    (Some(Value::Str(a)), Some(Value::Str(b))) => a.cmp(b),
+                    _ => {
+                        let a = self.cstr_of(vals.first(), line)?;
+                        let b = self.cstr_of(vals.get(1), line)?;
+                        a.cmp(&b)
+                    }
+                };
+                Value::Int(match ord {
                     std::cmp::Ordering::Less => -1,
                     std::cmp::Ordering::Equal => 0,
                     std::cmp::Ordering::Greater => 1,
@@ -1244,7 +1749,23 @@ impl<'a, H: Host> Vm<'a, H> {
         Ok(v)
     }
 
-    fn cstr_of(&self, v: Option<&Value>, line: u32) -> Result<String, RunError> {
+    /// Whether `count` consecutive elements starting at `p` lie wholly
+    /// inside one live plain object — the precondition for the block
+    /// builtins' bulk path. Everything else (wild/absorbing pointers,
+    /// out-of-bounds slack, dead objects, fuel exhaustion mid-transfer)
+    /// takes the per-element loop, which reproduces the tree-walker's
+    /// behaviour access by access.
+    #[inline]
+    fn block_span_ok(&self, p: &Place, count: usize) -> bool {
+        match self.objects.get(p.obj.0) {
+            Some(o) => {
+                o.live && p.idx.checked_add(count).is_some_and(|end| end <= o.data.len())
+            }
+            None => false,
+        }
+    }
+
+    fn cstr_of(&self, v: Option<&Value>, line: u32) -> VmResult<String> {
         match v {
             Some(Value::Str(s)) => Ok(s.to_string()),
             Some(Value::Ptr(Some(p))) => {
@@ -1264,7 +1785,7 @@ impl<'a, H: Host> Vm<'a, H> {
     }
 
     /// printf-style formatting for `printk`/`panic`: `%d %u %x %s %c %%`.
-    fn format_message(&self, vals: &[Value], line: u32) -> Result<String, RunError> {
+    fn format_message(&self, vals: &[Value], line: u32) -> VmResult<String> {
         let fmt = self.cstr_of(vals.first(), line)?;
         let mut out = String::new();
         let mut arg = 1;
@@ -1319,6 +1840,8 @@ impl<'a, H: Host> Vm<'a, H> {
         Ok(out)
     }
 }
+
+
 
 enum Flow {
     Next,

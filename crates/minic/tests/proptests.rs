@@ -132,6 +132,85 @@ proptest! {
         prop_assert_eq!(vm.coverage(), &want_cov, "coverage diverged for {}", src);
     }
 
+    /// Superinstruction fusion is observationally invisible: lowering a
+    /// random checked program with the peephole pass on and off yields
+    /// identical outcomes, console output, coverage bitmaps and remaining
+    /// fuel on the VM — under tight budgets too, so the fuel-burn
+    /// *sequence* provably matches (one reordered burn would flip which
+    /// run exhausts first), and against the tree-walking oracle as well.
+    #[test]
+    fn fusion_on_and_off_are_identical(e in expr_strategy(), a in any::<i16>(), b in any::<i16>(), fuel in 0u64..600) {
+        // Wrap the random expression in the loop shapes the pass targets
+        // (const-bound while, local-bound while, prefix-decrement spin,
+        // port spin) so fused ops actually execute.
+        let src = format!(
+            "int f(int a, int b) {{
+                int t = 0;
+                int r = 3;
+                int acc = 0;
+                while (t < 4) {{ t++; acc += {expr}; }}
+                while (t < b) {{ t++; }}
+                do {{ acc ^= t; }} while (--r > 0);
+                while ((inb(0x1F7) & 0x80) == 0) {{ acc--; }}
+                return acc;
+            }}",
+            expr = e.to_c()
+        );
+        let program = devil_minic::compile("t.c", &src).unwrap();
+        let args = [Value::Int(a as i64), Value::Int(b as i64)];
+
+        let mut ih = NullHost::default();
+        let mut interp = Interpreter::new(&program, &mut ih, fuel);
+        let want = interp.call("f", &args);
+        let want_fuel = interp.fuel_left();
+        let want_cov = interp.coverage().clone();
+        drop(interp);
+
+        let unfused = program.to_bytecode_unfused();
+        let fused = program.to_bytecode();
+        prop_assert_eq!(unfused.fused_op_count(), 0);
+        prop_assert!(fused.fused_op_count() > 0, "harness loops must fuse");
+        for compiled in [&unfused, &fused] {
+            let mut vh = NullHost::default();
+            let mut vm = Vm::new(compiled, &mut vh, fuel);
+            let got = vm.call("f", &args);
+            prop_assert_eq!(&got, &want, "value diverged for {}", src);
+            prop_assert_eq!(vm.fuel_left(), want_fuel, "fuel diverged for {}", src);
+            prop_assert_eq!(vm.coverage(), &want_cov, "coverage diverged for {}", src);
+            drop(vm);
+            prop_assert_eq!(&vh.log, &ih.log, "console diverged for {}", src);
+        }
+    }
+
+    /// The block-transfer builtins match the oracle element for element,
+    /// including partial transfers under fuel starvation and the
+    /// out-of-bounds tail behaviour of a short destination.
+    #[test]
+    fn block_builtins_match_tree_walker(count in 0i64..40, fuel in 0u64..400) {
+        let src = format!(
+            "unsigned short buf[16];
+             unsigned char bytes[16];
+             int f(void) {{
+                 insw(0x1F0, buf, {count});
+                 outsw(0x1F0, buf, {count});
+                 insb(0x1F0, bytes, {count});
+                 outsb(0x1F0, bytes, {count});
+                 return buf[0] + bytes[0];
+             }}"
+        );
+        let program = devil_minic::compile("t.c", &src).unwrap();
+        let mut ih = NullHost::default();
+        let mut interp = Interpreter::new(&program, &mut ih, fuel);
+        let want = interp.call("f", &[]);
+        let want_fuel = interp.fuel_left();
+        let compiled = program.to_bytecode();
+        let mut vh = NullHost::default();
+        let mut vm = Vm::new(&compiled, &mut vh, fuel);
+        let got = vm.call("f", &[]);
+        prop_assert_eq!(&got, &want, "value diverged for count {}", count);
+        prop_assert_eq!(vm.fuel_left(), want_fuel, "fuel diverged for count {}", count);
+    }
+
     /// The preprocessor and parser never panic on printable garbage, and
     /// whatever compiles also lowers to bytecode without panicking.
     #[test]

@@ -106,10 +106,35 @@ int spin(int rounds)
 }
 ";
 
+/// A polling/block-I/O hot loop: the fused superinstruction shapes
+/// (const-bound and local-bound compares, prefix-decrement spins, port
+/// spins) plus the block-transfer builtins moving whole buffers per call.
+const BLOCK_LOOP: &str = "
+typedef unsigned short u16;
+
+u16 sector[256];
+
+int pump(int rounds) {
+    int n = 0;
+    int acc = 0;
+    while (n < rounds) {
+        int retries = 4;
+        n++;
+        while ((inb(0x1F7) & 0x08) == 0) { acc--; }
+        do { acc += n; } while (--retries > 0);
+        insw(0x1F0, sector, 256);
+        outsw(0x1F0, sector, 256);
+        acc += sector[n & 255];
+    }
+    return acc;
+}
+";
+
 #[test]
 fn vm_dispatch_loop_is_allocation_free() {
     let program = devil_minic::compile("hot.c", DRIVER_LOOP).expect("hot loop compiles");
     let compiled = program.to_bytecode();
+    assert!(compiled.fused_op_count() > 0, "the hot loop must exercise fused dispatch");
     let mut host = NullHost::default();
     let mut vm = Vm::new(&compiled, &mut host, 10_000_000);
 
@@ -125,6 +150,25 @@ fn vm_dispatch_loop_is_allocation_free() {
         allocs,
         0,
         "VM dispatch loop allocated {allocs} times (result {result})"
+    );
+
+    // Second phase, same global counter (single #[test] by design): the
+    // fused superinstructions and the block-transfer builtins' bulk path
+    // are pinned allocation-free too — the io_block staging buffer sizes
+    // itself during warm-up and is reused from then on.
+    let program = devil_minic::compile("blk.c", BLOCK_LOOP).expect("block loop compiles");
+    let compiled = program.to_bytecode();
+    assert!(compiled.fused_op_count() > 0, "polling shapes must fuse");
+    let mut host = NullHost::default();
+    let mut vm = Vm::new(&compiled, &mut host, 100_000_000);
+    vm.call("pump", &[Value::Int(50)]).expect("warm block run completes");
+    let (allocs, result) = allocations_during(|| {
+        vm.call("pump", &[Value::Int(50)]).expect("hot block run completes")
+    });
+    assert_eq!(
+        allocs,
+        0,
+        "fused dispatch / block builtins allocated {allocs} times (result {result})"
     );
 
     // The host side stays live too: reads floated, writes vanished.

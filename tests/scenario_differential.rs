@@ -176,6 +176,50 @@ fn ne2000_stress_scenario_differential() {
     check_scenario(&case("ne2000-stress"));
 }
 
+/// The block-transfer driver swap re-blessed the main ne2000 golden; this
+/// test pins that the *execution overhaul itself* reclassified nothing.
+/// The PR-4 word-at-a-time driver's sampled mutant set must classify
+/// exactly as it did before superinstructions and bulk I/O landed — the
+/// outcome vector (and therefore every per-outcome count) stays
+/// byte-identical to the frozen words golden, which is a verbatim copy of
+/// the pre-overhaul `scenario_ne2000_stress.txt`. Only the wire-log
+/// granularity of the *block* driver may differ from the words driver;
+/// classifications may not. This file is frozen: `DEVIL_BLESS` does not
+/// rewrite it.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow unoptimized; run with --release (CI does)")]
+fn ne2000_word_driver_outcome_counts_unchanged() {
+    use devil::drivers::ne2000::{NE2000_C_DRIVER_WORDS, NE2000_C_FILE};
+    let mutants = sampled(NE2000_C_DRIVER_WORDS, &[], devil::mutagen::c::CStyle::PlainC, 0.05);
+    assert!(mutants.len() >= 10, "sample too small ({})", mutants.len());
+    let outcomes: Vec<Outcome> = Campaign::new(
+        || {
+            ScenarioMachine::with_scenario(
+                build_scenario("ne2000-stress").expect("catalog scenario builds"),
+                DEFAULT_FUEL,
+            )
+        },
+        |machine, m: &Mutant| machine.run(NE2000_C_FILE, &m.source, &[], Some(m.line)).0,
+    )
+    .with_threads(THREADS)
+    .run(&mutants);
+    let mut golden = String::new();
+    for (m, o) in mutants.iter().zip(&outcomes) {
+        writeln!(golden, "ne2000_c\t{}\t{}\t{:?}", m.site, m.description, o)
+            .expect("writing to a String cannot fail");
+    }
+    let path = format!(
+        "{}/tests/golden/scenario_ne2000_stress_words.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let expected = std::fs::read_to_string(&path).expect("frozen words golden present");
+    assert_eq!(
+        golden, expected,
+        "word-at-a-time ne2000 outcomes changed — the execution overhaul must not \
+         reclassify the PR-4 corpus ({path} is frozen, not re-blessable)"
+    );
+}
+
 #[test]
 #[cfg_attr(debug_assertions, ignore = "slow unoptimized; run with --release (CI does)")]
 fn ide_stress_scenario_differential() {

@@ -72,6 +72,44 @@ fn clean_boots_are_engine_identical() {
     }
 }
 
+/// The unfused encoding stays a first-class path: booting through
+/// `to_bytecode_unfused` must match both the tree-walking oracle and the
+/// (default) fused boot on every observable — the end-to-end guarantee
+/// that the superinstruction pass can be turned off without changing a
+/// single classification.
+#[test]
+fn unfused_bytecode_boots_identically() {
+    use devil::kernel::boot::boot_ide_compiled;
+    let ide_includes = ide::cdevil_includes();
+    let cases: Vec<BootCase> = vec![
+        (ide::IDE_C_FILE, ide::IDE_C_DRIVER, vec![]),
+        (
+            ide::IDE_CDEVIL_FILE,
+            ide::IDE_CDEVIL_DRIVER,
+            ide_includes.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect(),
+        ),
+    ];
+    for (file, source, includes) in cases {
+        let program = devil::minic::compile_with_includes(file, source, &includes)
+            .expect("bundled drivers compile");
+        let unfused = program.to_bytecode_unfused();
+        let fused = program.to_bytecode();
+        assert_eq!(unfused.fused_op_count(), 0);
+        assert!(fused.fused_op_count() > 0, "{file}: driver loops must fuse");
+        let files = fs::standard_files();
+        for fuel in [DEFAULT_FUEL, 20_000] {
+            let (mut io_a, dev_a) = standard_ide_machine(&files);
+            let a = boot_ide_compiled(&unfused, &mut io_a, dev_a, &files, fuel);
+            let (mut io_b, dev_b) = standard_ide_machine(&files);
+            let b = boot_ide_compiled(&fused, &mut io_b, dev_b, &files, fuel);
+            assert_reports_equal(&a, &b, &format!("{file} unfused-vs-fused, fuel {fuel}"));
+            let (mut io_tw, dev_tw) = standard_ide_machine(&files);
+            let tw = boot_ide_interp(&program, &mut io_tw, dev_tw, &files, fuel);
+            assert_reports_equal(&a, &tw, &format!("{file} unfused-vs-oracle, fuel {fuel}"));
+        }
+    }
+}
+
 #[test]
 fn fuel_starvation_classifies_identically() {
     // Sweep boot fuel budgets so OutOfFuel lands mid-boot at many
