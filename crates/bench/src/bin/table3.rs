@@ -1,21 +1,30 @@
 //! Regenerate Table 3: mutations on the C code of a driver corpus.
 //!
-//! Usage: `table3 [--scenario=NAME] [--all] [--fraction=F] [--seed=N]`
+//! Usage: `table3 [--scenario=NAME] [--all] [--fraction=F] [--seed=N]
+//! [--fault-plan=NAME] [--fault-seed=N]`
 //!
 //! `--scenario` selects any workload from the scenario catalog
 //! (`corpus::scenario_names()`: `ide-boot`, `ide-stress`, `mouse-stream`,
 //! `ne2000-stress`, ...); the default is the paper's IDE boot. One table
 //! is printed per plain-C driver paired with the scenario.
+//!
+//! `--fault-plan` reruns the campaign on deterministically flaky hardware
+//! under a bundled fault plan (`devil_hwsim::FaultPlan::plan_names()`);
+//! `--fault-seed` picks the plan's PRNG seed. Either flag alone implies
+//! the other's default (`mixed` / `DEFAULT_FAULT_SEED`).
 
 use devil_bench::tables::{
     render_outcome_table, scenario_campaign, scenario_variants, CampaignOptions,
 };
 use devil_drivers::corpus::scenario_names;
+use devil_hwsim::{FaultPlan, DEFAULT_FAULT_SEED};
 use devil_mutagen::c::CStyle;
 
 fn main() {
     let mut opts = CampaignOptions::default();
     let mut scenario = String::from("ide-boot");
+    let mut fault_plan: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
     for arg in std::env::args().skip(1) {
         if arg == "--all" {
             opts.fraction = 1.0;
@@ -25,6 +34,10 @@ fn main() {
             opts.seed = s.parse().expect("--seed=1234");
         } else if let Some(s) = arg.strip_prefix("--scenario=") {
             scenario = s.to_string();
+        } else if let Some(p) = arg.strip_prefix("--fault-plan=") {
+            fault_plan = Some(p.to_string());
+        } else if let Some(s) = arg.strip_prefix("--fault-seed=") {
+            fault_seed = Some(s.parse().expect("--fault-seed=1234"));
         } else {
             eprintln!("unknown argument {arg}");
             std::process::exit(2);
@@ -34,12 +47,24 @@ fn main() {
         eprintln!("unknown scenario `{scenario}`; try one of {:?}", scenario_names());
         std::process::exit(2);
     }
+    if fault_plan.is_some() || fault_seed.is_some() {
+        let name = fault_plan.as_deref().unwrap_or("mixed");
+        let seed = fault_seed.unwrap_or(DEFAULT_FAULT_SEED);
+        opts.fault_plan = Some(FaultPlan::named(name, seed).unwrap_or_else(|| {
+            eprintln!("unknown fault plan `{name}`; try one of {:?}", FaultPlan::plan_names());
+            std::process::exit(2);
+        }));
+    }
     println!(
-        "Table 3: Mutations on C code, `{scenario}` scenario (sampling {:.0}%, seed {:#x})",
+        "Table 3: Mutations on C code, `{scenario}` scenario (sampling {:.0}%, seed {:#x}{})",
         opts.fraction * 100.0,
-        opts.seed
+        opts.seed,
+        match &opts.fault_plan {
+            Some(p) => format!(", fault plan `{}` seed {:#x}", p.name(), p.seed()),
+            None => String::new(),
+        }
     );
-    if scenario == "ide-boot" {
+    if scenario == "ide-boot" && opts.fault_plan.is_none() {
         println!("(paper: compile 26.7, crash 2.9, loop 11.2, halt 21.5, damaged 2.9, boot 34.7 %)");
     }
     println!();

@@ -1,7 +1,10 @@
 //! Regenerate Table 4: mutations on the CDevil glue of a driver corpus.
 //!
 //! Usage: `table4 [--scenario=NAME] [--all] [--fraction=F] [--seed=N]
-//! [--weak-types] [--no-asserts]`
+//! [--weak-types] [--no-asserts] [--fault-plan=NAME] [--fault-seed=N]`
+//!
+//! `--fault-plan`/`--fault-seed` rerun the campaign on deterministically
+//! flaky hardware, exactly as in `table3`.
 //!
 //! `--scenario` selects any workload from the scenario catalog; the
 //! default is the paper's IDE boot. One table is printed per CDevil glue
@@ -19,11 +22,14 @@ use devil_bench::tables::{
     render_outcome_table, scenario_campaign, scenario_variants, CampaignOptions, StubFlavor,
 };
 use devil_drivers::corpus::scenario_names;
+use devil_hwsim::{FaultPlan, DEFAULT_FAULT_SEED};
 use devil_mutagen::c::CStyle;
 
 fn main() {
     let mut opts = CampaignOptions::default();
     let mut scenario = String::from("ide-boot");
+    let mut fault_plan: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
     for arg in std::env::args().skip(1) {
         if arg == "--all" {
             opts.fraction = 1.0;
@@ -37,6 +43,10 @@ fn main() {
             opts.seed = s.parse().expect("--seed=1234");
         } else if let Some(s) = arg.strip_prefix("--scenario=") {
             scenario = s.to_string();
+        } else if let Some(p) = arg.strip_prefix("--fault-plan=") {
+            fault_plan = Some(p.to_string());
+        } else if let Some(s) = arg.strip_prefix("--fault-seed=") {
+            fault_seed = Some(s.parse().expect("--fault-seed=1234"));
         } else {
             eprintln!("unknown argument {arg}");
             std::process::exit(2);
@@ -46,17 +56,29 @@ fn main() {
         eprintln!("unknown scenario `{scenario}`; try one of {:?}", scenario_names());
         std::process::exit(2);
     }
+    if fault_plan.is_some() || fault_seed.is_some() {
+        let name = fault_plan.as_deref().unwrap_or("mixed");
+        let seed = fault_seed.unwrap_or(DEFAULT_FAULT_SEED);
+        opts.fault_plan = Some(FaultPlan::named(name, seed).unwrap_or_else(|| {
+            eprintln!("unknown fault plan `{name}`; try one of {:?}", FaultPlan::plan_names());
+            std::process::exit(2);
+        }));
+    }
     println!(
-        "Table 4: Mutations on CDevil code, `{scenario}` scenario (sampling {:.0}%, seed {:#x}{})",
+        "Table 4: Mutations on CDevil code, `{scenario}` scenario (sampling {:.0}%, seed {:#x}{}{})",
         opts.fraction * 100.0,
         opts.seed,
         match opts.stub_flavor {
             StubFlavor::Debug => "",
             StubFlavor::Production => ", WEAK TYPES ablation",
             StubFlavor::DebugNoAsserts => ", NO ASSERTS ablation",
+        },
+        match &opts.fault_plan {
+            Some(p) => format!(", fault plan `{}` seed {:#x}", p.name(), p.seed()),
+            None => String::new(),
         }
     );
-    if scenario == "ide-boot" {
+    if scenario == "ide-boot" && opts.fault_plan.is_none() {
         println!(
             "(paper: compile 58.0, run-time 14.1, crash 0, loop 0.7, halt 4.9, damaged 0.5, boot 12.3, dead 9.4 %)"
         );

@@ -8,8 +8,9 @@
 //! table for every `corpus::scenario_names()` entry, not just the IDE
 //! boot.
 
-use devil_drivers::corpus::{build_scenario, scenario_catalog, DriverVariant};
+use devil_drivers::corpus::{build_faulted, build_scenario, scenario_catalog, DriverVariant};
 use devil_drivers::{ide, specs};
+use devil_hwsim::FaultPlan;
 use devil_kernel::boot::{Outcome, DEFAULT_FUEL};
 use devil_kernel::scenario::ScenarioMachine;
 use devil_mutagen::c::{CMutationModel, CStyle};
@@ -136,6 +137,9 @@ pub struct CampaignOptions {
     pub fuel: u64,
     /// Stub flavour for the CDevil campaign (ignored for the C driver).
     pub stub_flavor: StubFlavor,
+    /// Run the campaign on deterministically flaky hardware under this
+    /// fault plan (`None` = fault-free hardware, the classic tables).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for CampaignOptions {
@@ -146,6 +150,7 @@ impl Default for CampaignOptions {
             threads: default_threads(),
             fuel: DEFAULT_FUEL,
             stub_flavor: StubFlavor::Debug,
+            fault_plan: None,
         }
     }
 }
@@ -250,14 +255,18 @@ pub fn scenario_campaign(
     let inc_refs: Vec<(&str, &str)> =
         headers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
     let fuel = opts.fuel;
+    let fault_plan = opts.fault_plan.as_ref();
     let outcomes = Campaign::new(
         || {
-            ScenarioMachine::with_scenario(
-                build_scenario(scenario).expect("catalog scenario builds"),
-                fuel,
-            )
+            let built = match fault_plan {
+                Some(plan) => build_faulted(scenario, plan.clone()),
+                None => build_scenario(scenario),
+            };
+            ScenarioMachine::with_scenario(built.expect("catalog scenario builds"), fuel)
         },
-        |machine, m: &Mutant| machine.run(v.file, &m.source, &inc_refs, Some(m.line)).0,
+        |machine: &mut ScenarioMachine<_>, m: &Mutant| {
+            machine.run(v.file, &m.source, &inc_refs, Some(m.line)).0
+        },
     )
     .with_threads(opts.threads)
     .run(&mutants);
@@ -297,6 +306,124 @@ pub fn driver_campaign(driver: Driver, opts: &CampaignOptions) -> OutcomeTable {
     let variants = scenario_variants("ide-boot", style);
     let v = variants.first().expect("catalog pairs the IDE boot with both drivers");
     scenario_campaign("ide-boot", v, opts)
+}
+
+// ------------------------------------------------- Fault attribution
+
+/// One clean-driver-on-flaky-hardware experiment: a scenario/driver pair
+/// under one named fault plan, run across several plan seeds, with the
+/// classified outcomes tallied.
+///
+/// This is the robustness control for the whole outcome taxonomy: the
+/// *driver* is unmutated, so every non-`Boot` outcome is caused purely by
+/// injected hardware misbehaviour — and none of them may be a
+/// compile-time or run-time *check*, because those two classes are the
+/// paper's "driver bug detected" verdicts. [`AttributionRow::misattributed`]
+/// counts exactly those, and the fault differential test pins it at zero.
+#[derive(Debug, Clone)]
+pub struct AttributionRow {
+    /// Scenario the clean driver ran under (base name, without `+faults`).
+    pub scenario: &'static str,
+    /// Driver label from the catalog.
+    pub driver: &'static str,
+    /// Bundled fault-plan name.
+    pub plan: &'static str,
+    /// Outcome tally across the seeds.
+    pub outcomes: BTreeMap<Outcome, usize>,
+}
+
+impl AttributionRow {
+    /// Hardware-only faults classified as driver-bug detections
+    /// (compile-time or run-time checks) — must be zero for a sound
+    /// taxonomy.
+    pub fn misattributed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(o, _)| o.is_detected())
+            .map(|(_, n)| n)
+            .sum()
+    }
+}
+
+/// Run every clean catalog driver under each named fault `plan`, once per
+/// seed in `seeds`, and tally the outcome attribution.
+///
+/// The clean driver is compiled once per worker (the bytecode holds
+/// non-`Sync` constants, so the compiled program is the per-worker
+/// workspace rather than shared); each seed is one campaign item (the
+/// generalised `Campaign` iterating seeds instead of mutants), evaluated
+/// on a freshly built `<scenario>+faults` machine — the plan seed is part
+/// of machine construction, so seeds cannot share one snapshot.
+pub fn fault_attribution(
+    plans: &[&'static str],
+    seeds: &[u64],
+    threads: usize,
+    fuel: u64,
+) -> Vec<AttributionRow> {
+    let mut rows = Vec::new();
+    for case in scenario_catalog() {
+        for v in &case.drivers {
+            let incs: Vec<(&str, &str)> =
+                v.headers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+            for plan in plans {
+                let scenario = case.scenario;
+                let (file, source, incs) = (v.file, v.source, &incs);
+                let outcomes: Vec<Outcome> = Campaign::new(
+                    || {
+                        devil_minic::compile_with_includes(file, source, incs)
+                            .expect("clean catalog drivers compile")
+                            .to_bytecode()
+                    },
+                    |compiled: &mut devil_minic::CompiledProgram, seed: &u64| {
+                        let p = FaultPlan::named(plan, *seed).expect("bundled plan name");
+                        let mut machine = ScenarioMachine::with_scenario(
+                            build_faulted(scenario, p).expect("catalog scenario builds"),
+                            fuel,
+                        );
+                        machine.run_compiled(compiled).outcome
+                    },
+                )
+                .with_threads(threads)
+                .run(seeds);
+                let mut tally: BTreeMap<Outcome, usize> = BTreeMap::new();
+                for o in outcomes {
+                    *tally.entry(o).or_default() += 1;
+                }
+                rows.push(AttributionRow {
+                    scenario: case.scenario,
+                    driver: v.label,
+                    plan,
+                    outcomes: tally,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Render the attribution table, one line per row, stable across runs —
+/// the format the `fault_attribution.txt` golden file pins.
+pub fn render_attribution(rows: &[AttributionRow]) -> String {
+    let mut out = String::from(
+        "clean drivers on flaky hardware: outcome attribution by fault plan\n",
+    );
+    for r in rows {
+        let mut tally = String::new();
+        for outcome in Outcome::table_order() {
+            if let Some(n) = r.outcomes.get(&outcome) {
+                tally.push_str(&format!(" {outcome:?}={n}"));
+            }
+        }
+        out.push_str(&format!(
+            "{:<14} {:<18} {:<14} misattributed={}{}\n",
+            r.scenario,
+            r.driver,
+            r.plan,
+            r.misattributed(),
+            tally
+        ));
+    }
+    out
 }
 
 /// Render an outcome table in the paper's Table 3/4 format.
@@ -430,6 +557,7 @@ mod tests {
             threads: 4,
             fuel: 600_000,
             stub_flavor: StubFlavor::Debug,
+            fault_plan: None,
         };
         let t = driver_campaign(Driver::C, &opts);
         assert!(t.total_mutants > 10);

@@ -1,0 +1,154 @@
+//! Tiny, dependency-free seeded PRNGs for the simulation crates.
+//!
+//! The build environment has no network access, so the crates.io `rand`
+//! family is unavailable; this crate supplies the deterministic generators
+//! production code needs (the test-only stand-ins keep their own copies).
+//! Everything here is **reproducibility machinery, not cryptography**: the
+//! generators exist so that a seeded run — a fault-injection plan, a
+//! sampled campaign — replays bit-identically on every machine.
+//!
+//! The workhorse is [`XorShift64`], an xorshift64* generator whose entire
+//! state is one non-zero `u64`. That single word of state is the property
+//! the hardware fault interposer (`devil_hwsim::fault`) relies on: a
+//! machine snapshot captures the generator mid-stream by saving one
+//! integer, and restoring it rewinds the fault sequence exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// An xorshift64* generator: one `u64` of state, period 2^64 − 1.
+///
+/// The state is never zero (a zero seed is remapped), so the stream never
+/// collapses. State can be extracted with [`XorShift64::state`] and
+/// re-entered with [`XorShift64::from_state`], which is how snapshot
+/// machinery captures and rewinds a generator mid-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorShift64(u64);
+
+impl XorShift64 {
+    /// Seed a generator. A zero seed is remapped to a fixed non-zero
+    /// constant, since the all-zero state is a fixed point of xorshift.
+    pub fn new(seed: u64) -> Self {
+        XorShift64(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+
+    /// Re-enter a generator at a previously extracted [`XorShift64::state`].
+    ///
+    /// Zero is remapped exactly as in [`XorShift64::new`], so a round trip
+    /// through `state()`/`from_state()` is always lossless (live state is
+    /// never zero).
+    pub fn from_state(state: u64) -> Self {
+        XorShift64::new(state)
+    }
+
+    /// The current state word (never zero). Feed it back through
+    /// [`XorShift64::from_state`] to resume the stream at this point.
+    pub fn state(&self) -> u64 {
+        self.0
+    }
+
+    /// Next raw value (xorshift64 step, then a `*` output multiply).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n` (`n == 0` yields 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next_u64() % n
+    }
+
+    /// One draw of a `1 in rate` event; `rate == 0` never fires and
+    /// `rate == 1` always fires. Exactly one generator step either way,
+    /// so the stream position does not depend on the outcome.
+    pub fn one_in(&mut self, rate: u32) -> bool {
+        if rate == 0 {
+            // Still burn a step: a rule with rate 0 must not change the
+            // draws the rules after it see.
+            self.next_u64();
+            return false;
+        }
+        self.below(rate as u64) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut z = XorShift64::new(0);
+        assert_ne!(z.state(), 0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_mid_stream() {
+        let mut a = XorShift64::new(7);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = XorShift64::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = XorShift64::new(99);
+        for n in 1..50u64 {
+            for _ in 0..20 {
+                assert!(r.below(n) < n);
+            }
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn one_in_burns_exactly_one_step_regardless_of_rate() {
+        // Two generators stay aligned even when one draws rate-0 events.
+        let mut a = XorShift64::new(5);
+        let mut b = XorShift64::new(5);
+        for i in 0..200u32 {
+            a.one_in(i % 7);
+            b.one_in((i % 7).max(1));
+        }
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn one_in_rates_behave() {
+        let mut r = XorShift64::new(1234);
+        assert!(!(0..100).any(|_| r.one_in(0)), "rate 0 never fires");
+        assert!((0..100).all(|_| r.one_in(1)), "rate 1 always fires");
+        let hits = (0..10_000).filter(|_| r.one_in(16)).count();
+        // 1-in-16 over 10k draws: expect ~625, allow a generous band.
+        assert!((400..900).contains(&hits), "1-in-16 fired {hits}/10000");
+    }
+}

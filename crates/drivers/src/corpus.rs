@@ -9,8 +9,9 @@
 //! workloads through this one table.
 
 use crate::{busmouse, ide, ne2000};
+use devil_hwsim::{FaultPlan, DEFAULT_FAULT_SEED};
 use devil_kernel::fs;
-use devil_kernel::scenario::Scenario;
+use devil_kernel::scenario::{FaultScenario, Scenario};
 use devil_kernel::scenarios::{
     IdeBootScenario, IdeStressScenario, MouseStreamScenario, Ne2000StressScenario,
 };
@@ -43,8 +44,14 @@ pub struct ScenarioCase {
 }
 
 /// Construct a scenario by name. Names are the kebab-case
-/// `Scenario::name()` values listed by [`scenario_names`].
+/// `Scenario::name()` values listed by [`scenario_names`], and every one
+/// of them also exists as a `<name>+faults` variant: the same workload on
+/// deterministically flaky hardware, under the [`default_fault_plan`].
+/// For a different plan or seed use [`build_faulted`].
 pub fn build_scenario(name: &str) -> Option<Box<dyn Scenario + Send>> {
+    if let Some(base) = name.strip_suffix("+faults") {
+        return build_faulted(base, default_fault_plan());
+    }
     match name {
         "ide-boot" => Some(Box::new(IdeBootScenario::new(fs::standard_files()))),
         "ide-stress" => Some(Box::new(IdeStressScenario::new(fs::standard_files()))),
@@ -52,6 +59,22 @@ pub fn build_scenario(name: &str) -> Option<Box<dyn Scenario + Send>> {
         "ne2000-stress" => Some(Box::new(Ne2000StressScenario::new())),
         _ => None,
     }
+}
+
+/// Construct the `<name>+faults` variant of a catalog scenario under an
+/// explicit [`FaultPlan`] — the per-plan/per-seed axis of the fault
+/// attribution campaigns.
+pub fn build_faulted(name: &str, plan: FaultPlan) -> Option<Box<dyn Scenario + Send>> {
+    let base = build_scenario(name)?;
+    Some(Box::new(FaultScenario::new(base, plan)))
+}
+
+/// The fault plan `<name>+faults` scenarios run under when none is given
+/// explicitly: the `mixed` plan (a little of every fault kind at gentle
+/// rates) at the harness-wide default seed — what the fault golden files
+/// pin.
+pub fn default_fault_plan() -> FaultPlan {
+    FaultPlan::named("mixed", DEFAULT_FAULT_SEED).expect("`mixed` is a bundled plan")
 }
 
 /// Every scenario name in the catalog, in table order (kept in sync with
@@ -139,6 +162,20 @@ mod tests {
             assert!(!case.drivers.is_empty());
         }
         assert!(build_scenario("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn fault_variants_build_for_every_catalog_name() {
+        for name in scenario_names() {
+            let full = format!("{name}+faults");
+            let s = build_scenario(&full).expect("fault variant must build");
+            assert_eq!(s.name(), full);
+        }
+        assert!(build_scenario("no-such-scenario+faults").is_none());
+        // Explicit plans work too, and keep the same variant name.
+        let s = build_faulted("mouse-stream", FaultPlan::named("bus-noise", 7).unwrap())
+            .unwrap();
+        assert_eq!(s.name(), "mouse-stream+faults");
     }
 
     #[test]

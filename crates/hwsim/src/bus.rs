@@ -9,6 +9,7 @@
 //! ISA behaviour (reads float to `0xFF`, writes vanish) or a strict mode that
 //! reports a [`BusFault`], useful in unit tests.
 
+use crate::fault::{FaultInterposer, FaultPlan};
 use crate::snap::{RestoreError, Snapshot, StateReader, StateWriter};
 use std::any::Any;
 use std::fmt;
@@ -449,6 +450,9 @@ pub struct IoSpace {
     reads: u64,
     writes: u64,
     trace: Option<Vec<Access>>,
+    /// Deterministic hardware-fault interposer, when installed (see
+    /// [`crate::fault`]). Sits between routing and the CPU-visible values.
+    faults: Option<FaultInterposer>,
 }
 
 impl fmt::Debug for IoSpace {
@@ -482,7 +486,42 @@ impl IoSpace {
             reads: 0,
             writes: 0,
             trace: None,
+            faults: None,
         }
+    }
+
+    /// Install a deterministic hardware-fault interposer executing `plan`
+    /// (replacing any previous one, cursor reset to the plan's seed).
+    ///
+    /// Like device mapping, installation is machine *configuration*: do it
+    /// before [`IoSpace::snapshot`]. A snapshot records the interposer's
+    /// cursor, and [`IoSpace::restore`] refuses to cross an
+    /// install/[`IoSpace::clear_faults`] boundary
+    /// ([`RestoreError::FaultSetChanged`]).
+    ///
+    /// While an interposer is installed the block-transfer fast path is
+    /// declined and every element of a [`IoSpace::read_block`] /
+    /// [`IoSpace::write_block`] takes the single-access path, so faults
+    /// are sampled once per access on every execution engine.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultInterposer::new(plan));
+    }
+
+    /// Remove the fault interposer, if any. Snapshots taken while it was
+    /// installed can no longer be restored (and vice versa).
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault interposer, if any.
+    pub fn faults(&self) -> Option<&FaultInterposer> {
+        self.faults.as_ref()
+    }
+
+    /// Number of fault events injected so far, or `None` when no
+    /// interposer is installed.
+    pub fn fault_injected(&self) -> Option<u64> {
+        self.faults.as_ref().map(FaultInterposer::injected)
     }
 
     /// Set the behaviour of accesses that hit no device.
@@ -623,6 +662,7 @@ impl IoSpace {
             state,
             spans,
             trace: self.trace.clone(),
+            fault: self.faults.as_ref().map(FaultInterposer::cursor),
         }
     }
 
@@ -653,6 +693,19 @@ impl IoSpace {
                 snapshot: snap.last_sync.len(),
                 machine: self.devices.len(),
             });
+        }
+        match (&snap.fault, &mut self.faults) {
+            (Some(cursor), Some(live)) => live.restore_cursor(cursor),
+            (None, None) => {}
+            (s, m) => {
+                // Like the device set, the fault interposer is machine
+                // configuration: a snapshot cannot cross an
+                // install/clear boundary.
+                return Err(RestoreError::FaultSetChanged {
+                    snapshot: s.is_some(),
+                    machine: m.is_some(),
+                });
+            }
         }
         self.policy = snap.policy;
         self.clock = snap.clock;
@@ -710,19 +763,32 @@ impl IoSpace {
     pub(crate) fn read_any(&mut self, port: u16, size: AccessSize) -> Result<u32, BusFault> {
         self.clock += 1;
         self.reads += 1;
+        let clock = self.clock;
         let slot = self.table[port as usize];
-        let value = if slot != EMPTY_SLOT {
-            let (idx, base) = unpack_slot(slot);
-            self.touch(idx);
-            self.devices[idx]
-                .read(port - base, size)
-                .map_err(|fault| BusFault::Device { port, fault })?
+        let mut value = if slot != EMPTY_SLOT {
+            if self.faults.as_mut().is_some_and(|f| f.absent(port, clock)) {
+                // The device is off the bus this window: the line floats
+                // and the model is neither called nor ticked.
+                size.mask()
+            } else {
+                let (idx, base) = unpack_slot(slot);
+                self.touch(idx);
+                self.devices[idx]
+                    .read(port - base, size)
+                    .map_err(|fault| BusFault::Device { port, fault })?
+            }
         } else {
             match self.policy {
                 UnmappedPolicy::Float => size.mask(),
                 UnmappedPolicy::Fault => return Err(BusFault::Unmapped { port, size }),
             }
-        } & size.mask();
+        };
+        if let Some(f) = &mut self.faults {
+            // Read faults perturb what the CPU sees, never the model; the
+            // trace below therefore records the post-fault wire value.
+            value = f.filter_read(port, value);
+        }
+        let value = value & size.mask();
         self.record(port, size, AccessKind::Read, value);
         Ok(value)
     }
@@ -736,15 +802,16 @@ impl IoSpace {
     /// clock and counter advance, same total tick delivery, same device
     /// end state. When the owning device accepts the block via
     /// [`IoDevice::read_block`] the whole transfer is one device call;
-    /// otherwise it degrades to the per-access loop. Traced spaces always
-    /// take the per-access loop, so a recorded wire log keeps
-    /// single-access granularity.
+    /// otherwise it degrades to the per-access loop. Traced spaces and
+    /// spaces with a fault interposer installed always take the
+    /// per-access loop, so a recorded wire log keeps single-access
+    /// granularity and faults are sampled once per element.
     pub fn read_block(&mut self, port: u16, size: AccessSize, out: &mut [u32]) {
         if out.is_empty() {
             return;
         }
         let slot = self.table[port as usize];
-        if self.trace.is_none() && slot != EMPTY_SLOT {
+        if self.trace.is_none() && self.faults.is_none() && slot != EMPTY_SLOT {
             let (idx, base) = unpack_slot(slot);
             // Catch the device up before it inspects its own state; an
             // accepting device is tick-batch-insensitive by contract.
@@ -777,7 +844,7 @@ impl IoSpace {
             return;
         }
         let slot = self.table[port as usize];
-        if self.trace.is_none() && slot != EMPTY_SLOT {
+        if self.trace.is_none() && self.faults.is_none() && slot != EMPTY_SLOT {
             let (idx, base) = unpack_slot(slot);
             self.touch(idx);
             if self.devices[idx].write_block(port - base, size, values) {
@@ -800,10 +867,23 @@ impl IoSpace {
     pub(crate) fn write_any(&mut self, port: u16, size: AccessSize, value: u32) -> Result<(), BusFault> {
         self.clock += 1;
         self.writes += 1;
-        let value = value & size.mask();
+        let mut value = value & size.mask();
+        // The trace records what the CPU issued; a write fault below may
+        // still drop or corrupt it on the way to the model.
         self.record(port, size, AccessKind::Write, value);
         let slot = self.table[port as usize];
         if slot != EMPTY_SLOT {
+            let clock = self.clock;
+            if let Some(f) = &mut self.faults {
+                if f.absent(port, clock) {
+                    // Device off the bus: the write vanishes, no tick.
+                    return Ok(());
+                }
+                match f.filter_write(port, value) {
+                    Some(v) => value = v & size.mask(),
+                    None => return Ok(()), // dropped edge
+                }
+            }
             let (idx, base) = unpack_slot(slot);
             self.touch(idx);
             self.devices[idx]

@@ -37,6 +37,7 @@
 
 pub mod bus;
 pub mod devices;
+pub mod fault;
 pub mod reference;
 pub mod snap;
 
@@ -44,4 +45,5 @@ pub use bus::{
     Access, AccessKind, AccessSize, BusFault, DeviceFault, DeviceId, IoBus, IoDevice, IoSpace,
     MapError, UnmappedPolicy,
 };
+pub use fault::{FaultKind, FaultPlan, FaultRule, DEFAULT_FAULT_SEED};
 pub use snap::{RestoreError, Snapshot, StateReader, StateWriter};

@@ -57,6 +57,29 @@
 //! difference and restore equality stays byte-exact whichever path the
 //! driver took.
 //!
+//! # Fault-injection state
+//!
+//! When a deterministic fault interposer is installed
+//! ([`IoSpace::install_faults`](crate::IoSpace::install_faults), see
+//! [`crate::fault`]), its mutable state — the PRNG cursor and the
+//! injection counter — is part of the machine state this module manages:
+//!
+//! * [`IoSpace::snapshot`](crate::IoSpace::snapshot) captures the cursor,
+//!   and restore rewinds it, so each per-mutant run replays the *same*
+//!   fault sequence at the same access positions as a freshly built
+//!   machine would. Fault injection therefore composes with the
+//!   build-once/restore-per-mutant lifecycle above with no scenario
+//!   changes.
+//! * The *plan* itself is machine configuration, like the device set: it
+//!   is installed before the snapshot and never recorded in it. Restoring
+//!   across an install/clear boundary is refused with
+//!   [`RestoreError::FaultSetChanged`], mirroring
+//!   [`RestoreError::DeviceSetChanged`].
+//! * Two snapshots of fault-injected machines compare equal exactly when
+//!   the underlying machines (devices, counters, trace **and** fault
+//!   cursor) are bit-identical — the cursor participates in snapshot
+//!   equality.
+//!
 //! # Incremental restore (dirty journals)
 //!
 //! A device whose payload is dominated by one large buffer may keep a
@@ -84,6 +107,7 @@
 //! exists to catch exactly that.
 
 use crate::bus::UnmappedPolicy;
+use crate::fault::FaultCursor;
 
 /// Append-only encoder handed to [`IoDevice::save`](crate::IoDevice::save).
 ///
@@ -285,6 +309,9 @@ pub struct Snapshot {
     pub(crate) spans: Vec<usize>,
     /// Recorded accesses at snapshot time; `None` when tracing was off.
     pub(crate) trace: Option<Vec<crate::bus::Access>>,
+    /// Fault-interposer cursor at snapshot time; `None` when no
+    /// interposer was installed (see [`crate::fault`]).
+    pub(crate) fault: Option<FaultCursor>,
 }
 
 impl Snapshot {
@@ -321,6 +348,7 @@ impl PartialEq for Snapshot {
             && self.state == other.state
             && self.spans == other.spans
             && self.trace == other.trace
+            && self.fault == other.fault
     }
 }
 
@@ -346,6 +374,17 @@ pub enum RestoreError {
         /// Bytes left unread after `load` returned.
         unread: usize,
     },
+    /// A fault interposer was installed (or removed) after the snapshot
+    /// was taken. Like the device set, the interposer is machine
+    /// configuration — a snapshot only records its *cursor*, so restore
+    /// cannot cross an install/clear boundary. The machine is left
+    /// untouched.
+    FaultSetChanged {
+        /// Whether the snapshot recorded a fault cursor.
+        snapshot: bool,
+        /// Whether the machine has an interposer installed.
+        machine: bool,
+    },
 }
 
 impl std::fmt::Display for RestoreError {
@@ -359,6 +398,15 @@ impl std::fmt::Display for RestoreError {
                 f,
                 "device #{device} left {unread} bytes of its snapshot payload unread"
             ),
+            RestoreError::FaultSetChanged { snapshot, machine } => {
+                let state = |present| if present { "with" } else { "without" };
+                write!(
+                    f,
+                    "snapshot taken {} a fault interposer but the machine is {} one",
+                    state(*snapshot),
+                    state(*machine)
+                )
+            }
         }
     }
 }

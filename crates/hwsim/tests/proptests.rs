@@ -3,7 +3,7 @@
 use devil_hwsim::bus::ScratchRegisters;
 use devil_hwsim::devices::{IdeController, IdeDisk, SECTOR_SIZE};
 use devil_hwsim::reference::{LinearIoSpace, NullDevice};
-use devil_hwsim::{IoBus, IoSpace, UnmappedPolicy};
+use devil_hwsim::{FaultPlan, IoBus, IoSpace, UnmappedPolicy};
 use proptest::prelude::*;
 
 const IDE: u16 = 0x1F0;
@@ -207,6 +207,37 @@ proptest! {
             prop_assert_eq!(a, b, "restored and fresh diverge on {:?}", op);
             prop_assert_eq!(a, l, "restored and linear diverge on {:?}", op);
         }
+    }
+
+    /// An installed fault interposer with an *empty* plan is
+    /// observationally the identity, for arbitrary access programs over
+    /// the full device zoo: every result, counter and wire-log entry
+    /// matches the same machine with no interposer at all. Only the
+    /// introspection hook differs (`fault_injected()` reports `Some(0)`
+    /// instead of `None`). This pins that the interposer seam itself —
+    /// which also forces the block fast paths onto the per-access loop —
+    /// cannot perturb behaviour; only fault rules can.
+    #[test]
+    fn noop_fault_plan_is_identity(
+        ops in prop::collection::vec((any::<u16>(), any::<u8>(), any::<u8>(), any::<bool>()), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let mut faulted = snapshot_machine();
+        faulted.install_faults(FaultPlan::none(seed));
+        let mut plain = snapshot_machine();
+        faulted.enable_trace();
+        plain.enable_trace();
+        for op in &ops {
+            let a = apply(&mut faulted, op);
+            let b = apply(&mut plain, op);
+            prop_assert_eq!(a, b, "{:?} diverged under the empty fault plan", op);
+        }
+        prop_assert_eq!(faulted.clock(), plain.clock());
+        prop_assert_eq!(faulted.read_count(), plain.read_count());
+        prop_assert_eq!(faulted.write_count(), plain.write_count());
+        prop_assert_eq!(faulted.take_trace(), plain.take_trace());
+        prop_assert_eq!(faulted.fault_injected(), Some(0));
+        prop_assert_eq!(plain.fault_injected(), None);
     }
 
     /// Restoring the same snapshot twice in a row is idempotent, whatever

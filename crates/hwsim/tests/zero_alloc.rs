@@ -12,7 +12,7 @@
 
 use devil_hwsim::bus::ScratchRegisters;
 use devil_hwsim::devices::{Busmouse, IdeController, IdeDisk};
-use devil_hwsim::{IoBus, IoSpace};
+use devil_hwsim::{FaultPlan, IoBus, IoSpace, DEFAULT_FAULT_SEED};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -148,4 +148,34 @@ fn hot_path_is_allocation_free() {
         "snapshot restore allocated {allocs} times over 1000 reset rounds (checksum {checksum:#x})"
     );
     assert_eq!(io.snapshot(), snap, "machine ends bit-identical to the snapshot");
+
+    // The fault interposer keeps both guarantees. With a plan installed
+    // every access takes the interposer seam (the block fast paths
+    // decline), each matching rule draws from the inline PRNG, and the
+    // restore path rewinds the fault cursor — all of it without touching
+    // the heap. Plan construction allocates; it happens outside the
+    // counted region, like `map()`.
+    io.install_faults(FaultPlan::named("mixed", DEFAULT_FAULT_SEED).expect("bundled plan"));
+    // Warm up and capture a mid-plan snapshot (non-zero cursor).
+    io.outb(0x1F7, 0xEC).unwrap();
+    io.inb(0x1F7).unwrap();
+    let snap = io.snapshot();
+    let (allocs, checksum) = allocations_during(|| {
+        let mut acc = 0u32;
+        for round in 0..1_000u32 {
+            io.outb(0x100 + (round % 14) as u16, round as u8).unwrap();
+            io.outb(0x1F7, 0xEC).unwrap();
+            acc ^= io.inb(0x1F7).unwrap() as u32;
+            io.outb(0x23E, 0x80).unwrap();
+            acc ^= io.inb(0x23C).unwrap() as u32;
+            acc ^= io.inb(0x9000).unwrap() as u32;
+            io.restore(&snap).unwrap();
+        }
+        acc
+    });
+    assert_eq!(
+        allocs, 0,
+        "faulted access + restore allocated {allocs} times over 1000 rounds (checksum {checksum:#x})"
+    );
+    assert_eq!(io.snapshot(), snap, "faulted machine ends bit-identical to the snapshot");
 }

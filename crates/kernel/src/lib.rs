@@ -51,4 +51,4 @@ pub mod scenarios;
 pub use boot::{boot_ide, BootReport, CampaignMachine, Detail, Outcome};
 pub use fs::{fsck, mkfs, FsckReport, SECTORS_PER_FILE};
 pub use kapi::MachineHost;
-pub use scenario::{Scenario, ScenarioEngine, ScenarioMachine, ScenarioReport};
+pub use scenario::{FaultScenario, Scenario, ScenarioEngine, ScenarioMachine, ScenarioReport};

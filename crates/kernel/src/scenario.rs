@@ -347,6 +347,90 @@ impl<S: Scenario + ?Sized> Scenario for Box<S> {
     }
 }
 
+/// Any scenario, run on deterministically flaky hardware.
+///
+/// Wraps an inner [`Scenario`] and installs a
+/// [`FaultPlan`](devil_hwsim::FaultPlan) on the machine the inner
+/// scenario builds, producing the `<name>+faults` variant of every
+/// workload without copying any scenario code. Everything else —
+/// driving, ground-truth inspection, classification — delegates to the
+/// inner scenario: fault injection perturbs only what the driver sees on
+/// the wire, never the device models, so `inspect` still reads true
+/// hardware state.
+///
+/// Because the interposer is installed inside `build`, the pristine
+/// snapshot a [`ScenarioMachine`] captures includes the fault cursor at
+/// its seed position: every mutant (and every fault-campaign run) replays
+/// the same fault sequence from the same point, and rebuild-vs-reset
+/// equivalence holds exactly as for fault-free scenarios.
+#[derive(Debug)]
+pub struct FaultScenario<S> {
+    inner: S,
+    plan: devil_hwsim::FaultPlan,
+    name: &'static str,
+}
+
+impl<S: Scenario> FaultScenario<S> {
+    /// Wrap `inner` so its machine runs under `plan`.
+    pub fn new(inner: S, plan: devil_hwsim::FaultPlan) -> Self {
+        let name = intern_fault_name(inner.name());
+        FaultScenario { inner, plan, name }
+    }
+
+    /// The fault plan this variant installs.
+    pub fn plan(&self) -> &devil_hwsim::FaultPlan {
+        &self.plan
+    }
+
+    /// The wrapped scenario.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+/// Intern `<base>+faults` as a `&'static str`.
+///
+/// [`Scenario::name`] returns `&'static str` (the campaign machinery
+/// keys goldens and benches on it), so the derived variant name must be
+/// leaked — bounded by the number of *distinct* scenario names, which is
+/// the size of the scenario catalog, not the number of wrapper
+/// instances.
+fn intern_fault_name(base: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut names = NAMES.get_or_init(|| Mutex::new(Vec::new())).lock().unwrap();
+    let full = format!("{base}+faults");
+    if let Some(&existing) = names.iter().find(|&&n| n == full) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(full.into_boxed_str());
+    names.push(leaked);
+    leaked
+}
+
+impl<S: Scenario> Scenario for FaultScenario<S> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn build(&mut self) -> IoSpace {
+        let mut io = self.inner.build();
+        io.install_faults(self.plan.clone());
+        io
+    }
+    fn drive(&self, engine: &mut dyn ScenarioEngine) -> Drive {
+        self.inner.drive(engine)
+    }
+    fn inspect(&self, io: &mut IoSpace, damage: &mut Vec<String>) {
+        self.inner.inspect(io, damage)
+    }
+    fn clean_detail(&self) -> Detail {
+        self.inner.clean_detail()
+    }
+    fn hung_detail(&self) -> Detail {
+        self.inner.hung_detail()
+    }
+}
+
 /// Classify one finished drive against the paper taxonomy.
 fn classify<S: Scenario + ?Sized>(scenario: &S, drive: Drive) -> (Outcome, Detail) {
     match drive.fatal {

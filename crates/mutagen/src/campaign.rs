@@ -94,13 +94,18 @@ pub fn effective_threads(threads: usize) -> usize {
     }
 }
 
-/// A reusable mutant-evaluation pipeline: one workspace per worker thread,
-/// every mutant run as reset → apply → classify inside a workspace.
+/// A reusable work-item evaluation pipeline: one workspace per worker
+/// thread, every item run as reset → apply → classify inside a workspace.
 ///
 /// `build` constructs a worker's workspace (a machine plus whatever bound
-/// state the classifier needs); `classify` evaluates one mutant in it and
+/// state the classifier needs); `classify` evaluates one item in it and
 /// is responsible for resetting the workspace first (typically one
-/// snapshot restore). Results come back in mutant order.
+/// snapshot restore). Results come back in item order.
+///
+/// The item type is generic ([`Campaign::run`] accepts any `&[I]`): the
+/// classic campaign iterates [`Mutant`]s, while a fault-attribution
+/// campaign iterates fault seeds over one clean driver — same worker
+/// pool, same workspace reuse, same ordering guarantees.
 ///
 /// Both closures only need `Sync`, so compile artifacts that are immutable
 /// for the whole campaign — a pre-lexed header set
@@ -129,14 +134,9 @@ pub struct Campaign<B, F> {
     classify: F,
 }
 
-impl<W, O, B, F> Campaign<B, F>
-where
-    B: Fn() -> W + Sync,
-    F: Fn(&mut W, &Mutant) -> O + Sync,
-    O: Send,
-{
+impl<B, F> Campaign<B, F> {
     /// Create a campaign that builds one workspace per worker with `build`
-    /// and evaluates each mutant with `classify`. Uses all available cores
+    /// and evaluates each item with `classify`. Uses all available cores
     /// until [`Campaign::with_threads`] says otherwise.
     pub fn new(build: B, classify: F) -> Self {
         Campaign { threads: 0, build, classify }
@@ -148,21 +148,27 @@ where
         self
     }
 
-    /// Classify every mutant, preserving order.
+    /// Classify every item, preserving order.
     ///
     /// Worker threads pull indices from a shared atomic counter; each
-    /// builds its workspace once and reuses it for every mutant it pulls.
-    /// With one worker (or fewer than two mutants) everything runs on the
+    /// builds its workspace once and reuses it for every item it pulls.
+    /// With one worker (or fewer than two items) everything runs on the
     /// calling thread.
-    pub fn run(&self, mutants: &[Mutant]) -> Vec<O> {
-        if mutants.is_empty() {
+    pub fn run<W, I, O>(&self, items: &[I]) -> Vec<O>
+    where
+        B: Fn() -> W + Sync,
+        F: Fn(&mut W, &I) -> O + Sync,
+        I: Sync,
+        O: Send,
+    {
+        if items.is_empty() {
             // Do not pay for a workspace nobody will use.
             return Vec::new();
         }
-        let threads = effective_threads(self.threads).min(mutants.len());
-        if threads == 1 || mutants.len() < 2 {
+        let threads = effective_threads(self.threads).min(items.len());
+        if threads == 1 || items.len() < 2 {
             let mut workspace = (self.build)();
-            return mutants.iter().map(|m| (self.classify)(&mut workspace, m)).collect();
+            return items.iter().map(|m| (self.classify)(&mut workspace, m)).collect();
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
         let build = &self.build;
@@ -175,10 +181,10 @@ where
                         let mut local: Vec<(usize, O)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= mutants.len() {
+                            if i >= items.len() {
                                 break;
                             }
-                            local.push((i, classify(&mut workspace, &mutants[i])));
+                            local.push((i, classify(&mut workspace, &items[i])));
                         }
                         local
                     })
@@ -189,7 +195,7 @@ where
                 .map(|h| h.join().expect("campaign worker panicked"))
                 .collect()
         });
-        let mut results: Vec<Option<O>> = (0..mutants.len()).map(|_| None).collect();
+        let mut results: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
         for chunk in &mut per_worker {
             for (i, out) in chunk.drain(..) {
                 results[i] = Some(out);
@@ -202,19 +208,20 @@ where
     }
 }
 
-/// Classify every mutant in parallel, preserving order.
+/// Classify every item in parallel, preserving order.
 ///
 /// The stateless special case of [`Campaign`]: `classify` must be pure per
-/// mutant (each call gets its own state). Passing `threads == 0` uses the
+/// item (each call gets its own state). Passing `threads == 0` uses the
 /// machine's available parallelism.
-pub fn run_parallel<O, F>(mutants: &[Mutant], threads: usize, classify: F) -> Vec<O>
+pub fn run_parallel<I, O, F>(items: &[I], threads: usize, classify: F) -> Vec<O>
 where
+    I: Sync,
     O: Send,
-    F: Fn(&Mutant) -> O + Sync,
+    F: Fn(&I) -> O + Sync,
 {
-    Campaign::new(|| (), |(): &mut (), m| classify(m))
+    Campaign::new(|| (), |(): &mut (), m: &I| classify(m))
         .with_threads(threads)
-        .run(mutants)
+        .run(items)
 }
 
 #[cfg(test)]
@@ -305,7 +312,7 @@ mod tests {
 
     #[test]
     fn parallel_handles_empty() {
-        let out: Vec<usize> = run_parallel(&[], 4, |m| m.site);
+        let out: Vec<usize> = run_parallel(&[], 4, |m: &Mutant| m.site);
         assert!(out.is_empty());
     }
 
@@ -358,6 +365,22 @@ mod tests {
         .with_threads(4)
         .run(&ms);
         assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn campaign_runs_over_arbitrary_item_types() {
+        // The fault-attribution shape: items are seeds, not mutants.
+        let seeds: Vec<u64> = (0..16).collect();
+        let out = Campaign::new(
+            || 0usize,
+            |runs: &mut usize, seed: &u64| {
+                *runs += 1;
+                seed * 3
+            },
+        )
+        .with_threads(4)
+        .run(&seeds);
+        assert_eq!(out, (0..16).map(|s| s * 3).collect::<Vec<_>>());
     }
 
     #[test]

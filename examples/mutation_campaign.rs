@@ -4,23 +4,36 @@
 //! other workload. The full campaigns live in `devil-bench`.
 //!
 //! ```text
-//! cargo run --release --example mutation_campaign [-- <scenario>]
+//! cargo run --release --example mutation_campaign \
+//!     [-- <scenario> [--fault-plan=NAME] [--fault-seed=N]]
 //! ```
 //!
 //! `<scenario>` defaults to `ide-boot`; any name from
 //! `devil::drivers::corpus::scenario_names()` works (`ide-stress`,
-//! `mouse-stream`, `ne2000-stress`). Every driver paired with the
-//! scenario is mutated and campaigned.
+//! `mouse-stream`, `ne2000-stress`), as does its `<name>+faults` variant.
+//! Every driver paired with the scenario is mutated and campaigned.
+//!
+//! `--fault-plan=NAME` runs the campaign on deterministically flaky
+//! hardware under one of the bundled fault plans (`none`, `flaky-status`,
+//! `dropped-irq`, `bus-noise`, `absent-window`, `mixed`); `--fault-seed=N`
+//! picks the plan's PRNG seed (default `DEFAULT_FAULT_SEED`). Passing
+//! either flag — or a `<scenario>+faults` name — selects the fault
+//! variant; the bare name with no flags runs fault-free.
 //!
 //! Each worker thread owns one [`ScenarioMachine`]: the simulated machine
 //! is built once per worker and snapshot-restored before every mutant
-//! (IDE platter restores ride the dirty-sector journal), instead of being
-//! reconstructed ~100 times. The generated stub headers are pre-lexed
-//! once per campaign into a shared [`IncludeCache`] (it is `Sync`), so
-//! every worker re-lexes only the spliced driver file, and each mutant
-//! runs through the minic bytecode VM.
+//! (IDE platter restores ride the dirty-sector journal; the fault
+//! interposer's cursor rewinds with the snapshot, so every mutant sees
+//! the same fault sequence), instead of being reconstructed ~100 times.
+//! The generated stub headers are pre-lexed once per campaign into a
+//! shared [`IncludeCache`] (it is `Sync`), so every worker re-lexes only
+//! the spliced driver file, and each mutant runs through the minic
+//! bytecode VM.
 
-use devil::drivers::corpus::{build_scenario, scenario_catalog, scenario_names, DriverVariant};
+use devil::drivers::corpus::{
+    build_faulted, build_scenario, scenario_catalog, scenario_names, DriverVariant,
+};
+use devil::hwsim::{FaultPlan, DEFAULT_FAULT_SEED};
 use devil::kernel::boot::{Outcome, DEFAULT_FUEL};
 use devil::kernel::scenario::ScenarioMachine;
 use devil::minic::pp::IncludeCache;
@@ -28,7 +41,7 @@ use devil::mutagen::c::CMutationModel;
 use devil::mutagen::{sample, Campaign, Mutant};
 use std::collections::BTreeMap;
 
-fn campaign(scenario_name: &'static str, v: &DriverVariant) {
+fn campaign(scenario_name: &'static str, plan: Option<&FaultPlan>, v: &DriverVariant) {
     let header_texts: Vec<&str> = v.headers.iter().map(|(_, t)| t.as_str()).collect();
     let model = CMutationModel::new(v.source, &header_texts, v.style);
     let mutants = sample(model.mutants(), 0.05, 42);
@@ -39,12 +52,16 @@ fn campaign(scenario_name: &'static str, v: &DriverVariant) {
     let file = v.file;
     let outcomes = Campaign::new(
         || {
-            ScenarioMachine::with_scenario(
-                build_scenario(scenario_name).expect("catalog scenario builds"),
-                DEFAULT_FUEL,
-            )
+            let scenario = match plan {
+                Some(p) => build_faulted(scenario_name, p.clone()),
+                None => build_scenario(scenario_name),
+            }
+            .expect("catalog scenario builds");
+            ScenarioMachine::with_scenario(scenario, DEFAULT_FUEL)
         },
-        |machine, m: &Mutant| machine.run_cached(file, &m.source, &cache, Some(m.line)).0,
+        |machine: &mut ScenarioMachine<_>, m: &Mutant| {
+            machine.run_cached(file, &m.source, &cache, Some(m.line)).0
+        },
     )
     .with_threads(8)
     .run(&mutants);
@@ -52,8 +69,12 @@ fn campaign(scenario_name: &'static str, v: &DriverVariant) {
     for o in outcomes {
         *tally.entry(o).or_default() += 1;
     }
+    let hardware = match plan {
+        Some(p) => format!(" [fault plan `{}`, seed {:#x}]", p.name(), p.seed()),
+        None => String::new(),
+    };
     println!(
-        "{} under {scenario_name}: {} sites, {} mutants evaluated",
+        "{} under {scenario_name}{hardware}: {} sites, {} mutants evaluated",
         v.label,
         model.sites().len(),
         mutants.len()
@@ -78,15 +99,60 @@ fn campaign(scenario_name: &'static str, v: &DriverVariant) {
 }
 
 fn main() {
-    let requested = std::env::args().nth(1).unwrap_or_else(|| "ide-boot".into());
+    let mut requested: Option<String> = None;
+    let mut plan_name: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--fault-plan=") {
+            plan_name = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("--fault-seed=") {
+            let parsed = v.strip_prefix("0x").map_or_else(
+                || v.parse(),
+                |hex| u64::from_str_radix(hex, 16),
+            );
+            match parsed {
+                Ok(n) => fault_seed = Some(n),
+                Err(_) => {
+                    eprintln!("--fault-seed expects an integer, got `{v}`");
+                    std::process::exit(1);
+                }
+            }
+        } else if requested.is_none() {
+            requested = Some(arg);
+        } else {
+            eprintln!("unexpected argument `{arg}`");
+            std::process::exit(1);
+        }
+    }
+    let mut requested = requested.unwrap_or_else(|| "ide-boot".into());
+    // `<name>+faults` is shorthand for the default plan; explicit flags
+    // compose with it.
+    if let Some(base) = requested.strip_suffix("+faults") {
+        requested = base.to_string();
+        plan_name.get_or_insert_with(|| "mixed".into());
+    }
+    if fault_seed.is_some() {
+        plan_name.get_or_insert_with(|| "mixed".into());
+    }
+    let plan = plan_name.map(|name| {
+        FaultPlan::named(&name, fault_seed.unwrap_or(DEFAULT_FAULT_SEED)).unwrap_or_else(
+            || {
+                eprintln!(
+                    "unknown fault plan `{name}`; available: {}",
+                    FaultPlan::plan_names().join(", ")
+                );
+                std::process::exit(1);
+            },
+        )
+    });
     let Some(case) = scenario_catalog().into_iter().find(|c| c.scenario == requested) else {
         eprintln!(
-            "unknown scenario `{requested}`; available: {}",
+            "unknown scenario `{requested}`; available: {} (each also as `<name>+faults`)",
             scenario_names().join(", ")
         );
         std::process::exit(1);
     };
     for v in &case.drivers {
-        campaign(case.scenario, v);
+        campaign(case.scenario, plan.as_ref(), v);
     }
 }

@@ -101,7 +101,9 @@ fn check_scenario(case: &ScenarioCase) {
                     DEFAULT_FUEL,
                 )
             },
-            |machine, m: &Mutant| machine.run(v.file, &m.source, &incs, Some(m.line)).0,
+            |machine: &mut ScenarioMachine<_>, m: &Mutant| {
+                machine.run(v.file, &m.source, &incs, Some(m.line)).0
+            },
         )
         .with_threads(THREADS)
         .run(&mutants);
@@ -199,7 +201,9 @@ fn ne2000_word_driver_outcome_counts_unchanged() {
                 DEFAULT_FUEL,
             )
         },
-        |machine, m: &Mutant| machine.run(NE2000_C_FILE, &m.source, &[], Some(m.line)).0,
+        |machine: &mut ScenarioMachine<_>, m: &Mutant| {
+            machine.run(NE2000_C_FILE, &m.source, &[], Some(m.line)).0
+        },
     )
     .with_threads(THREADS)
     .run(&mutants);
