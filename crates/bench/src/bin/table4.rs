@@ -1,7 +1,11 @@
 //! Regenerate Table 4: mutations on the CDevil glue of a driver corpus.
 //!
 //! Usage: `table4 [--scenario=NAME] [--all] [--fraction=F] [--seed=N]
-//! [--weak-types] [--no-asserts] [--fault-plan=NAME] [--fault-seed=N]`
+//! [--threads=N] [--weak-types] [--no-asserts] [--fault-plan=NAME]
+//! [--fault-seed=N]`
+//!
+//! Seeds accept decimal or `0x`/`0X` hex; `--threads=0` (the default)
+//! uses every available core.
 //!
 //! `--fault-plan`/`--fault-seed` rerun the campaign on deterministically
 //! flaky hardware, exactly as in `table3`.
@@ -19,7 +23,8 @@
 //! flavour.
 
 use devil_bench::tables::{
-    render_outcome_table, scenario_campaign, scenario_variants, CampaignOptions, StubFlavor,
+    parse_seed, render_outcome_table, scenario_campaign, scenario_variants, CampaignOptions,
+    StubFlavor,
 };
 use devil_drivers::corpus::scenario_names;
 use devil_hwsim::{FaultPlan, DEFAULT_FAULT_SEED};
@@ -40,13 +45,21 @@ fn main() {
         } else if let Some(f) = arg.strip_prefix("--fraction=") {
             opts.fraction = f.parse().expect("--fraction=0.25");
         } else if let Some(s) = arg.strip_prefix("--seed=") {
-            opts.seed = s.parse().expect("--seed=1234");
+            opts.seed = parse_seed(s).unwrap_or_else(|e| {
+                eprintln!("--seed: {e}");
+                std::process::exit(2);
+            });
+        } else if let Some(t) = arg.strip_prefix("--threads=") {
+            opts.threads = t.parse().expect("--threads=N");
         } else if let Some(s) = arg.strip_prefix("--scenario=") {
             scenario = s.to_string();
         } else if let Some(p) = arg.strip_prefix("--fault-plan=") {
             fault_plan = Some(p.to_string());
         } else if let Some(s) = arg.strip_prefix("--fault-seed=") {
-            fault_seed = Some(s.parse().expect("--fault-seed=1234"));
+            fault_seed = Some(parse_seed(s).unwrap_or_else(|e| {
+                eprintln!("--fault-seed: {e}");
+                std::process::exit(2);
+            }));
         } else {
             eprintln!("unknown argument {arg}");
             std::process::exit(2);

@@ -28,6 +28,15 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
+/// Parse a seed CLI argument: a decimal integer or a `0x`/`0X`-prefixed
+/// hex literal. The error message names the accepted forms.
+pub fn parse_seed(v: &str) -> Result<u64, String> {
+    v.strip_prefix("0x")
+        .or_else(|| v.strip_prefix("0X"))
+        .map_or_else(|| v.parse(), |hex| u64::from_str_radix(hex, 16))
+        .map_err(|_| format!("expected a decimal integer or 0x/0X hex literal, got `{v}`"))
+}
+
 // ---------------------------------------------------------------- Table 2
 
 /// One row of Table 2.
@@ -565,6 +574,18 @@ mod tests {
         assert_eq!(accounted, t.total_mutants);
         let rendered = render_outcome_table(&t, "tiny");
         assert!(rendered.contains("Total"), "{rendered}");
+    }
+
+    #[test]
+    fn seed_arguments_accept_decimal_and_both_hex_prefixes() {
+        assert_eq!(parse_seed("1234"), Ok(1234));
+        assert_eq!(parse_seed("0x1f"), Ok(0x1F));
+        assert_eq!(parse_seed("0X1F"), Ok(0x1F));
+        assert_eq!(parse_seed("0xDE71"), Ok(0xDE71));
+        let err = parse_seed("0xzz").unwrap_err();
+        assert!(err.contains("0x/0X hex literal"), "{err}");
+        assert!(parse_seed("").is_err());
+        assert!(parse_seed("-3").is_err());
     }
 
     #[test]

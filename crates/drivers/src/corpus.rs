@@ -84,6 +84,33 @@ pub fn scenario_names() -> &'static [&'static str] {
     &["ide-boot", "ide-stress", "mouse-stream", "ne2000-stress"]
 }
 
+/// The catalog entry for one scenario, or `None` for names not in the
+/// catalog (`+faults` suffixes resolve to their base scenario's corpus:
+/// the fault variant runs the same drivers on flakier hardware).
+pub fn find_case(scenario: &str) -> Option<ScenarioCase> {
+    let base = scenario.strip_suffix("+faults").unwrap_or(scenario);
+    scenario_catalog().into_iter().find(|c| c.scenario == base)
+}
+
+/// Look up one driver of a scenario's corpus by its stable label — the
+/// request-routing path of the campaign service, which keys workloads by
+/// `(scenario, driver label)`.
+pub fn find_variant(scenario: &str, label: &str) -> Option<DriverVariant> {
+    find_case(scenario)?.drivers.into_iter().find(|v| v.label == label)
+}
+
+/// The include headers a driver file compiles against, looked up across
+/// the whole catalog by file name (`None` for unknown files). Service
+/// workers use this to build one shared pre-lexed `IncludeCache` per
+/// driver file, whatever scenario a request pairs it with.
+pub fn driver_headers(file: &str) -> Option<Vec<(String, String)>> {
+    scenario_catalog()
+        .into_iter()
+        .flat_map(|c| c.drivers)
+        .find(|v| v.file == file)
+        .map(|v| v.headers)
+}
+
 /// The IDE driver pair — shared by every scenario that speaks the
 /// `ide_probe`/`ide_read`/`ide_write` contract.
 fn ide_drivers() -> Vec<DriverVariant> {
@@ -183,6 +210,28 @@ mod tests {
         let from_catalog: Vec<&str> =
             scenario_catalog().iter().map(|c| c.scenario).collect();
         assert_eq!(scenario_names(), from_catalog.as_slice());
+    }
+
+    #[test]
+    fn catalog_lookups_resolve_names_labels_and_files() {
+        for case in scenario_catalog() {
+            let found = find_case(case.scenario).expect("catalog case resolves");
+            assert_eq!(found.scenario, case.scenario);
+            // The fault variant shares the base scenario's corpus.
+            let faulted = find_case(&format!("{}+faults", case.scenario))
+                .expect("fault variant resolves to the base corpus");
+            assert_eq!(faulted.scenario, case.scenario);
+            for v in &case.drivers {
+                let variant = find_variant(case.scenario, v.label)
+                    .expect("driver label resolves");
+                assert_eq!(variant.file, v.file);
+                let headers = driver_headers(v.file).expect("driver file resolves");
+                assert_eq!(headers.len(), v.headers.len());
+            }
+        }
+        assert!(find_case("no-such-scenario").is_none());
+        assert!(find_variant("ide-boot", "no-such-driver").is_none());
+        assert!(driver_headers("no_such_file.c").is_none());
     }
 
     #[test]

@@ -110,6 +110,23 @@ impl Outcome {
         matches!(self, Outcome::CompileCheck | Outcome::RuntimeCheck)
     }
 
+    /// Stable wire code for this outcome — what the campaign service
+    /// protocol puts on the wire. Codes are the index of the outcome in
+    /// [`Outcome::table_order`], so they are as stable as the table
+    /// layout itself.
+    pub fn code(self) -> u8 {
+        Outcome::table_order()
+            .iter()
+            .position(|o| *o == self)
+            .expect("table_order is exhaustive") as u8
+    }
+
+    /// Decode a wire code produced by [`Outcome::code`]; `None` for
+    /// out-of-range codes (a malformed or future-version frame).
+    pub fn from_code(code: u8) -> Option<Outcome> {
+        Outcome::table_order().get(usize::from(code)).copied()
+    }
+
     /// Stable display order used by the tables.
     pub fn table_order() -> [Outcome; 8] {
         [
@@ -352,7 +369,11 @@ impl<S: Scenario + ?Sized> Scenario for Box<S> {
 /// Wraps an inner [`Scenario`] and installs a
 /// [`FaultPlan`](devil_hwsim::FaultPlan) on the machine the inner
 /// scenario builds, producing the `<name>+faults` variant of every
-/// workload without copying any scenario code. Everything else —
+/// workload without copying any scenario code. A plan with **no rules**
+/// (the bundled `none` plan) skips the installation entirely: an empty
+/// interposer is observationally identical to no interposer but would
+/// still forfeit the block-transfer fast paths, so `--fault-plan=none`
+/// runs at full fault-free speed. Everything else —
 /// driving, ground-truth inspection, classification — delegates to the
 /// inner scenario: fault injection perturbs only what the driver sees on
 /// the wire, never the device models, so `inspect` still reads true
@@ -414,7 +435,14 @@ impl<S: Scenario> Scenario for FaultScenario<S> {
     }
     fn build(&mut self) -> IoSpace {
         let mut io = self.inner.build();
-        io.install_faults(self.plan.clone());
+        // A plan with no rules injects nothing, but an *installed*
+        // interposer still declines the block-transfer fast paths and
+        // costs ~2× on block-heavy workloads. The noop-plan-identity
+        // suite proves the two paths bit-identical, so route `none`
+        // (and any other empty plan) straight to the fault-free path.
+        if !self.plan.rules().is_empty() {
+            io.install_faults(self.plan.clone());
+        }
         io
     }
     fn drive(&self, engine: &mut dyn ScenarioEngine) -> Drive {
@@ -671,5 +699,47 @@ impl<S: Scenario> ScenarioMachine<S> {
         }
         let cache = self.include_cache.as_ref().expect("cache just ensured");
         devil_minic::compile_with_cache(file_name, source, cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_codes_round_trip_in_table_order() {
+        for (i, outcome) in Outcome::table_order().into_iter().enumerate() {
+            assert_eq!(outcome.code(), i as u8);
+            assert_eq!(Outcome::from_code(i as u8), Some(outcome));
+        }
+        assert_eq!(Outcome::from_code(8), None);
+        assert_eq!(Outcome::from_code(u8::MAX), None);
+    }
+
+    #[test]
+    fn empty_fault_plan_skips_the_interposer() {
+        struct Empty;
+        impl Scenario for Empty {
+            fn name(&self) -> &'static str {
+                "empty"
+            }
+            fn build(&mut self) -> IoSpace {
+                IoSpace::new()
+            }
+            fn drive(&self, _engine: &mut dyn ScenarioEngine) -> Drive {
+                Drive::default()
+            }
+            fn inspect(&self, _io: &mut IoSpace, _damage: &mut Vec<String>) {}
+        }
+
+        let mut none =
+            FaultScenario::new(Empty, devil_hwsim::FaultPlan::none(0xBEEF));
+        assert!(none.build().faults().is_none(), "empty plan must not install");
+
+        let mut mixed = FaultScenario::new(
+            Empty,
+            devil_hwsim::FaultPlan::named("mixed", 0xBEEF).unwrap(),
+        );
+        assert!(mixed.build().faults().is_some(), "real plan must install");
     }
 }

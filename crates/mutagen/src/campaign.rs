@@ -28,6 +28,7 @@
 //! is no per-item lock on the hot path. [`run_parallel`] survives as the
 //! stateless-workspace special case.
 
+use crate::queue::JobQueue;
 use crate::site::Mutant;
 
 /// Minimal deterministic RNG (splitmix64) for reproducible sampling.
@@ -154,6 +155,13 @@ impl<B, F> Campaign<B, F> {
     /// builds its workspace once and reuses it for every item it pulls.
     /// With one worker (or fewer than two items) everything runs on the
     /// calling thread.
+    /// If any worker's `classify` panics the whole campaign aborts: the
+    /// panic is re-raised on the calling thread when that worker is
+    /// joined (message `campaign worker panicked`), and the outcomes of
+    /// the other workers are discarded with it. Campaigns treat a
+    /// panicking classifier as a harness bug, not a mutant outcome — a
+    /// mutant that breaks the engine must fail loudly, never appear as a
+    /// hole in the results.
     pub fn run<W, I, O>(&self, items: &[I]) -> Vec<O>
     where
         B: Fn() -> W + Sync,
@@ -205,6 +213,56 @@ impl<B, F> Campaign<B, F> {
             .into_iter()
             .map(|o| o.expect("every index classified"))
             .collect()
+    }
+
+    /// The queue-fed flavour of [`Campaign::run`] — the campaign **service**
+    /// engine. Instead of a finished item slice, workers drain a live
+    /// [`JobQueue`]: each worker builds its workspace once, then loops
+    /// `pop → classify → deliver` until the queue is closed and drained.
+    ///
+    /// `deliver(item, outcome)` is called on the worker thread that
+    /// classified the item, with the *owned* item — the item itself
+    /// carries whatever routing state the caller needs (a response
+    /// channel, a request id), which is exactly how a server maps
+    /// outcomes back to the connections that submitted them. Unlike
+    /// [`Campaign::run`] there is no global ordering: items complete in
+    /// whatever order the workers finish them, and the submission tag on
+    /// the item is the only correlation.
+    ///
+    /// Blocks until the queue is closed and every queued item has been
+    /// delivered. Admission control (bounded depth, shedding) lives on
+    /// the [`JobQueue`] itself; by the time an item reaches a worker it
+    /// is guaranteed to run.
+    pub fn run_queue<W, I, O, D>(&self, queue: &JobQueue<I>, deliver: D)
+    where
+        B: Fn() -> W + Sync,
+        F: Fn(&mut W, &I) -> O + Sync,
+        D: Fn(I, O) + Sync,
+        I: Send,
+    {
+        let threads = effective_threads(self.threads);
+        let build = &self.build;
+        let classify = &self.classify;
+        let deliver = &deliver;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut workspace: Option<W> = None;
+                        while let Some(item) = queue.pop() {
+                            // Build lazily: a worker that never receives an
+                            // item never pays for a workspace.
+                            let ws = workspace.get_or_insert_with(build);
+                            let outcome = classify(ws, &item);
+                            deliver(item, outcome);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("campaign worker panicked");
+            }
+        });
     }
 }
 
@@ -381,6 +439,137 @@ mod tests {
         .with_threads(4)
         .run(&seeds);
         assert_eq!(out, (0..16).map(|s| s * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_items_builds_at_most_one_workspace_per_item() {
+        let builds = AtomicUsize::new(0);
+        let ms = mutants(3);
+        let out = Campaign::new(
+            || {
+                builds.fetch_add(1, Ordering::Relaxed);
+            },
+            |(): &mut (), m: &Mutant| m.site,
+        )
+        .with_threads(64)
+        .run(&ms);
+        assert_eq!(out, vec![0, 1, 2]);
+        let built = builds.load(Ordering::Relaxed);
+        assert!(built <= 3, "worker count must be clamped to the item count, built {built}");
+    }
+
+    #[test]
+    fn order_is_preserved_under_skewed_per_item_cost() {
+        // Early items are the slowest, so a worker that grabs item 0
+        // finishes long after the workers racing through the tail —
+        // results must still come back in submission order.
+        let ms = mutants(24);
+        let out = Campaign::new(
+            || (),
+            |(): &mut (), m: &Mutant| {
+                if m.site < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(15));
+                }
+                m.site
+            },
+        )
+        .with_threads(8)
+        .run(&ms);
+        assert_eq!(out, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_single_thread_matches_and_stays_on_caller() {
+        let caller = std::thread::current().id();
+        let ms = mutants(10);
+        let out = run_parallel(&ms, 1, |m| {
+            assert_eq!(
+                std::thread::current().id(),
+                caller,
+                "threads=1 must run on the calling thread"
+            );
+            m.site * 7
+        });
+        assert_eq!(out, (0..10).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "campaign worker panicked")]
+    fn worker_panic_aborts_the_campaign() {
+        // A panicking classifier is a harness bug: the campaign re-raises
+        // it on the calling thread instead of returning partial results.
+        let ms = mutants(16);
+        let _ = Campaign::new(
+            || (),
+            |(): &mut (), m: &Mutant| {
+                assert_ne!(m.site, 7, "classifier blew up");
+                m.site
+            },
+        )
+        .with_threads(4)
+        .run(&ms);
+    }
+
+    #[test]
+    fn run_queue_delivers_everything_and_respects_shedding() {
+        use crate::queue::JobQueue;
+        use std::sync::Mutex;
+
+        let queue: JobQueue<usize> = JobQueue::bounded(64);
+        let mut shed = 0usize;
+        for i in 0..80 {
+            if queue.push(i).is_err() {
+                shed += 1;
+            }
+        }
+        assert_eq!(shed, 16, "pushes beyond capacity shed");
+        queue.close();
+        let delivered: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+        Campaign::new(|| 0u64, |runs: &mut u64, i: &usize| {
+            *runs += 1;
+            i * 2
+        })
+        .with_threads(4)
+        .run_queue(&queue, |item, out| delivered.lock().unwrap().push((item, out)));
+        let mut got = delivered.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..64).map(|i| (i, i * 2)).collect::<Vec<_>>());
+        let stats = queue.stats();
+        assert_eq!(stats.accepted, 64);
+        assert_eq!(stats.shed, 16);
+        assert_eq!(stats.depth, 0);
+    }
+
+    #[test]
+    fn run_queue_workers_drain_items_pushed_while_running() {
+        use crate::queue::JobQueue;
+        use std::sync::atomic::AtomicUsize;
+
+        let queue: JobQueue<usize> = JobQueue::bounded(8);
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let queue = &queue;
+            let done = &done;
+            scope.spawn(move || {
+                for i in 0..40 {
+                    // The bounded queue may shed under this deliberately
+                    // bursty producer; retry until accepted so the tally
+                    // below is exact.
+                    let mut item = i;
+                    while let Err(back) = queue.push(item) {
+                        item = back;
+                        std::thread::yield_now();
+                    }
+                }
+                queue.close();
+            });
+            Campaign::new(|| (), |(): &mut (), i: &usize| *i)
+                .with_threads(2)
+                .run_queue(queue, |_, _| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 40);
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod campaign;
 pub mod devil;
 pub mod literal;
 pub mod operator;
+pub mod queue;
 pub mod site;
 
 pub use campaign::{effective_threads, run_parallel, sample, Campaign};
+pub use queue::{JobQueue, QueueStats};
 pub use site::{Mutant, MutationSite, SiteKind};

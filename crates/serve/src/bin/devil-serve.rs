@@ -1,0 +1,161 @@
+//! The campaign service CLI: serve, load, or a hermetic selftest.
+//!
+//! ```text
+//! devil-serve serve [--addr=HOST:PORT] [--threads=N] [--queue-cap=N]
+//! devil-serve load  --addr=HOST:PORT [--mix=SPEC] [--freq=N] [--total=N]
+//!                   [--seed=N] [--report-every=SECS]
+//! devil-serve selftest [--mix=SPEC] [--freq=N] [--total=N] [--threads=N]
+//!                      [--queue-cap=N] [--seed=N]
+//! ```
+//!
+//! * `serve` listens for classification requests until killed;
+//! * `load` drives an open-loop run against a running server and prints
+//!   the latency/backpressure report;
+//! * `selftest` runs both ends over an in-process pipe — no sockets —
+//!   and exits non-zero unless every offered submission was answered.
+//!
+//! The mix spec grammar is documented in `devil_serve::load`; defaults
+//! are chosen so the bare commands do something sensible
+//! (`--mix=ide-boot,mouse-stream+faults --freq=50 --total=250`).
+
+use devil_serve::{parse_mix, run_load, InProcServer, LoadConfig, ServeConfig};
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
+fn parse_u64(flag: &str, v: &str) -> u64 {
+    v.parse().unwrap_or_else(|_| {
+        fail(&format!("{flag} expects an unsigned integer, got `{v}`"))
+    })
+}
+
+fn parse_f64(flag: &str, v: &str) -> f64 {
+    match v.parse::<f64>() {
+        Ok(n) if n > 0.0 && n.is_finite() => n,
+        _ => fail(&format!("{flag} expects a positive number, got `{v}`")),
+    }
+}
+
+#[derive(Debug)]
+struct Args {
+    addr: Option<String>,
+    threads: usize,
+    queue_cap: usize,
+    mix: String,
+    freq: f64,
+    total: u64,
+    seed: u64,
+    report_every: Option<Duration>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: None,
+            threads: 0,
+            queue_cap: 1024,
+            mix: "ide-boot,mouse-stream+faults".into(),
+            freq: 50.0,
+            total: 250,
+            seed: 42,
+            report_every: None,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut out = Args::default();
+    for arg in args {
+        if let Some(v) = arg.strip_prefix("--addr=") {
+            out.addr = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            out.threads = parse_u64("--threads", v) as usize;
+        } else if let Some(v) = arg.strip_prefix("--queue-cap=") {
+            out.queue_cap = parse_u64("--queue-cap", v).max(1) as usize;
+        } else if let Some(v) = arg.strip_prefix("--mix=") {
+            out.mix = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--freq=") {
+            out.freq = parse_f64("--freq", v);
+        } else if let Some(v) = arg.strip_prefix("--total=") {
+            out.total = parse_u64("--total", v);
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            out.seed = parse_u64("--seed", v);
+        } else if let Some(v) = arg.strip_prefix("--report-every=") {
+            out.report_every = Some(Duration::from_secs_f64(parse_f64("--report-every", v)));
+        } else {
+            fail(&format!("unknown argument `{arg}`"));
+        }
+    }
+    out
+}
+
+fn load_config(a: &Args) -> LoadConfig {
+    let mix = parse_mix(&a.mix).unwrap_or_else(|e| fail(&format!("bad --mix: {e}")));
+    LoadConfig {
+        freq: a.freq,
+        total: a.total,
+        mix,
+        seed: a.seed,
+        report_every: a.report_every,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((mode, rest)) = argv.split_first() else {
+        fail("usage: devil-serve <serve|load|selftest> [flags]  (see module docs)");
+    };
+    let a = parse_args(rest);
+    match mode.as_str() {
+        "serve" => {
+            let addr = a.addr.as_deref().unwrap_or("127.0.0.1:7011");
+            let listener = std::net::TcpListener::bind(addr)
+                .unwrap_or_else(|e| fail(&format!("bind {addr}: {e}")));
+            let config = ServeConfig {
+                threads: a.threads,
+                queue_cap: a.queue_cap,
+                ..ServeConfig::default()
+            };
+            eprintln!(
+                "devil-serve listening on {addr} ({} workers, queue cap {})",
+                devil_mutagen::effective_threads(config.threads),
+                config.queue_cap
+            );
+            devil_serve::serve_tcp(&config, listener);
+        }
+        "load" => {
+            let Some(addr) = a.addr.as_deref() else {
+                fail("load mode needs --addr=HOST:PORT");
+            };
+            let conn = std::net::TcpStream::connect(addr)
+                .unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+            let _ = conn.set_nodelay(true);
+            let report = run_load(conn, &load_config(&a))
+                .unwrap_or_else(|e| fail(&format!("load run failed: {e}")));
+            print!("{}", report.summary());
+        }
+        "selftest" => {
+            let server = InProcServer::start(ServeConfig {
+                threads: a.threads,
+                queue_cap: a.queue_cap,
+                ..ServeConfig::default()
+            });
+            let report = run_load(server.connect(), &load_config(&a))
+                .unwrap_or_else(|e| fail(&format!("selftest load failed: {e}")));
+            let stats = server.shutdown();
+            print!("{}", report.summary());
+            let answered = report.completed + report.shed + report.errors;
+            if answered != report.offered || stats.completed != report.completed {
+                fail(&format!(
+                    "selftest mismatch: offered {} answered {answered} (server completed {})",
+                    report.offered, stats.completed
+                ));
+            }
+            println!("selftest ok");
+        }
+        other => fail(&format!("unknown mode `{other}`; try serve, load or selftest")),
+    }
+}

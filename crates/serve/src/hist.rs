@@ -1,0 +1,249 @@
+//! An HDR-style latency histogram: log-bucketed, fixed footprint,
+//! percentile queries without storing samples.
+//!
+//! Tail-latency reporting needs p99/p99.9 over millions of samples; a
+//! sorted sample vector is O(n) memory and a plain mean hides exactly
+//! the tail the service report is about. [`Histogram`] keeps the classic
+//! high-dynamic-range layout instead: values are binned into power-of-two
+//! *major* buckets, each split into [`SUB_BUCKETS`] linear sub-buckets,
+//! giving a bounded relative error (< 1/[`SUB_BUCKETS`], ~3%) across the
+//! whole `u64` range with a few KiB of counters. Recording is two shifts
+//! and an increment — cheap enough to sit on the response hot path of the
+//! load client.
+
+/// Linear sub-buckets per power-of-two major bucket — the resolution
+/// (relative error < 1/32 ≈ 3%).
+pub const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Total buckets: the exact region (major 0) plus one major bucket per
+/// leading-one position from `SUB_BITS` to 63 — the full `u64` range.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
+
+/// A fixed-footprint latency histogram; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    min: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+            sum: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            // Exact region: one bucket per value.
+            return value as usize;
+        }
+        // Major bucket = position of the leading one past the exact
+        // region; sub-bucket = the next SUB_BITS bits below it.
+        let major = (63 - value.leading_zeros()) as usize - SUB_BITS as usize;
+        let sub = (value >> major) as usize & (SUB_BUCKETS - 1);
+        (major + 1) * SUB_BUCKETS + sub
+    }
+
+    /// The smallest value that lands in the same bucket as `value` would —
+    /// what percentile queries report (a lower bound within ~3%).
+    fn bucket_floor(index: usize) -> u64 {
+        let major = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if major == 0 {
+            return sub;
+        }
+        let shift = major - 1;
+        ((SUB_BUCKETS as u64) << shift) | (sub << shift)
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+        self.sum += u128::from(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded value (exact). 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of the recorded values (exact). 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at percentile `p` (0..=100): the bucket floor of the
+    /// smallest recorded value such that `p` percent of all recordings
+    /// are at or below its bucket. 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if seen == self.total {
+                    // The rank lands in the topmost occupied bucket: the
+                    // exact max lives there, report it so p100 never
+                    // under-reports.
+                    return self.max;
+                }
+                return Self::bucket_floor(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one (same fixed layout).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.max = self.max.max(other.max);
+            self.min = self.min.min(other.min);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        for p in 1..=SUB_BUCKETS as u64 {
+            let pct = 100.0 * p as f64 / SUB_BUCKETS as f64;
+            assert_eq!(h.percentile(pct), p - 1, "percentile {pct}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_within_relative_error() {
+        // A deterministic spread over five decades.
+        let mut h = Histogram::new();
+        let mut values: Vec<u64> = Vec::new();
+        let mut x = 17u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (x % (10 + i * 97)) + 1;
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let rank = ((p / 100.0) * values.len() as f64).ceil() as usize - 1;
+            let exact = values[rank] as f64;
+            let approx = h.percentile(p) as f64;
+            assert!(
+                approx <= exact && approx >= exact * (1.0 - 2.0 / SUB_BUCKETS as f64),
+                "p{p}: approx {approx} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.max(), *values.last().unwrap());
+        assert_eq!(h.min(), *values.first().unwrap());
+    }
+
+    #[test]
+    fn p100_is_the_exact_max() {
+        let mut h = Histogram::new();
+        for v in [3u64, 70_000, 1_234_567, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(100.0), 1_234_567.min(h.max));
+        assert_eq!(h.max(), 1_234_567);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..500u64 {
+            let scaled = v * 37 + 5;
+            if v % 2 == 0 {
+                a.record(scaled);
+            } else {
+                b.record(scaled);
+            }
+            all.record(scaled);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.min(), all.min());
+        for p in [10.0, 50.0, 99.0, 99.9] {
+            assert_eq!(a.percentile(p), all.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow_buckets() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX / 2);
+        h.record(1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(100.0), u64::MAX);
+    }
+}

@@ -1,0 +1,455 @@
+//! The campaign server: admission, sharding, classification, streaming.
+//!
+//! A long-running service built from the pieces the batch engine already
+//! proved out, rearranged around a queue instead of a slice:
+//!
+//! * **connections** — each accepted stream gets a reader thread
+//!   (decode, validate, admit) and a writer thread (stream responses
+//!   back in completion order);
+//! * **admission** — validated submissions go through one bounded
+//!   [`JobQueue`]; a full queue sheds the request immediately with a
+//!   [`Response::Shed`] instead of stalling the intake path, so the
+//!   client always learns its request's fate at once;
+//! * **workers** — a [`Campaign`] in its queue-fed form
+//!   (`Campaign::run_queue`): one workspace per worker, holding one
+//!   snapshot-reset [`ScenarioMachine`] per *workload* (scenario ×
+//!   fault plan × seed) built lazily on first use, with one shared
+//!   pre-lexed [`IncludeCache`] per driver file serving every worker;
+//! * **delivery** — each job carries the sender of its connection's
+//!   response channel, so outcomes stream back to whoever asked,
+//!   whatever worker classified them.
+//!
+//! The outcomes are produced by exactly the same `run_cached` per-mutant
+//! unit as the batch `Campaign` path — pinned identical by the
+//! round-trip test — so "is this driver patch safe?" answers the same
+//! whether asked as a table or as a service.
+
+use crate::proto::{
+    read_frame, write_frame, Request, Response, ServiceStats, SubmitMutant,
+};
+use devil_drivers::corpus::{build_faulted, build_scenario, driver_headers, scenario_names};
+use devil_hwsim::FaultPlan;
+use devil_kernel::boot::DEFAULT_FUEL;
+use devil_kernel::scenario::{Scenario, ScenarioMachine};
+use devil_minic::pp::IncludeCache;
+use devil_mutagen::{effective_threads, Campaign, JobQueue};
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Admission-queue capacity: the maximum classification backlog
+    /// before submissions shed. The queue depth the operator allows is
+    /// the tail-latency budget they accept.
+    pub queue_cap: usize,
+    /// Engine fuel per mutant run.
+    pub fuel: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { threads: 0, queue_cap: 1024, fuel: DEFAULT_FUEL }
+    }
+}
+
+/// A byte stream the server (or the load client) can split into
+/// independently owned read/write halves — TCP sockets and in-process
+/// [`pipe`](crate::pipe) endpoints both qualify.
+pub trait Duplex: Send + 'static {
+    /// The owned read half.
+    type Reader: Read + Send + 'static;
+    /// The owned write half; dropping it must close the direction so the
+    /// peer observes EOF (TCP half-close semantics).
+    type Writer: Write + Send + 'static;
+    /// Split into the two halves.
+    fn split(self) -> io::Result<(Self::Reader, Self::Writer)>;
+}
+
+/// The write half of a [`TcpStream`]: shuts the write direction down on
+/// drop so the peer sees EOF, mirroring the in-process pipe.
+#[derive(Debug)]
+pub struct TcpWriteHalf(TcpStream);
+
+impl Write for TcpWriteHalf {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.0.write(data)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl Drop for TcpWriteHalf {
+    fn drop(&mut self) {
+        let _ = self.0.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+impl Duplex for TcpStream {
+    type Reader = TcpStream;
+    type Writer = TcpWriteHalf;
+    fn split(self) -> io::Result<(TcpStream, TcpWriteHalf)> {
+        let reader = self.try_clone()?;
+        Ok((reader, TcpWriteHalf(self)))
+    }
+}
+
+impl Duplex for crate::pipe::PipeEnd {
+    type Reader = crate::pipe::PipeReader;
+    type Writer = crate::pipe::PipeWriter;
+    fn split(self) -> io::Result<(Self::Reader, Self::Writer)> {
+        Ok(crate::pipe::PipeEnd::split(self))
+    }
+}
+
+/// Request-routing tables, built once per server from the driver catalog:
+/// the known scenario names, and one shared pre-lexed include cache per
+/// driver file.
+struct Routes {
+    caches: HashMap<&'static str, Arc<IncludeCache>>,
+}
+
+impl Routes {
+    fn build() -> Routes {
+        let mut caches = HashMap::new();
+        for case in devil_drivers::corpus::scenario_catalog() {
+            for v in &case.drivers {
+                caches.entry(v.file).or_insert_with(|| {
+                    let headers =
+                        driver_headers(v.file).expect("catalog file resolves");
+                    let refs: Vec<(&str, &str)> = headers
+                        .iter()
+                        .map(|(a, b)| (a.as_str(), b.as_str()))
+                        .collect();
+                    Arc::new(IncludeCache::new(&refs))
+                });
+            }
+        }
+        Routes { caches }
+    }
+
+    /// Validate a submission's routing fields; `Err` is the message for a
+    /// [`Response::Err`] reply.
+    fn validate(&self, s: &SubmitMutant) -> Result<(), String> {
+        if !scenario_names().contains(&s.scenario.as_str()) {
+            return Err(format!(
+                "unknown scenario `{}`; available: {}",
+                s.scenario,
+                scenario_names().join(", ")
+            ));
+        }
+        if !s.plan.is_empty() && FaultPlan::named(&s.plan, s.plan_seed).is_none() {
+            return Err(format!(
+                "unknown fault plan `{}`; available: {}",
+                s.plan,
+                FaultPlan::plan_names().join(", ")
+            ));
+        }
+        if !self.caches.contains_key(s.file.as_str()) {
+            return Err(format!("unknown driver file `{}`", s.file));
+        }
+        Ok(())
+    }
+
+    fn cache_for(&self, file: &str) -> &IncludeCache {
+        self.caches.get(file).expect("validated at admission")
+    }
+}
+
+/// One admitted unit of work: the validated submission plus the sender of
+/// the submitting connection's response channel — the routing state that
+/// brings the outcome home.
+struct Job {
+    req: SubmitMutant,
+    resp: mpsc::Sender<Vec<u8>>,
+}
+
+/// A worker's workspace: one snapshot-reset machine per workload it has
+/// seen, built lazily (a worker that only ever receives `mouse-stream`
+/// jobs never builds an IDE machine).
+type Workload = (String, String, u64);
+type Workspace = HashMap<Workload, ScenarioMachine<Box<dyn Scenario + Send>>>;
+
+fn build_machine(req: &SubmitMutant, fuel: u64) -> ScenarioMachine<Box<dyn Scenario + Send>> {
+    let scenario = if req.plan.is_empty() {
+        build_scenario(&req.scenario)
+    } else {
+        let plan = FaultPlan::named(&req.plan, req.plan_seed)
+            .expect("plan validated at admission");
+        build_faulted(&req.scenario, plan)
+    };
+    ScenarioMachine::with_scenario(scenario.expect("scenario validated at admission"), fuel)
+}
+
+/// Serve connections arriving on `incoming` until the channel closes and
+/// the last connection hangs up; returns the final counter snapshot.
+///
+/// This is the transport-agnostic core: the `devil-serve` binary feeds it
+/// TCP accepts, tests and benches feed it in-process pipe ends. Blocks
+/// the calling thread for the life of the service.
+pub fn serve<S: Duplex>(config: &ServeConfig, incoming: mpsc::Receiver<S>) -> ServiceStats {
+    let routes = Routes::build();
+    let queue: JobQueue<Job> = JobQueue::bounded(config.queue_cap);
+    let completed = AtomicU64::new(0);
+    let workers = effective_threads(config.threads);
+    let fuel = config.fuel;
+
+    let stats_now = |queue: &JobQueue<Job>, completed: &AtomicU64| {
+        let q = queue.stats();
+        ServiceStats {
+            accepted: q.accepted,
+            completed: completed.load(Ordering::Relaxed),
+            shed: q.shed,
+            depth: q.depth as u64,
+            max_depth: q.max_depth as u64,
+            workers: workers as u64,
+        }
+    };
+
+    std::thread::scope(|scope| {
+        let queue = &queue;
+        let routes = &routes;
+        let completed = &completed;
+        let stats_now = &stats_now;
+
+        // Acceptor: one reader + one writer thread per connection. When
+        // the incoming channel closes and every reader has hung up, no
+        // new work can arrive — close the queue so the workers drain and
+        // exit.
+        scope.spawn(move || {
+            let mut readers = Vec::new();
+            for stream in incoming.iter() {
+                let Ok((mut r, w)) = stream.split() else { continue };
+                let (tx, rx) = mpsc::channel::<Vec<u8>>();
+                // Writer: stream pre-encoded frames until every sender —
+                // the reader and any in-flight jobs — is gone.
+                scope.spawn(move || {
+                    let mut w = BufWriter::new(w);
+                    for frame in rx.iter() {
+                        if write_frame(&mut w, &frame).is_err() {
+                            break;
+                        }
+                        let _ = w.flush();
+                    }
+                });
+                readers.push(scope.spawn(move || {
+                    while let Ok(Some(payload)) = read_frame(&mut r) {
+                        let Ok(req) = Request::decode(&payload) else { break };
+                        match req {
+                            Request::Stats { req_id } => {
+                                let rep = Response::Stats {
+                                    req_id,
+                                    stats: stats_now(queue, completed),
+                                };
+                                let _ = tx.send(rep.encode());
+                            }
+                            Request::Submit(s) => {
+                                if let Err(message) = routes.validate(&s) {
+                                    let rep =
+                                        Response::Err { req_id: s.req_id, message };
+                                    let _ = tx.send(rep.encode());
+                                    continue;
+                                }
+                                let job = Job { req: s, resp: tx.clone() };
+                                if let Err(job) = queue.push(job) {
+                                    let rep = Response::Shed { req_id: job.req.req_id };
+                                    let _ = job.resp.send(rep.encode());
+                                }
+                            }
+                        }
+                    }
+                }));
+            }
+            for r in readers {
+                let _ = r.join();
+            }
+            queue.close();
+        });
+
+        // Workers: the queue-fed campaign. Per-worker workspace, lazy
+        // per-workload machines, shared include caches.
+        Campaign::new(
+            HashMap::new,
+            move |ws: &mut Workspace, job: &Job| {
+                let key = (
+                    job.req.scenario.clone(),
+                    job.req.plan.clone(),
+                    job.req.plan_seed,
+                );
+                let machine =
+                    ws.entry(key).or_insert_with(|| build_machine(&job.req, fuel));
+                let dead = (job.req.dead_line != 0).then_some(job.req.dead_line);
+                let (outcome, detail) = machine.run_cached(
+                    &job.req.file,
+                    &job.req.source,
+                    routes.cache_for(&job.req.file),
+                    dead,
+                );
+                Response::Outcome {
+                    req_id: job.req.req_id,
+                    outcome,
+                    detail: detail.into_owned(),
+                }
+            },
+        )
+        .with_threads(workers)
+        .run_queue(queue, |job: Job, rep: Response| {
+            completed.fetch_add(1, Ordering::Relaxed);
+            let _ = job.resp.send(rep.encode());
+        });
+    });
+
+    stats_now(&queue, &completed)
+}
+
+/// A server running on its own thread, handing out in-process
+/// connections — the hermetic harness tests, benches and `selftest` use.
+#[derive(Debug)]
+pub struct InProcServer {
+    conn_tx: mpsc::Sender<crate::pipe::PipeEnd>,
+    join: std::thread::JoinHandle<ServiceStats>,
+}
+
+impl InProcServer {
+    /// Start a server with `config` on a background thread.
+    pub fn start(config: ServeConfig) -> InProcServer {
+        let (conn_tx, conn_rx) = mpsc::channel();
+        let join = std::thread::spawn(move || serve(&config, conn_rx));
+        InProcServer { conn_tx, join }
+    }
+
+    /// Open a new in-process connection to the server.
+    pub fn connect(&self) -> crate::pipe::PipeEnd {
+        let (client, server) = crate::pipe::pipe();
+        self.conn_tx.send(server).expect("server accepting");
+        client
+    }
+
+    /// Stop accepting, wait for in-flight work to drain, and return the
+    /// final counters. (Open connections finish first: the server only
+    /// winds down when every client has hung up.)
+    pub fn shutdown(self) -> ServiceStats {
+        drop(self.conn_tx);
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+/// Serve TCP connections accepted on `listener` until the process exits
+/// (accept errors on the listener end the loop). The transport-bound
+/// wrapper of [`serve`] used by the `devil-serve` binary.
+pub fn serve_tcp(config: &ServeConfig, listener: std::net::TcpListener) -> ServiceStats {
+    let (conn_tx, conn_rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for stream in listener.incoming() {
+                match stream {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        if conn_tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        serve(config, conn_rx)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devil_kernel::Outcome;
+
+    fn submit(req_id: u64, scenario: &str, plan: &str, file: &str, source: &str) -> Request {
+        Request::Submit(SubmitMutant {
+            req_id,
+            scenario: scenario.into(),
+            plan: plan.into(),
+            plan_seed: devil_hwsim::DEFAULT_FAULT_SEED,
+            file: file.into(),
+            dead_line: 0,
+            source: source.into(),
+        })
+    }
+
+    #[test]
+    fn clean_driver_round_trips_through_the_service() {
+        use devil_drivers::corpus::find_variant;
+        let server = InProcServer::start(ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        });
+        let (mut r, mut w) = server.connect().split();
+        let v = find_variant("mouse-stream", "busmouse_c").unwrap();
+        // A clean driver classifies Boot; the same one under the mixed
+        // fault plan must never look like a detected driver bug.
+        for (id, plan) in [(1u64, ""), (2u64, "mixed")] {
+            let req = submit(id, "mouse-stream", plan, v.file, v.source);
+            write_frame(&mut w, &req.encode()).unwrap();
+        }
+        write_frame(&mut w, &Request::Stats { req_id: 3 }.encode()).unwrap();
+        drop(w);
+        let mut outcomes = HashMap::new();
+        let mut saw_stats = false;
+        while let Some(payload) = read_frame(&mut r).unwrap() {
+            match Response::decode(&payload).unwrap() {
+                Response::Outcome { req_id, outcome, .. } => {
+                    outcomes.insert(req_id, outcome);
+                }
+                Response::Stats { req_id, stats } => {
+                    assert_eq!(req_id, 3);
+                    assert_eq!(stats.workers, 2);
+                    saw_stats = true;
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert!(saw_stats);
+        assert_eq!(outcomes[&1], Outcome::Boot);
+        assert!(!outcomes[&2].is_detected(), "fault plan misattributed");
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.accepted, 2);
+        assert_eq!(final_stats.completed, 2);
+        assert_eq!(final_stats.shed, 0);
+    }
+
+    #[test]
+    fn bad_routing_answers_err_without_queueing() {
+        let server = InProcServer::start(ServeConfig {
+            threads: 1,
+            ..ServeConfig::default()
+        });
+        let (mut r, mut w) = server.connect().split();
+        let bad = [
+            submit(1, "no-such-scenario", "", "busmouse.c", "int x;"),
+            submit(2, "mouse-stream", "no-such-plan", "busmouse.c", "int x;"),
+            submit(3, "mouse-stream", "", "no_such_file.c", "int x;"),
+        ];
+        for req in &bad {
+            write_frame(&mut w, &req.encode()).unwrap();
+        }
+        drop(w);
+        let mut errs = 0;
+        while let Some(payload) = read_frame(&mut r).unwrap() {
+            match Response::decode(&payload).unwrap() {
+                Response::Err { req_id, message } => {
+                    assert!((1..=3).contains(&req_id));
+                    assert!(!message.is_empty());
+                    errs += 1;
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!(errs, 3);
+        let stats = server.shutdown();
+        assert_eq!(stats.accepted, 0, "invalid requests never reach the queue");
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end round trips of the campaign service against the batch
+//! engine, over in-process connections (no OS networking).
+//!
+//! Pins the acceptance properties of campaign-as-a-service:
+//!
+//! * **Outcome parity** — every mutant classified through the service
+//!   produces exactly the outcome the batch `Campaign` path produces
+//!   for the same mutant under the same scenario and fault plan;
+//! * **Open-loop accounting** — a mixed workload (two scenarios, one on
+//!   deterministically flaky hardware) offered at a fixed rate drains
+//!   to `offered = completed + shed + errors`, with a populated latency
+//!   histogram and consistent client/server counters;
+//! * **Backpressure** — a deliberately tiny admission queue sheds
+//!   instead of buffering without bound, and says so.
+
+use devil_drivers::corpus::{build_faulted, build_scenario, find_variant};
+use devil_hwsim::{FaultPlan, DEFAULT_FAULT_SEED};
+use devil_kernel::boot::DEFAULT_FUEL;
+use devil_kernel::scenario::ScenarioMachine;
+use devil_kernel::Outcome;
+use devil_minic::pp::IncludeCache;
+use devil_mutagen::c::CMutationModel;
+use devil_mutagen::{sample, Campaign, Mutant};
+use devil_serve::proto::{read_frame, write_frame, Request, Response, SubmitMutant};
+use devil_serve::{parse_mix, run_load, InProcServer, LoadConfig, ServeConfig};
+use std::collections::HashMap;
+
+/// One workload of the parity test: a scenario (optionally faulted) and
+/// a driver to mutate under it.
+struct Workload {
+    scenario: &'static str,
+    plan: &'static str, // "" = fault-free
+    driver: &'static str,
+}
+
+fn batch_outcomes(w: &Workload, mutants: &[Mutant], file: &'static str) -> Vec<Outcome> {
+    let v = find_variant(w.scenario, w.driver).expect("catalog workload");
+    let incs: Vec<(&str, &str)> =
+        v.headers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let cache = IncludeCache::new(&incs);
+    Campaign::new(
+        || {
+            let scenario = if w.plan.is_empty() {
+                build_scenario(w.scenario)
+            } else {
+                build_faulted(
+                    w.scenario,
+                    FaultPlan::named(w.plan, DEFAULT_FAULT_SEED).expect("bundled plan"),
+                )
+            }
+            .expect("catalog scenario builds");
+            ScenarioMachine::with_scenario(scenario, DEFAULT_FUEL)
+        },
+        |machine: &mut ScenarioMachine<_>, m: &Mutant| {
+            machine.run_cached(file, &m.source, &cache, Some(m.line)).0
+        },
+    )
+    .with_threads(4)
+    .run(mutants)
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow unoptimized; run with --release (CI does)")]
+fn service_outcomes_match_the_batch_campaign() {
+    let workloads = [
+        Workload { scenario: "mouse-stream", plan: "", driver: "busmouse_c" },
+        Workload { scenario: "ide-boot", plan: "mixed", driver: "ide_piix4_c" },
+    ];
+    let server = InProcServer::start(ServeConfig { threads: 4, ..ServeConfig::default() });
+    let (mut r, mut w) = server.connect().split();
+
+    let mut expected: HashMap<u64, Outcome> = HashMap::new();
+    let mut next_id = 0u64;
+    for wl in &workloads {
+        let v = find_variant(wl.scenario, wl.driver).expect("catalog workload");
+        let header_texts: Vec<&str> = v.headers.iter().map(|(_, t)| t.as_str()).collect();
+        let model = CMutationModel::new(v.source, &header_texts, v.style);
+        let mutants = sample(model.mutants(), 0.05, 1234);
+        assert!(!mutants.is_empty(), "{} sampled no mutants", wl.scenario);
+        let batch = batch_outcomes(wl, &mutants, v.file);
+        for (m, outcome) in mutants.iter().zip(batch) {
+            let req = Request::Submit(SubmitMutant {
+                req_id: next_id,
+                scenario: wl.scenario.into(),
+                plan: wl.plan.into(),
+                plan_seed: DEFAULT_FAULT_SEED,
+                file: v.file.into(),
+                dead_line: m.line,
+                source: m.source.clone(),
+            });
+            write_frame(&mut w, &req.encode()).unwrap();
+            expected.insert(next_id, outcome);
+            next_id += 1;
+        }
+    }
+    drop(w);
+
+    let mut got: HashMap<u64, Outcome> = HashMap::new();
+    while let Some(payload) = read_frame(&mut r).unwrap() {
+        match Response::decode(&payload).unwrap() {
+            Response::Outcome { req_id, outcome, .. } => {
+                got.insert(req_id, outcome);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(got.len(), expected.len(), "every submission answered");
+    for (id, want) in &expected {
+        assert_eq!(got[id], *want, "req {id}: service and batch disagree");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, expected.len() as u64);
+    assert_eq!(stats.shed, 0);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow unoptimized; run with --release (CI does)")]
+fn open_loop_mixed_load_drains_with_consistent_accounting() {
+    let server = InProcServer::start(ServeConfig { threads: 4, ..ServeConfig::default() });
+    let config = LoadConfig {
+        freq: 400.0,
+        total: 160,
+        mix: parse_mix("mouse-stream/busmouse_c:0.9:2,ide-boot+faults/ide_piix4_c:0.9")
+            .unwrap(),
+        seed: 7,
+        report_every: None,
+    };
+    let report = run_load(server.connect(), &config).unwrap();
+    let stats = server.shutdown();
+
+    assert_eq!(report.offered, config.total);
+    assert_eq!(report.errors, 0, "mix entries all route");
+    assert_eq!(report.completed + report.shed, report.offered, "run drained");
+    assert_eq!(report.latency.count(), report.completed);
+    assert!(report.completed > 0);
+    assert!(report.sustained_per_sec() > 0.0);
+    let p50 = report.latency.percentile(50.0);
+    let p99 = report.latency.percentile(99.0);
+    let p999 = report.latency.percentile(99.9);
+    assert!(p50 <= p99 && p99 <= p999 && p999 <= report.latency.max());
+    let total_outcomes: u64 = report.outcomes.iter().map(|(_, n)| n).sum();
+    assert_eq!(total_outcomes, report.completed);
+
+    // Client and server books agree, through both the in-band final
+    // stats reply and the post-shutdown snapshot.
+    let final_stats = report.server.expect("final stats answered");
+    assert_eq!(final_stats.completed, report.completed);
+    assert_eq!(final_stats.shed, report.shed);
+    assert_eq!(stats.completed, report.completed);
+    assert_eq!(stats.accepted, report.completed);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow unoptimized; run with --release (CI does)")]
+fn saturated_queue_sheds_instead_of_buffering() {
+    // One worker, a one-slot queue, and submissions offered far faster
+    // than a boot classifies: most must shed, every one must be
+    // answered.
+    let server = InProcServer::start(ServeConfig {
+        threads: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    });
+    let config = LoadConfig {
+        freq: 1e6,
+        total: 50,
+        mix: parse_mix("mouse-stream/busmouse_c").unwrap(),
+        seed: 11,
+        report_every: None,
+    };
+    let report = run_load(server.connect(), &config).unwrap();
+    let stats = server.shutdown();
+    assert_eq!(report.completed + report.shed, report.offered);
+    assert!(report.shed > 0, "a one-slot queue under 1M/s offered load must shed");
+    assert_eq!(stats.shed, report.shed);
+    assert_eq!(stats.max_depth as usize, 1);
+}

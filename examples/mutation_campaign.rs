@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release --example mutation_campaign \
-//!     [-- <scenario> [--fault-plan=NAME] [--fault-seed=N]]
+//!     [-- <scenario> [--threads=N] [--fault-plan=NAME] [--fault-seed=N]]
 //! ```
 //!
 //! `<scenario>` defaults to `ide-boot`; any name from
@@ -13,12 +13,16 @@
 //! `mouse-stream`, `ne2000-stress`), as does its `<name>+faults` variant.
 //! Every driver paired with the scenario is mutated and campaigned.
 //!
+//! `--threads=N` sets the worker-thread count; the default (`0`) uses
+//! every available core.
+//!
 //! `--fault-plan=NAME` runs the campaign on deterministically flaky
 //! hardware under one of the bundled fault plans (`none`, `flaky-status`,
 //! `dropped-irq`, `bus-noise`, `absent-window`, `mixed`); `--fault-seed=N`
-//! picks the plan's PRNG seed (default `DEFAULT_FAULT_SEED`). Passing
-//! either flag — or a `<scenario>+faults` name — selects the fault
-//! variant; the bare name with no flags runs fault-free.
+//! picks the plan's PRNG seed (default `DEFAULT_FAULT_SEED`, decimal or
+//! `0x`/`0X` hex accepted). Passing either flag — or a
+//! `<scenario>+faults` name — selects the fault variant; the bare name
+//! with no flags runs fault-free.
 //!
 //! Each worker thread owns one [`ScenarioMachine`]: the simulated machine
 //! is built once per worker and snapshot-restored before every mutant
@@ -33,6 +37,7 @@
 use devil::drivers::corpus::{
     build_faulted, build_scenario, scenario_catalog, scenario_names, DriverVariant,
 };
+use devil_bench::tables::parse_seed;
 use devil::hwsim::{FaultPlan, DEFAULT_FAULT_SEED};
 use devil::kernel::boot::{Outcome, DEFAULT_FUEL};
 use devil::kernel::scenario::ScenarioMachine;
@@ -41,7 +46,12 @@ use devil::mutagen::c::CMutationModel;
 use devil::mutagen::{sample, Campaign, Mutant};
 use std::collections::BTreeMap;
 
-fn campaign(scenario_name: &'static str, plan: Option<&FaultPlan>, v: &DriverVariant) {
+fn campaign(
+    scenario_name: &'static str,
+    plan: Option<&FaultPlan>,
+    v: &DriverVariant,
+    threads: usize,
+) {
     let header_texts: Vec<&str> = v.headers.iter().map(|(_, t)| t.as_str()).collect();
     let model = CMutationModel::new(v.source, &header_texts, v.style);
     let mutants = sample(model.mutants(), 0.05, 42);
@@ -63,7 +73,7 @@ fn campaign(scenario_name: &'static str, plan: Option<&FaultPlan>, v: &DriverVar
             machine.run_cached(file, &m.source, &cache, Some(m.line)).0
         },
     )
-    .with_threads(8)
+    .with_threads(threads)
     .run(&mutants);
     let mut tally: BTreeMap<Outcome, usize> = BTreeMap::new();
     for o in outcomes {
@@ -102,21 +112,24 @@ fn main() {
     let mut requested: Option<String> = None;
     let mut plan_name: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
+    // 0 = one worker per available core (the `Campaign` convention).
+    let mut threads: usize = 0;
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--fault-plan=") {
             plan_name = Some(v.to_string());
         } else if let Some(v) = arg.strip_prefix("--fault-seed=") {
-            let parsed = v.strip_prefix("0x").map_or_else(
-                || v.parse(),
-                |hex| u64::from_str_radix(hex, 16),
-            );
-            match parsed {
+            match parse_seed(v) {
                 Ok(n) => fault_seed = Some(n),
-                Err(_) => {
-                    eprintln!("--fault-seed expects an integer, got `{v}`");
+                Err(e) => {
+                    eprintln!("--fault-seed: {e}");
                     std::process::exit(1);
                 }
             }
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = v.parse().unwrap_or_else(|_| {
+                eprintln!("--threads expects a thread count, got `{v}`");
+                std::process::exit(1);
+            });
         } else if requested.is_none() {
             requested = Some(arg);
         } else {
@@ -153,6 +166,6 @@ fn main() {
         std::process::exit(1);
     };
     for v in &case.drivers {
-        campaign(case.scenario, plan.as_ref(), v);
+        campaign(case.scenario, plan.as_ref(), v, threads);
     }
 }

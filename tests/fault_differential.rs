@@ -17,9 +17,11 @@
 //!   check: hardware misbehaviour must never be attributed to a driver
 //!   bug. The full outcome tally is pinned in
 //!   `tests/golden/fault_attribution.txt`.
-//! * **Empty-plan identity** — installing the `none` plan changes nothing
-//!   observable (the hwsim proptests pin this at the bus level; here it
-//!   is pinned end-to-end through a scenario run).
+//! * **Empty-plan identity** — selecting the `none` plan changes nothing
+//!   observable (the hwsim proptests pin this at the bus level for a
+//!   force-installed empty interposer; here it is pinned end-to-end
+//!   through a scenario run, where rule-less plans are routed around the
+//!   interposer so they keep the block-transfer fast paths).
 //! * **Replay equality** — re-running a faulted machine after a restore
 //!   reproduces the first run bit-for-bit, and matches a freshly built
 //!   machine: the fault stream is part of the snapshot.
@@ -246,11 +248,13 @@ fn clean_drivers_attribute_zero_bugs_to_hardware() {
     check_golden("fault_attribution", &render_attribution(&rows));
 }
 
-/// Installing the `none` plan end-to-end (through `build_faulted` and a
-/// whole scenario run) is observationally identical to not installing an
-/// interposer at all — outcome, detail, console, coverage and every bus
-/// counter match, even though the interposer forces block I/O onto the
-/// per-access loop.
+/// Selecting the `none` plan end-to-end (through `build_faulted` and a
+/// whole scenario run) is observationally identical to fault-free
+/// hardware — outcome, detail, console, coverage and every bus counter
+/// match. Since the empty plan is routed around the interposer entirely
+/// (`FaultScenario::build` skips installation for rule-less plans, so
+/// the block I/O fast paths stay active), the machine must also report
+/// *no* interposer present.
 #[test]
 fn empty_plan_scenario_runs_are_identical() {
     for case in scenario_catalog() {
@@ -275,7 +279,11 @@ fn empty_plan_scenario_runs_are_identical() {
             assert_eq!(io_f.clock(), io_p.clock(), "{what}: bus clock");
             assert_eq!(io_f.read_count(), io_p.read_count(), "{what}: read count");
             assert_eq!(io_f.write_count(), io_p.write_count(), "{what}: write count");
-            assert_eq!(io_f.fault_injected(), Some(0), "{what}: empty plan injected");
+            assert_eq!(
+                io_f.fault_injected(),
+                None,
+                "{what}: empty plan must be routed to the fault-free path"
+            );
             assert_eq!(io_p.fault_injected(), None, "{what}: no interposer");
         }
     }
