@@ -59,7 +59,7 @@ fn bench_scenarios(c: &mut Criterion) {
         );
         g.bench_function(format!("{}_{}", case.scenario, v.label), |b| {
             b.iter(|| {
-                let (outcome, detail) = machine.run_cached(v.file, v.source, &cache, None);
+                let (outcome, detail) = machine.run_cached(v.file, v.source, &cache, None, None);
                 assert_eq!(outcome, Outcome::Boot, "{detail}");
             });
         });

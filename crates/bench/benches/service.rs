@@ -36,11 +36,13 @@ fn drive(threads: usize, queue_cap: usize, freq: f64, total: u64) -> LoadReport 
         mix: parse_mix(MIX).expect("bench mix parses"),
         seed: 42,
         report_every: None,
+        deadline_ms: 0,
+        drain_wait: None,
     };
     let report = run_load(server.connect(), &config).expect("load run completes");
-    let stats = server.shutdown();
+    let stats = server.shutdown().expect("server exits cleanly");
     assert_eq!(
-        report.completed + report.shed + report.errors,
+        report.completed + report.shed + report.expired + report.errors,
         report.offered,
         "run must drain"
     );

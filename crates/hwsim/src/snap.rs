@@ -93,6 +93,25 @@
 //! implementation — it cut the 2 MiB per-mutant platter copy to the few
 //! sectors a boot actually writes.
 //!
+//! # Failure ownership under supervision
+//!
+//! The campaign layer (`devil_mutagen::Campaign::supervised`) catches
+//! panics raised while classifying a single mutant. A panic may leave
+//! the live machine mid-drive — a restore would only be legal if every
+//! device were still internally consistent, which a panicking engine
+//! cannot promise — so supervision never attempts one: the worker's
+//! whole workspace (machines, snapshots, caches) is dropped and rebuilt
+//! from scratch, and the mutant reports as `EngineError`. Wall-clock
+//! overruns are gentler: the cooperative deadline token stops the run at
+//! a fuel-burn or dispatch boundary, the machine is consistent (just
+//! unfinished), and the ordinary restore-per-mutant cycle continues —
+//! the mutant classifies as `Deadline`. Only failures *outside* a
+//! classify still abort the campaign, deliberately: a snapshot codec
+//! that cannot round-trip, a `save`/`load` pair that diverges, a
+//! [`RestoreError`] from a scenario breaking the lifecycle above are
+//! harness defects, not mutant behaviours, and reporting them as
+//! outcomes would corrupt the taxonomy.
+//!
 //! # What a device must implement
 //!
 //! Every [`IoDevice`](crate::IoDevice) with *mutable* state must override

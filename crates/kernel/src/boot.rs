@@ -428,11 +428,15 @@ int ide_write(int lba)
 
     #[test]
     fn outcome_display_and_order() {
-        assert_eq!(Outcome::table_order().len(), 8);
+        assert_eq!(Outcome::table_order().len(), 10);
         assert_eq!(Outcome::RuntimeCheck.to_string(), "Run-time check");
+        assert_eq!(Outcome::EngineError.to_string(), "Engine error");
+        assert_eq!(Outcome::Deadline.to_string(), "Deadline");
         assert!(Outcome::CompileCheck.is_detected());
         assert!(Outcome::RuntimeCheck.is_detected());
         assert!(!Outcome::Boot.is_detected());
+        assert!(!Outcome::EngineError.is_detected());
+        assert!(!Outcome::Deadline.is_detected());
     }
 
     #[test]
@@ -450,13 +454,15 @@ int ide_write(int lba)
                 Outcome::DamagedBoot => 5,
                 Outcome::Boot => 6,
                 Outcome::DeadCode => 7,
+                Outcome::EngineError => 8,
+                Outcome::Deadline => 9,
             }
         }
-        let mut seen = [0usize; 8];
+        let mut seen = [0usize; 10];
         for o in Outcome::table_order() {
             seen[index_of(o)] += 1;
         }
-        assert_eq!(seen, [1; 8], "every variant exactly once in table_order");
+        assert_eq!(seen, [1; 10], "every variant exactly once in table_order");
     }
 
     #[test]

@@ -69,6 +69,7 @@ use devil_minic::pp::IncludeCache;
 use devil_minic::value::Value;
 use devil_minic::vm::Vm;
 use devil_minic::{CompiledProgram, Coverage, Program};
+pub use devil_minic::Deadline;
 use std::fmt;
 
 /// A classification detail string. Borrowed for the common fixed verdicts
@@ -101,6 +102,14 @@ pub enum Outcome {
     Boot,
     /// Case 2 — the mutated code never executed; the run says nothing.
     DeadCode,
+    /// The campaign engine itself failed on this mutant (a classify panic
+    /// caught by worker supervision). Not a statement about the driver:
+    /// the harness crashed, was isolated, and the campaign went on.
+    EngineError,
+    /// The run's wall-clock deadline passed before the workload finished.
+    /// Unlike [`Outcome::InfiniteLoop`] (a deterministic fuel-exhaustion
+    /// verdict) this says the *harness* gave up waiting in real time.
+    Deadline,
 }
 
 impl Outcome {
@@ -127,8 +136,9 @@ impl Outcome {
         Outcome::table_order().get(usize::from(code)).copied()
     }
 
-    /// Stable display order used by the tables.
-    pub fn table_order() -> [Outcome; 8] {
+    /// Stable display order used by the tables. New variants are only ever
+    /// *appended* so the wire codes of existing outcomes never move.
+    pub fn table_order() -> [Outcome; 10] {
         [
             Outcome::CompileCheck,
             Outcome::RuntimeCheck,
@@ -138,6 +148,8 @@ impl Outcome {
             Outcome::DamagedBoot,
             Outcome::Boot,
             Outcome::DeadCode,
+            Outcome::EngineError,
+            Outcome::Deadline,
         ]
     }
 }
@@ -153,6 +165,8 @@ impl fmt::Display for Outcome {
             Outcome::DamagedBoot => "Damaged boot",
             Outcome::Boot => "Boot",
             Outcome::DeadCode => "Dead code",
+            Outcome::EngineError => "Engine error",
+            Outcome::Deadline => "Deadline",
         };
         f.write_str(s)
     }
@@ -189,6 +203,9 @@ pub fn classify_run_error(e: &RunError) -> (Outcome, Detail) {
         }
         RunError::OutOfFuel => {
             (Outcome::InfiniteLoop, Detail::Borrowed("boot never completed"))
+        }
+        RunError::DeadlineExpired => {
+            (Outcome::Deadline, Detail::Borrowed("wall-clock deadline exceeded"))
         }
         RunError::NoSuchFunction(n) => {
             (Outcome::Halt, format!("kernel panic: missing driver entry `{n}`").into())
@@ -500,8 +517,22 @@ pub fn run_compiled<S: Scenario + ?Sized>(
     io: &mut IoSpace,
     fuel: u64,
 ) -> ScenarioReport {
+    run_compiled_bounded(scenario, compiled, io, fuel, None)
+}
+
+/// [`run_compiled`] with an optional wall-clock [`Deadline`]: the VM
+/// probes it cooperatively (never touching fuel or coverage accounting,
+/// so in-time runs are bit-identical to unbounded runs) and an overrun
+/// classifies as [`Outcome::Deadline`].
+pub fn run_compiled_bounded<S: Scenario + ?Sized>(
+    scenario: &S,
+    compiled: &CompiledProgram,
+    io: &mut IoSpace,
+    fuel: u64,
+    deadline: Option<Deadline>,
+) -> ScenarioReport {
     let mut host = MachineHost::new(io);
-    let mut vm = Vm::new(compiled, &mut host, fuel);
+    let mut vm = Vm::new(compiled, &mut host, fuel).with_deadline(deadline);
     let drive = scenario.drive(&mut vm);
     let coverage = vm.take_coverage();
     drop(vm);
@@ -519,14 +550,41 @@ pub fn run_interp<S: Scenario + ?Sized>(
     io: &mut IoSpace,
     fuel: u64,
 ) -> ScenarioReport {
+    run_interp_bounded(scenario, program, io, fuel, None)
+}
+
+/// [`run_interp`] with an optional wall-clock [`Deadline`] — the oracle
+/// counterpart of [`run_compiled_bounded`].
+pub fn run_interp_bounded<S: Scenario + ?Sized>(
+    scenario: &S,
+    program: &Program,
+    io: &mut IoSpace,
+    fuel: u64,
+    deadline: Option<Deadline>,
+) -> ScenarioReport {
     let mut host = MachineHost::new(io);
-    let mut interp = Interpreter::new(program, &mut host, fuel);
+    let mut interp = Interpreter::new(program, &mut host, fuel).with_deadline(deadline);
     let drive = scenario.drive(&mut interp);
     let coverage = interp.take_coverage();
     drop(interp);
     let console = std::mem::take(&mut host.console);
     drop(host);
     finish(scenario, io, drive, console, coverage)
+}
+
+/// A marker that makes the *harness itself* panic when it appears on the
+/// first line of a submitted driver source — the deterministic chaos seam
+/// the worker-supervision tests (and the CI chaos step) use to prove that
+/// a classify panic is isolated as [`Outcome::EngineError`] instead of
+/// tearing the campaign down. Only the first line is inspected, so the
+/// check costs one short scan per compile; real driver sources start with
+/// code or comments and never trip it.
+pub const CHAOS_PANIC_MARKER: &str = "__devil_chaos_panic__";
+
+fn chaos_check(source: &str) {
+    if source.lines().next().is_some_and(|l| l.contains(CHAOS_PANIC_MARKER)) {
+        panic!("classify panicked: chaos marker `{CHAOS_PANIC_MARKER}` tripped");
+    }
 }
 
 /// Refine a `Boot` outcome into `DeadCode` when the mutated line was never
@@ -634,15 +692,18 @@ impl<S: Scenario> ScenarioMachine<S> {
         includes: &[(&str, &str)],
         dead_site: Option<u32>,
     ) -> (Outcome, Detail) {
+        chaos_check(source);
         let program = match self.compile_mutant(file_name, source, includes) {
             Ok(p) => p,
             Err(e) => return (Outcome::CompileCheck, e.to_string().into()),
         };
-        self.drive_and_classify(&program, file_name, dead_site)
+        self.drive_and_classify(&program, file_name, dead_site, None)
     }
 
     /// Like [`ScenarioMachine::run`], compiling against an externally
-    /// shared [`IncludeCache`]. The cache is `Sync`: build it once per
+    /// shared [`IncludeCache`], and bounding the drive by an optional
+    /// wall-clock [`Deadline`] (an overrun classifies as
+    /// [`Outcome::Deadline`]). The cache is `Sync`: build it once per
     /// campaign and let every worker's machine borrow it, so the header
     /// set is lexed once per *campaign* instead of once per worker.
     pub fn run_cached(
@@ -651,22 +712,34 @@ impl<S: Scenario> ScenarioMachine<S> {
         source: &str,
         cache: &IncludeCache,
         dead_site: Option<u32>,
+        deadline: Option<Deadline>,
     ) -> (Outcome, Detail) {
+        chaos_check(source);
         let program = match devil_minic::compile_with_cache(file_name, source, cache) {
             Ok(p) => p,
             Err(e) => return (Outcome::CompileCheck, e.to_string().into()),
         };
-        self.drive_and_classify(&program, file_name, dead_site)
+        self.drive_and_classify(&program, file_name, dead_site, deadline)
     }
 
     /// Rewind to pristine and run an already-lowered program, returning
     /// the full report (no dead-code refinement) — the bench-facing
     /// per-mutant unit.
     pub fn run_compiled(&mut self, compiled: &CompiledProgram) -> ScenarioReport {
+        self.run_compiled_bounded(compiled, None)
+    }
+
+    /// [`ScenarioMachine::run_compiled`] with an optional wall-clock
+    /// deadline.
+    pub fn run_compiled_bounded(
+        &mut self,
+        compiled: &CompiledProgram,
+        deadline: Option<Deadline>,
+    ) -> ScenarioReport {
         self.io
             .restore(&self.pristine)
             .expect("pristine snapshot matches its own machine");
-        run_compiled(&self.scenario, compiled, &mut self.io, self.fuel)
+        run_compiled_bounded(&self.scenario, compiled, &mut self.io, self.fuel, deadline)
     }
 
     fn drive_and_classify(
@@ -674,8 +747,9 @@ impl<S: Scenario> ScenarioMachine<S> {
         program: &Program,
         file_name: &str,
         dead_site: Option<u32>,
+        deadline: Option<Deadline>,
     ) -> (Outcome, Detail) {
-        let report = self.run_compiled(&program.to_bytecode());
+        let report = self.run_compiled_bounded(&program.to_bytecode(), deadline);
         refine_dead_code(program, report, file_name, dead_site)
     }
 
@@ -712,8 +786,13 @@ mod tests {
             assert_eq!(outcome.code(), i as u8);
             assert_eq!(Outcome::from_code(i as u8), Some(outcome));
         }
-        assert_eq!(Outcome::from_code(8), None);
+        assert_eq!(Outcome::from_code(10), None);
         assert_eq!(Outcome::from_code(u8::MAX), None);
+        // The supervision/deadline variants were appended, so the codes
+        // PR 7 put on the wire are unchanged.
+        assert_eq!(Outcome::DeadCode.code(), 7);
+        assert_eq!(Outcome::EngineError.code(), 8);
+        assert_eq!(Outcome::Deadline.code(), 9);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::ast::*;
 use crate::coverage::Coverage;
+use crate::deadline::{Deadline, DEADLINE_CHECK_INTERVAL};
 use crate::types::CType;
 use crate::value::{wrap_int, ObjId, Place, Value};
 use crate::Program;
@@ -137,6 +138,11 @@ pub enum RunError {
     },
     /// The fuel budget ran out: the program is (as good as) hung.
     OutOfFuel,
+    /// The run's wall-clock [`Deadline`](crate::deadline::Deadline)
+    /// passed before it finished. Unlike [`RunError::OutOfFuel`] this is a
+    /// statement about real time, not executed work: the harness gave up
+    /// waiting, it did not observe a hang.
+    DeadlineExpired,
     /// The entry function does not exist (harness error).
     NoSuchFunction(String),
 }
@@ -151,6 +157,7 @@ impl fmt::Display for RunError {
                 write!(f, "machine fault at {file}:{line}: {kind}")
             }
             RunError::OutOfFuel => f.write_str("execution fuel exhausted (hang)"),
+            RunError::DeadlineExpired => f.write_str("wall-clock deadline exceeded"),
             RunError::NoSuchFunction(n) => write!(f, "no function named `{n}`"),
         }
     }
@@ -189,6 +196,9 @@ pub struct Interpreter<'a, H: Host> {
     program: &'a Program,
     host: &'a mut H,
     fuel: u64,
+    deadline: Option<Deadline>,
+    /// Burns until the next wall-clock probe (`u32::MAX` when unbounded).
+    deadline_ticks: u32,
     objects: Vec<Option<Vec<Value>>>,
     free: Vec<usize>,
     globals: HashMap<String, ObjId>,
@@ -207,6 +217,8 @@ impl<'a, H: Host> Interpreter<'a, H> {
             program,
             host,
             fuel,
+            deadline: None,
+            deadline_ticks: u32::MAX,
             objects: Vec::new(),
             free: Vec::new(),
             globals: HashMap::new(),
@@ -221,6 +233,19 @@ impl<'a, H: Host> Interpreter<'a, H> {
     /// Remaining fuel.
     pub fn fuel_left(&self) -> u64 {
         self.fuel
+    }
+
+    /// Bound the run by a wall-clock deadline (in addition to fuel). The
+    /// deadline is probed cooperatively — amortised over fuel burns and at
+    /// the block-I/O/delay builtins — and never touches fuel or coverage
+    /// accounting, so runs that finish in time are bit-identical to
+    /// unbounded runs.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Deadline>) -> Self {
+        self.deadline = deadline;
+        self.deadline_ticks =
+            if deadline.is_some() { DEADLINE_CHECK_INTERVAL } else { u32::MAX };
+        self
     }
 
     /// Mutable access to the host environment — for harnesses that inject
@@ -403,7 +428,37 @@ impl<'a, H: Host> Interpreter<'a, H> {
             return Err(RunError::OutOfFuel);
         }
         self.fuel -= 1;
+        self.deadline_ticks -= 1;
+        if self.deadline_ticks == 0 {
+            return self.deadline_probe();
+        }
         Ok(())
+    }
+
+    /// Amortised wall-clock probe: called once per
+    /// [`DEADLINE_CHECK_INTERVAL`] burns, reloads the countdown.
+    #[cold]
+    fn deadline_probe(&mut self) -> Result<(), RunError> {
+        match self.deadline {
+            Some(d) if d.expired() => Err(RunError::DeadlineExpired),
+            Some(_) => {
+                self.deadline_ticks = DEADLINE_CHECK_INTERVAL;
+                Ok(())
+            }
+            None => {
+                self.deadline_ticks = u32::MAX;
+                Ok(())
+            }
+        }
+    }
+
+    /// Direct wall-clock check at dispatch boundaries that consume
+    /// unbounded fuel in one step (block I/O, delays).
+    fn deadline_dispatch_check(&self) -> Result<(), RunError> {
+        match self.deadline {
+            Some(d) if d.expired() => Err(RunError::DeadlineExpired),
+            _ => Ok(()),
+        }
     }
 
     fn lookup_var(&self, name: &str) -> Option<ObjId> {
@@ -1191,6 +1246,7 @@ impl<'a, H: Host> Interpreter<'a, H> {
                 Value::Int(0)
             }
             "insw" | "insb" => {
+                self.deadline_dispatch_check()?;
                 let port = int_arg(0) as u16;
                 let count = int_arg(2).max(0) as usize;
                 let (size, mask) = if name == "insb" { (1, 0xFF) } else { (2, 0xFFFF) };
@@ -1212,6 +1268,7 @@ impl<'a, H: Host> Interpreter<'a, H> {
                 Value::Int(0)
             }
             "outsw" | "outsb" => {
+                self.deadline_dispatch_check()?;
                 let port = int_arg(0) as u16;
                 let count = int_arg(2).max(0) as usize;
                 let (size, mask) = if name == "outsb" { (1, 0xFF) } else { (2, 0xFFFF) };
@@ -1246,6 +1303,7 @@ impl<'a, H: Host> Interpreter<'a, H> {
                 return Err(RunError::Panic { message, file, line: local });
             }
             "udelay" | "mdelay" => {
+                self.deadline_dispatch_check()?;
                 let n = int_arg(0).max(0) as u64;
                 let usec = if name == "mdelay" { n * 1000 } else { n };
                 self.host.delay(usec);

@@ -39,6 +39,7 @@ pub mod ast;
 pub mod bytecode;
 pub mod check;
 pub mod coverage;
+pub mod deadline;
 pub mod error;
 mod fuse;
 pub mod interp;
@@ -52,6 +53,7 @@ pub mod vm;
 
 pub use bytecode::CompiledProgram;
 pub use coverage::Coverage;
+pub use deadline::Deadline;
 pub use error::{CError, CPhase};
 
 /// A fully checked program, ready to interpret.

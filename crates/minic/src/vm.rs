@@ -36,6 +36,7 @@ use crate::bytecode::{
     NO_FIELD,
 };
 use crate::coverage::Coverage;
+use crate::deadline::{Deadline, DEADLINE_CHECK_INTERVAL};
 use crate::interp::{FaultKind, Host, RunError, ABSORB_OBJ, MAX_DEPTH, OOB_SLACK, WILD_OBJ};
 use crate::value::{wrap_int, ObjId, Place, Value};
 use crate::ast::BinOp;
@@ -116,6 +117,9 @@ pub struct Vm<'a, H: Host> {
     program: &'a CompiledProgram,
     host: &'a mut H,
     fuel: u64,
+    deadline: Option<Deadline>,
+    /// Burns until the next wall-clock probe (`u32::MAX` when unbounded).
+    deadline_ticks: u32,
     coverage: Coverage,
     objects: Vec<Obj>,
     free: Vec<usize>,
@@ -156,6 +160,8 @@ impl<'a, H: Host> Vm<'a, H> {
             program,
             host,
             fuel,
+            deadline: None,
+            deadline_ticks: u32::MAX,
             coverage: Coverage::with_bounds(&program.line_bounds),
             objects: Vec::new(),
             free: Vec::new(),
@@ -180,6 +186,18 @@ impl<'a, H: Host> Vm<'a, H> {
     /// Remaining fuel.
     pub fn fuel_left(&self) -> u64 {
         self.fuel
+    }
+
+    /// Bound the run by a wall-clock deadline (in addition to fuel) —
+    /// identical semantics to the interpreter's `with_deadline`: probed
+    /// cooperatively, never touches fuel or coverage, so in-time runs stay
+    /// bit-identical to unbounded runs.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Deadline>) -> Self {
+        self.deadline = deadline;
+        self.deadline_ticks =
+            if deadline.is_some() { DEADLINE_CHECK_INTERVAL } else { u32::MAX };
+        self
     }
 
     /// Mutable access to the host environment — for harnesses that inject
@@ -533,7 +551,37 @@ impl<'a, H: Host> Vm<'a, H> {
             return Err(Box::new(RunError::OutOfFuel));
         }
         self.fuel -= 1;
+        self.deadline_ticks -= 1;
+        if self.deadline_ticks == 0 {
+            return self.deadline_probe();
+        }
         Ok(())
+    }
+
+    /// Amortised wall-clock probe: called once per
+    /// [`DEADLINE_CHECK_INTERVAL`] burns, reloads the countdown.
+    #[cold]
+    fn deadline_probe(&mut self) -> VmResult<()> {
+        match self.deadline {
+            Some(d) if d.expired() => Err(Box::new(RunError::DeadlineExpired)),
+            Some(_) => {
+                self.deadline_ticks = DEADLINE_CHECK_INTERVAL;
+                Ok(())
+            }
+            None => {
+                self.deadline_ticks = u32::MAX;
+                Ok(())
+            }
+        }
+    }
+
+    /// Direct wall-clock check at dispatch boundaries that consume
+    /// unbounded fuel in one step (block I/O, delays).
+    fn deadline_dispatch_check(&self) -> VmResult<()> {
+        match self.deadline {
+            Some(d) if d.expired() => Err(Box::new(RunError::DeadlineExpired)),
+            _ => Ok(()),
+        }
     }
 
     fn obj(&self, place: Place, packed: u32) -> VmResult<&Vec<Value>> {
@@ -1607,6 +1655,7 @@ impl<'a, H: Host> Vm<'a, H> {
                 Value::Int(0)
             }
             Builtin::Insw | Builtin::Insb => {
+                self.deadline_dispatch_check()?;
                 let port = int_arg(0) as u16;
                 let count = int_arg(2).max(0) as usize;
                 let Some(Value::Ptr(Some(p))) = vals.get(1).cloned() else {
@@ -1642,6 +1691,7 @@ impl<'a, H: Host> Vm<'a, H> {
                 Value::Int(0)
             }
             Builtin::Outsw | Builtin::Outsb => {
+                self.deadline_dispatch_check()?;
                 let port = int_arg(0) as u16;
                 let count = int_arg(2).max(0) as usize;
                 let Some(Value::Ptr(Some(p))) = vals.get(1).cloned() else {
@@ -1684,6 +1734,7 @@ impl<'a, H: Host> Vm<'a, H> {
                 return Err(Box::new(RunError::Panic { message, file, line: local }));
             }
             Builtin::Udelay | Builtin::Mdelay => {
+                self.deadline_dispatch_check()?;
                 let n = int_arg(0).max(0) as u64;
                 let usec = if which == Builtin::Mdelay { n * 1000 } else { n };
                 self.host.delay(usec);

@@ -27,9 +27,26 @@
 //! so the mutant list is never cloned or re-sorted per worker and there
 //! is no per-item lock on the hot path. [`run_parallel`] survives as the
 //! stateless-workspace special case.
+//!
+//! # Worker supervision
+//!
+//! The paper's whole subject is hostile inputs, and some of them are
+//! hostile to the *harness*: a mutant that makes `classify` itself panic.
+//! By default that is treated as a harness bug and aborts the campaign
+//! (fail loudly, never return a hole in the results). A long-running
+//! service cannot afford that contract, so [`Campaign::supervised`]
+//! installs a [`Supervise`] policy: the panic is caught per item
+//! (`catch_unwind`), the panicking worker's **workspace is discarded and
+//! rebuilt fresh** for the next item (whatever torn state the panic left
+//! dies with it — this is what makes the `AssertUnwindSafe` boundary
+//! sound), and the policy converts the panic into an ordinary outcome for
+//! that item. Panics raised *outside* `classify` — in `build` or in the
+//! delivery path — still abort: supervision isolates per-item failures,
+//! it does not paper over a broken harness.
 
 use crate::queue::JobQueue;
 use crate::site::Mutant;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Minimal deterministic RNG (splitmix64) for reproducible sampling.
 #[derive(Debug, Clone)]
@@ -129,24 +146,119 @@ pub fn effective_threads(threads: usize) -> usize {
 /// assert!(outcomes.is_empty());
 /// ```
 #[derive(Debug)]
-pub struct Campaign<B, F> {
+pub struct Campaign<B, F, R = Unsupervised> {
     threads: usize,
     build: B,
     classify: F,
+    recover: R,
 }
 
-impl<B, F> Campaign<B, F> {
+/// What a campaign does when `classify` panics on one item. See the
+/// [module docs](self#worker-supervision) for the isolation contract.
+pub trait Supervise<I, O>: Sync {
+    /// Decide the panicking item's fate: `Some(outcome)` substitutes an
+    /// outcome and the campaign continues (on a fresh workspace);
+    /// `None` re-raises the panic and aborts the campaign. `panic_message`
+    /// is the stringified panic payload (`"non-string panic payload"`
+    /// when it was neither a `String` nor a `&str`).
+    fn recover(&self, item: &I, panic_message: &str) -> Option<O>;
+}
+
+/// The default policy: a classify panic is a harness bug — re-raise it
+/// and abort the whole campaign rather than return partial results.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Unsupervised;
+
+impl<I, O> Supervise<I, O> for Unsupervised {
+    fn recover(&self, _item: &I, _panic_message: &str) -> Option<O> {
+        None
+    }
+}
+
+/// Adapter making any `Fn(&I, &str) -> O` a total [`Supervise`] policy:
+/// every classify panic becomes an outcome, no panic aborts.
+#[derive(Debug, Clone, Copy)]
+pub struct Recover<R>(pub R);
+
+impl<I, O, R> Supervise<I, O> for Recover<R>
+where
+    R: Fn(&I, &str) -> O + Sync,
+{
+    fn recover(&self, item: &I, panic_message: &str) -> Option<O> {
+        Some((self.0)(item, panic_message))
+    }
+}
+
+/// Best-effort text of a panic payload, for outcome details and logs.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied())
+        .unwrap_or("non-string panic payload")
+}
+
+/// Classify one item under supervision: build the workspace if the worker
+/// does not have one (first item, or the previous item panicked), catch a
+/// classify panic, and either substitute the policy's outcome or re-raise.
+/// On panic the workspace is dropped before the policy runs, so no torn
+/// state survives into the next item.
+fn classify_supervised<W, I, O, B, F, R>(
+    build: &B,
+    classify: &F,
+    recover: &R,
+    workspace: &mut Option<W>,
+    item: &I,
+) -> O
+where
+    B: Fn() -> W,
+    F: Fn(&mut W, &I) -> O,
+    R: Supervise<I, O>,
+{
+    let ws = workspace.get_or_insert_with(build);
+    match catch_unwind(AssertUnwindSafe(|| classify(ws, item))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            // The panic may have left the workspace mid-mutation; discard
+            // it so the next item starts from a freshly built one.
+            *workspace = None;
+            match recover.recover(item, panic_text(payload.as_ref())) {
+                Some(outcome) => outcome,
+                None => resume_unwind(payload),
+            }
+        }
+    }
+}
+
+impl<B, F> Campaign<B, F, Unsupervised> {
     /// Create a campaign that builds one workspace per worker with `build`
     /// and evaluates each item with `classify`. Uses all available cores
-    /// until [`Campaign::with_threads`] says otherwise.
+    /// until [`Campaign::with_threads`] says otherwise, and treats a
+    /// classify panic as fatal until [`Campaign::supervised`] says
+    /// otherwise.
     pub fn new(build: B, classify: F) -> Self {
-        Campaign { threads: 0, build, classify }
+        Campaign { threads: 0, build, classify, recover: Unsupervised }
     }
+}
 
+impl<B, F, R> Campaign<B, F, R> {
     /// Set the worker count (0 = available parallelism).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Isolate classify panics instead of aborting: a panicking item's
+    /// outcome is substituted by `recover(item, panic_message)`, the
+    /// worker's workspace is discarded and rebuilt, and the campaign
+    /// continues. See the [module docs](self#worker-supervision).
+    pub fn supervised<Rf>(self, recover: Rf) -> Campaign<B, F, Recover<Rf>> {
+        Campaign {
+            threads: self.threads,
+            build: self.build,
+            classify: self.classify,
+            recover: Recover(recover),
+        }
     }
 
     /// Classify every item, preserving order.
@@ -155,17 +267,20 @@ impl<B, F> Campaign<B, F> {
     /// builds its workspace once and reuses it for every item it pulls.
     /// With one worker (or fewer than two items) everything runs on the
     /// calling thread.
-    /// If any worker's `classify` panics the whole campaign aborts: the
-    /// panic is re-raised on the calling thread when that worker is
-    /// joined (message `campaign worker panicked`), and the outcomes of
-    /// the other workers are discarded with it. Campaigns treat a
-    /// panicking classifier as a harness bug, not a mutant outcome — a
-    /// mutant that breaks the engine must fail loudly, never appear as a
-    /// hole in the results.
+    /// Under the default [`Unsupervised`] policy, if any worker's
+    /// `classify` panics the whole campaign aborts: the panic is re-raised
+    /// on the calling thread when that worker is joined (message
+    /// `campaign worker panicked`), and the outcomes of the other workers
+    /// are discarded with it — a mutant that breaks the engine must fail
+    /// loudly, never appear as a hole in the results. A
+    /// [`Campaign::supervised`] campaign instead substitutes the policy's
+    /// outcome for the panicking item, rebuilds that worker's workspace,
+    /// and keeps going.
     pub fn run<W, I, O>(&self, items: &[I]) -> Vec<O>
     where
         B: Fn() -> W + Sync,
         F: Fn(&mut W, &I) -> O + Sync,
+        R: Supervise<I, O>,
         I: Sync,
         O: Send,
     {
@@ -175,24 +290,45 @@ impl<B, F> Campaign<B, F> {
         }
         let threads = effective_threads(self.threads).min(items.len());
         if threads == 1 || items.len() < 2 {
-            let mut workspace = (self.build)();
-            return items.iter().map(|m| (self.classify)(&mut workspace, m)).collect();
+            let mut workspace: Option<W> = None;
+            return items
+                .iter()
+                .map(|m| {
+                    classify_supervised(
+                        &self.build,
+                        &self.classify,
+                        &self.recover,
+                        &mut workspace,
+                        m,
+                    )
+                })
+                .collect();
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
         let build = &self.build;
         let classify = &self.classify;
+        let recover = &self.recover;
         let mut per_worker: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut workspace = build();
+                        let mut workspace: Option<W> = None;
                         let mut local: Vec<(usize, O)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if i >= items.len() {
                                 break;
                             }
-                            local.push((i, classify(&mut workspace, &items[i])));
+                            local.push((
+                                i,
+                                classify_supervised(
+                                    build,
+                                    classify,
+                                    recover,
+                                    &mut workspace,
+                                    &items[i],
+                                ),
+                            ));
                         }
                         local
                     })
@@ -232,28 +368,38 @@ impl<B, F> Campaign<B, F> {
     /// Blocks until the queue is closed and every queued item has been
     /// delivered. Admission control (bounded depth, shedding) lives on
     /// the [`JobQueue`] itself; by the time an item reaches a worker it
-    /// is guaranteed to run.
+    /// is guaranteed to run — or, under a [`Campaign::supervised`]
+    /// policy, to be delivered with the policy's substitute outcome when
+    /// classifying it panicked (the panicking worker's workspace is
+    /// rebuilt for its next item; the pool itself never shrinks).
     pub fn run_queue<W, I, O, D>(&self, queue: &JobQueue<I>, deliver: D)
     where
         B: Fn() -> W + Sync,
         F: Fn(&mut W, &I) -> O + Sync,
+        R: Supervise<I, O>,
         D: Fn(I, O) + Sync,
         I: Send,
     {
         let threads = effective_threads(self.threads);
         let build = &self.build;
         let classify = &self.classify;
+        let recover = &self.recover;
         let deliver = &deliver;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
+                        // Build lazily: a worker that never receives an
+                        // item never pays for a workspace.
                         let mut workspace: Option<W> = None;
                         while let Some(item) = queue.pop() {
-                            // Build lazily: a worker that never receives an
-                            // item never pays for a workspace.
-                            let ws = workspace.get_or_insert_with(build);
-                            let outcome = classify(ws, &item);
+                            let outcome = classify_supervised(
+                                build,
+                                classify,
+                                recover,
+                                &mut workspace,
+                                &item,
+                            );
                             deliver(item, outcome);
                         }
                     })
@@ -496,8 +642,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "campaign worker panicked")]
     fn worker_panic_aborts_the_campaign() {
-        // A panicking classifier is a harness bug: the campaign re-raises
-        // it on the calling thread instead of returning partial results.
+        // Under the default Unsupervised policy a panicking classifier is
+        // a harness bug: the campaign re-raises it on the calling thread
+        // instead of returning partial results.
         let ms = mutants(16);
         let _ = Campaign::new(
             || (),
@@ -508,6 +655,105 @@ mod tests {
         )
         .with_threads(4)
         .run(&ms);
+    }
+
+    #[test]
+    fn supervised_panic_becomes_an_outcome() {
+        // The "no single mutant can take down a campaign" guarantee: the
+        // poison item gets the policy's substitute outcome, every other
+        // item classifies normally, order is preserved.
+        let ms = mutants(16);
+        let out = Campaign::new(
+            || (),
+            |(): &mut (), m: &Mutant| {
+                assert_ne!(m.site, 7, "classifier blew up");
+                m.site
+            },
+        )
+        .with_threads(4)
+        .supervised(|m: &Mutant, panic_message: &str| {
+            assert!(panic_message.contains("classifier blew up"), "{panic_message}");
+            assert_eq!(m.site, 7);
+            usize::MAX
+        })
+        .run(&ms);
+        let want: Vec<usize> =
+            (0..16).map(|i| if i == 7 { usize::MAX } else { i }).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn supervised_panic_discards_and_rebuilds_the_workspace() {
+        // One worker, one poison item: the workspace alive when the panic
+        // hit must never serve another item.
+        let builds = AtomicUsize::new(0);
+        let ms = mutants(8);
+        let out = Campaign::new(
+            || builds.fetch_add(1, Ordering::Relaxed),
+            |ws: &mut usize, m: &Mutant| {
+                if m.site == 3 {
+                    panic!("poison");
+                }
+                *ws
+            },
+        )
+        .with_threads(1)
+        .supervised(|_: &Mutant, _: &str| usize::MAX)
+        .run(&ms);
+        // Items 0-2 ran on workspace 0, item 3 poisoned it, items 4-7 ran
+        // on the rebuilt workspace 1.
+        assert_eq!(out, vec![0, 0, 0, usize::MAX, 1, 1, 1, 1]);
+        assert_eq!(builds.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn supervised_run_queue_delivers_substitute_outcomes() {
+        use crate::queue::JobQueue;
+        use std::sync::Mutex;
+
+        let queue: JobQueue<usize> = JobQueue::bounded(64);
+        for i in 0..32 {
+            queue.push(i).unwrap();
+        }
+        queue.close();
+        let delivered: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+        Campaign::new(
+            || (),
+            |(): &mut (), i: &usize| {
+                if i % 10 == 3 {
+                    panic!("poison job {i}");
+                }
+                i * 2
+            },
+        )
+        .with_threads(4)
+        .supervised(|i: &usize, msg: &str| {
+            assert!(msg.contains(&format!("poison job {i}")));
+            usize::MAX
+        })
+        .run_queue(&queue, |item, out| delivered.lock().unwrap().push((item, out)));
+        let mut got = delivered.into_inner().unwrap();
+        got.sort_unstable();
+        let want: Vec<(usize, usize)> = (0..32)
+            .map(|i| (i, if i % 10 == 3 { usize::MAX } else { i * 2 }))
+            .collect();
+        assert_eq!(got, want, "every accepted job delivered, poisons substituted");
+    }
+
+    #[test]
+    fn supervision_reports_non_string_payloads() {
+        let ms = mutants(1);
+        let out = Campaign::new(
+            || (),
+            |(): &mut (), _: &Mutant| -> usize { std::panic::panic_any(42i32) },
+        )
+        .with_threads(1)
+        .supervised(|_: &Mutant, msg: &str| {
+            assert_eq!(msg, "non-string panic payload");
+            7usize
+        })
+        .run(&ms);
+        assert_eq!(out, vec![7]);
     }
 
     #[test]

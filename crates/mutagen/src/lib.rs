@@ -29,9 +29,13 @@ pub mod campaign;
 pub mod devil;
 pub mod literal;
 pub mod operator;
+pub mod quarantine;
 pub mod queue;
 pub mod site;
 
-pub use campaign::{effective_threads, run_parallel, sample, Campaign};
+pub use campaign::{
+    effective_threads, run_parallel, sample, Campaign, Recover, Supervise, Unsupervised,
+};
+pub use quarantine::Quarantine;
 pub use queue::{JobQueue, QueueStats};
 pub use site::{Mutant, MutationSite, SiteKind};

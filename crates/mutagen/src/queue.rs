@@ -112,6 +112,19 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// Take the next item only if one is queued right now — never blocks,
+    /// open or closed. The drain path uses this to shed the backlog
+    /// explicitly once a drain deadline passes, racing the workers for
+    /// the same items (each item still goes to exactly one taker).
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        let item = inner.items.pop_front();
+        if item.is_some() {
+            inner.stats.depth = inner.items.len();
+        }
+        item
+    }
+
     /// Close the queue: no further admissions, already-queued items still
     /// drain, and blocked [`JobQueue::pop`] calls wake up.
     pub fn close(&self) {
@@ -194,6 +207,19 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q = JobQueue::bounded(4);
+        assert_eq!(q.try_pop(), None, "empty open queue: None, no blocking");
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.stats().depth, 1);
+        q.close();
+        assert_eq!(q.try_pop(), Some(2), "closed queues still drain");
+        assert_eq!(q.try_pop(), None);
     }
 
     #[test]

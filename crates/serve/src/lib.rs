@@ -17,12 +17,15 @@
 //! ```text
 //! frame    := len:u32le payload
 //! payload  := tag:u8 body
-//! requests := SUBMIT(1)  req_id scenario plan plan_seed file dead_line source
+//! requests := SUBMIT(1)  req_id scenario plan plan_seed file dead_line deadline_ms source
 //!             STATS(2)   req_id
-//! replies  := OUTCOME(17) req_id outcome_code detail
-//!             SHED(18)    req_id
-//!             STATS(19)   req_id counters
-//!             ERR(20)     req_id message
+//!             DRAIN(3)   req_id grace_ms
+//! replies  := OUTCOME(17)  req_id outcome_code detail
+//!             SHED(18)     req_id
+//!             STATS(19)    req_id counters
+//!             ERR(20)      req_id message
+//!             EXPIRED(21)  req_id
+//!             DRAINING(22) req_id
 //! ```
 //!
 //! Strings are `u32le`-length-prefixed UTF-8; integers little-endian;
@@ -46,8 +49,33 @@
 //! immediately with `SHED` rather than buffered, so the client always
 //! learns each request's fate and an overloaded server degrades into an
 //! explicit shed rate instead of unbounded queueing delay. The server
-//! counts accepted/shed/depth/max-depth; `STATS` requests read them
-//! live, and the final counters come back at the end of a load run.
+//! counts accepted/shed/expired/depth/max-depth; `STATS` requests read
+//! them live, and the final counters come back at the end of a load run.
+//!
+//! # Failure taxonomy
+//!
+//! Every submission the server accepts resolves to exactly one terminal
+//! reply — nothing is silently dropped, even when the workload is
+//! hostile. The full accounting identity, on both the client's and the
+//! server's books, is
+//!
+//! ```text
+//! offered = completed + shed + expired + errors
+//! ```
+//!
+//! | reply     | meaning                                                        |
+//! |-----------|----------------------------------------------------------------|
+//! | `OUTCOME` | classified; the paper's taxonomy (`Outcome::code`), including: |
+//! |           | — `EngineError`: the *engine* panicked classifying this mutant. The worker caught the panic, discarded and rebuilt its workspace, and the service kept going (see `Campaign::supervised`). Repeat offenders are quarantined. |
+//! |           | — `Deadline`: the run overran its `deadline_ms` wall-clock budget and was stopped cooperatively (fuel accounting untouched). |
+//! | `SHED`    | refused at admission (queue full), or force-shed from the queue when a drain deadline passed |
+//! | `EXPIRED` | spent its whole `deadline_ms` budget waiting in the queue; shed at pop without paying for a run |
+//! | `ERR`     | never admitted: bad routing fields, or the `(file, source)` pair is quarantined after repeated engine failures |
+//! | `DRAINING`| submitted after a drain began; resubmit elsewhere |
+//!
+//! A drain (`DRAIN` request, [`DrainHandle::drain`], or the binary's
+//! SIGTERM handler) stops admissions, finishes the queued work within
+//! the drain grace, then hangs up only after every reply has flushed.
 //!
 //! # Pieces
 //!
@@ -71,4 +99,7 @@ pub mod server;
 pub use hist::Histogram;
 pub use load::{parse_mix, run_load, LoadConfig, LoadReport, MixEntry};
 pub use proto::{Request, Response, ServiceStats, SubmitMutant};
-pub use server::{serve, serve_tcp, Duplex, InProcServer, ServeConfig};
+pub use server::{
+    serve, serve_tcp, serve_with, ConnBreaker, DrainHandle, Duplex, InProcServer,
+    ServeConfig,
+};

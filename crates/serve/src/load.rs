@@ -36,9 +36,12 @@
 //!
 //! The server's admission queue is bounded; when it is full, submissions
 //! are *shed* — answered immediately with a shed notice instead of
-//! queued. The client counts sheds separately from completions, so a
-//! saturated server shows up as a shed rate, not as silently missing
-//! work: `offered = completed + shed + errors` once the run drains.
+//! queued. With [`LoadConfig::deadline_ms`] set, submissions that sit in
+//! the server's queue past their wall-clock budget come back *expired*
+//! instead of late. The client counts sheds and expiries separately from
+//! completions, so a saturated server shows up as explicit rates, not as
+//! silently missing work: `offered = completed + shed + expired +
+//! errors` once the run drains.
 
 use crate::hist::Histogram;
 use crate::proto::{
@@ -156,7 +159,26 @@ pub struct LoadConfig {
     /// Print a progress line (with fresh server counters) this often;
     /// `None` runs silently.
     pub report_every: Option<Duration>,
+    /// Per-submission wall-clock deadline in milliseconds, carried in
+    /// each SUBMIT frame; 0 submits without a deadline.
+    pub deadline_ms: u32,
+    /// Explicit budget for the final drain wait (all offered, none
+    /// outstanding); `None` derives it: the per-job deadline plus
+    /// scheduling slack when one is set, a generous fallback otherwise.
+    pub drain_wait: Option<Duration>,
 }
+
+/// Fallback drain budget when no per-job deadline bounds the tail.
+const DRAIN_WAIT_FALLBACK: Duration = Duration::from_secs(600);
+
+/// Scheduling/delivery slack added on top of the per-job deadline when
+/// deriving the drain budget.
+const DRAIN_WAIT_SLACK: Duration = Duration::from_secs(5);
+
+/// `send_ns` sentinel marking a request as answered; live requests hold
+/// their send timestamp, so whatever still carries one at drain-timeout
+/// time is a stuck request the error can name.
+const SETTLED: u64 = u64::MAX;
 
 /// How many sampled mutants each mix entry keeps in its pool.
 const POOL_CAP: usize = 128;
@@ -218,7 +240,10 @@ pub struct LoadReport {
     pub completed: u64,
     /// Submissions shed by the server's admission queue.
     pub shed: u64,
-    /// Submissions refused with a routing error.
+    /// Submissions that sat queued past their wall-clock deadline.
+    pub expired: u64,
+    /// Submissions refused with a routing error (or turned away by a
+    /// draining server).
     pub errors: u64,
     /// First send → last response, nanoseconds.
     pub elapsed_ns: u64,
@@ -245,12 +270,13 @@ impl LoadReport {
     pub fn summary(&self) -> String {
         let ms = |ns: u64| ns as f64 / 1e6;
         let mut out = format!(
-            "offered {} completed {} shed {} errors {} in {:.2}s\n\
+            "offered {} completed {} shed {} expired {} errors {} in {:.2}s\n\
              sustained {:.1} mutants/sec\n\
              latency p50 {:.2}ms p99 {:.2}ms p999 {:.2}ms max {:.2}ms\n",
             self.offered,
             self.completed,
             self.shed,
+            self.expired,
             self.errors,
             self.elapsed_ns as f64 / 1e9,
             self.sustained_per_sec(),
@@ -264,8 +290,8 @@ impl LoadReport {
         }
         if let Some(s) = &self.server {
             out.push_str(&format!(
-                "server: accepted {} completed {} shed {} max_depth {} workers {}\n",
-                s.accepted, s.completed, s.shed, s.max_depth, s.workers
+                "server: accepted {} completed {} shed {} expired {} max_depth {} workers {}\n",
+                s.accepted, s.completed, s.shed, s.expired, s.max_depth, s.workers
             ));
         }
         out
@@ -280,7 +306,7 @@ pub fn run_load<S: Duplex>(conn: S, config: &LoadConfig) -> io::Result<LoadRepor
     let pools = build_pools(config)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     let weight_total: u64 = pools.iter().map(|p| u64::from(p.entry.weight)).sum();
-    let (mut r, w) = conn.split()?;
+    let (mut r, w, _breaker) = conn.split()?;
 
     let total = config.total;
     let send_ns: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
@@ -293,6 +319,7 @@ pub fn run_load<S: Duplex>(conn: S, config: &LoadConfig) -> io::Result<LoadRepor
     struct ReaderTally {
         completed: u64,
         shed: u64,
+        expired: u64,
         errors: u64,
         latency: Histogram,
         outcome_counts: Vec<u64>,
@@ -310,6 +337,7 @@ pub fn run_load<S: Duplex>(conn: S, config: &LoadConfig) -> io::Result<LoadRepor
             let mut t = ReaderTally {
                 completed: 0,
                 shed: 0,
+                expired: 0,
                 errors: 0,
                 latency: Histogram::new(),
                 outcome_counts: vec![0; Outcome::table_order().len()],
@@ -323,7 +351,7 @@ pub fn run_load<S: Duplex>(conn: S, config: &LoadConfig) -> io::Result<LoadRepor
                 let mut settle = |req_id: u64| {
                     let sent = send_ns
                         .get(req_id as usize)
-                        .map_or(now_ns, |s| s.load(Ordering::SeqCst));
+                        .map_or(now_ns, |s| s.swap(SETTLED, Ordering::SeqCst));
                     t.last_response_ns = now_ns;
                     if outstanding.fetch_sub(1, Ordering::SeqCst) == 1
                         && load_done.load(Ordering::SeqCst)
@@ -343,10 +371,22 @@ pub fn run_load<S: Duplex>(conn: S, config: &LoadConfig) -> io::Result<LoadRepor
                         settle(req_id);
                         t.shed += 1;
                     }
+                    Response::Expired { req_id } => {
+                        settle(req_id);
+                        t.expired += 1;
+                    }
                     Response::Err { req_id, message } => {
                         settle(req_id);
                         t.errors += 1;
                         eprintln!("request {req_id} refused: {message}");
+                    }
+                    Response::Draining { req_id } => {
+                        // A submission turned away by a draining server:
+                        // it will never classify, so it settles as an
+                        // error rather than hanging the drain wait.
+                        settle(req_id);
+                        t.errors += 1;
+                        eprintln!("request {req_id} turned away: server draining");
                     }
                     Response::Stats { req_id, stats } => {
                         if req_id == FINAL_STATS {
@@ -406,6 +446,7 @@ pub fn run_load<S: Duplex>(conn: S, config: &LoadConfig) -> io::Result<LoadRepor
                 plan_seed: pool.entry.plan_seed,
                 file: pool.file.to_string(),
                 dead_line: shot.dead_line,
+                deadline_ms: config.deadline_ms,
                 source: shot.source.clone(),
             });
             // Stamp before the bytes can reach the server: the response
@@ -419,9 +460,43 @@ pub fn run_load<S: Duplex>(conn: S, config: &LoadConfig) -> io::Result<LoadRepor
         }
         load_done.store(true, Ordering::SeqCst);
         if outstanding.load(Ordering::SeqCst) > 0 {
-            drain_rx
-                .recv_timeout(Duration::from_secs(600))
-                .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "drain timed out"))?;
+            // With a per-job deadline every outstanding submission must
+            // resolve (outcome, expired or shed) within that budget of
+            // its admission — so the drain wait needs only the deadline
+            // plus delivery slack, not an arbitrary court of patience.
+            let wait = config.drain_wait.unwrap_or_else(|| {
+                if config.deadline_ms > 0 {
+                    Duration::from_millis(u64::from(config.deadline_ms)) + DRAIN_WAIT_SLACK
+                } else {
+                    DRAIN_WAIT_FALLBACK
+                }
+            });
+            drain_rx.recv_timeout(wait).map_err(|_| {
+                let stuck: Vec<u64> = send_ns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| {
+                        let v = s.load(Ordering::SeqCst);
+                        v != SETTLED && v != 0
+                    })
+                    .map(|(n, _)| n as u64)
+                    .collect();
+                let shown = stuck
+                    .iter()
+                    .take(8)
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let suffix = if stuck.len() > 8 { ", …" } else { "" };
+                io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "drain timed out after {:.1}s: {} request(s) unanswered (req ids {shown}{suffix})",
+                        wait.as_secs_f64(),
+                        stuck.len(),
+                    ),
+                )
+            })?;
         }
         write_frame(&mut w, &Request::Stats { req_id: FINAL_STATS }.encode())?;
         w.flush()?;
@@ -438,6 +513,7 @@ pub fn run_load<S: Duplex>(conn: S, config: &LoadConfig) -> io::Result<LoadRepor
             offered: offered.load(Ordering::SeqCst),
             completed: t.completed,
             shed: t.shed,
+            expired: t.expired,
             errors: t.errors,
             elapsed_ns: t.last_response_ns,
             latency: t.latency,
@@ -507,6 +583,8 @@ mod tests {
             mix,
             seed: 7,
             report_every: None,
+            deadline_ms: 0,
+            drain_wait: None,
         };
         let pools = build_pools(&config).unwrap();
         let weight_total: u64 = pools.iter().map(|p| u64::from(p.entry.weight)).sum();

@@ -95,6 +95,30 @@ impl Drop for PipeWriter {
     }
 }
 
+/// Severs a pipe connection's directions from outside the threads that
+/// own the reader/writer halves — the drain supervisor's cutoff lever.
+/// Breaking the inbound direction makes a blocked [`PipeReader`] observe
+/// EOF (after any already-buffered bytes drain); breaking both also
+/// turns further peer writes into `BrokenPipe`.
+#[derive(Debug)]
+pub struct PipeBreaker {
+    inbound: Arc<Channel>,
+    outbound: Arc<Channel>,
+}
+
+impl PipeBreaker {
+    /// Close the direction this endpoint reads from.
+    pub fn break_read(&self) {
+        self.inbound.close();
+    }
+
+    /// Close both directions.
+    pub fn break_both(&self) {
+        self.inbound.close();
+        self.outbound.close();
+    }
+}
+
 /// One endpoint of an in-process duplex connection (see [`pipe`]).
 #[derive(Debug)]
 pub struct PipeEnd {
@@ -106,6 +130,16 @@ impl PipeEnd {
     /// Split into independently owned read and write halves.
     pub fn split(self) -> (PipeReader, PipeWriter) {
         (self.reader, self.writer)
+    }
+
+    /// Split into read/write halves plus a [`PipeBreaker`] that can sever
+    /// either direction from a third thread.
+    pub fn split_breakable(self) -> (PipeReader, PipeWriter, PipeBreaker) {
+        let breaker = PipeBreaker {
+            inbound: Arc::clone(&self.reader.0),
+            outbound: Arc::clone(&self.writer.0),
+        };
+        (self.reader, self.writer, breaker)
     }
 }
 
@@ -178,6 +212,23 @@ mod tests {
         let mut buf = [0u8; 1];
         assert_eq!(a_read.read(&mut buf).unwrap(), 0);
         assert!(a_write.write(b"x").is_ok());
+    }
+
+    #[test]
+    fn breaker_unblocks_a_parked_reader() {
+        let (a, b) = pipe();
+        let (mut b_read, _b_write, breaker) = b.split_breakable();
+        let t = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            b_read.read_to_end(&mut out).map(|_| out)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        breaker.break_read();
+        assert_eq!(t.join().unwrap().unwrap(), b"", "EOF, not a hang");
+        // break_both: the peer's writes now fail too.
+        breaker.break_both();
+        let (_a_read, mut a_write) = a.split();
+        assert!(a_write.write(b"x").is_err());
     }
 
     #[test]

@@ -13,10 +13,19 @@
 //! Requests carry a client-chosen `req_id`; every submission produces
 //! **exactly one** response bearing the same id — a classified
 //! [`Outcome`], a `Shed` rejection when the server's admission queue is
-//! full, or an `Err` for malformed routing (unknown scenario, driver or
-//! fault plan). Responses arrive in *completion* order, not submission
-//! order: the id is the only correlation, which is what lets the client
-//! drive the server open-loop with any number of requests in flight.
+//! full (or when a drain shed it before a worker got to it), an
+//! `Expired` when the submission's own `deadline_ms` passed while it was
+//! still queued, or an `Err` for malformed routing (unknown scenario,
+//! driver or fault plan) and for quarantined job keys. Responses arrive
+//! in *completion* order, not submission order: the id is the only
+//! correlation, which is what lets the client drive the server open-loop
+//! with any number of requests in flight.
+//!
+//! A `Drain` request asks the server to begin graceful shutdown: stop
+//! accepting connections, run what is queued until the grace period ends
+//! (then shed the rest explicitly), flush every reply, and exit. It is
+//! acknowledged immediately with `Draining`; all in-flight submissions
+//! still get their one response.
 //!
 //! Outcomes cross the wire as [`Outcome::code`] (the index into
 //! `Outcome::table_order()`), so the protocol inherits the taxonomy's
@@ -31,10 +40,13 @@ pub const MAX_FRAME: u32 = 16 << 20;
 
 const REQ_SUBMIT: u8 = 1;
 const REQ_STATS: u8 = 2;
+const REQ_DRAIN: u8 = 3;
 const REP_OUTCOME: u8 = 17;
 const REP_SHED: u8 = 18;
 const REP_STATS: u8 = 19;
 const REP_ERR: u8 = 20;
+const REP_EXPIRED: u8 = 21;
+const REP_DRAINING: u8 = 22;
 
 /// One mutant-classification request: which workload to run (scenario ×
 /// fault plan) and what to run under it (a driver source, spliced with
@@ -53,6 +65,11 @@ pub struct SubmitMutant {
     pub file: String,
     /// 1-based line of the mutation for dead-code refinement (0 = none).
     pub dead_line: u32,
+    /// Wall-clock budget in milliseconds, counted from **admission** (so
+    /// time spent queued is part of it): past the budget a queued job is
+    /// answered `Expired` without running, and a running job is cut off
+    /// and classified `Deadline`. 0 = no deadline.
+    pub deadline_ms: u32,
     /// The full mutated driver source.
     pub source: String,
 }
@@ -67,6 +84,15 @@ pub enum Request {
         /// Correlation id echoed on the stats response.
         req_id: u64,
     },
+    /// Begin graceful shutdown: stop admitting, drain the queue, flush
+    /// every reply, exit. Acknowledged with [`Response::Draining`].
+    Drain {
+        /// Correlation id echoed on the ack.
+        req_id: u64,
+        /// Grace period in milliseconds before still-queued jobs are shed
+        /// explicitly (0 = the server's configured default).
+        grace_ms: u32,
+    },
 }
 
 /// Server-side counters reported by [`Response::Stats`] — the
@@ -77,8 +103,12 @@ pub struct ServiceStats {
     pub accepted: u64,
     /// Submissions classified and answered.
     pub completed: u64,
-    /// Submissions rejected because the queue was at capacity.
+    /// Submissions rejected because the queue was at capacity, plus jobs
+    /// shed explicitly when a drain grace period ran out.
     pub shed: u64,
+    /// Submissions whose own deadline passed while they were queued —
+    /// answered [`Response::Expired`] without running.
+    pub expired: u64,
     /// Queue depth at snapshot time.
     pub depth: u64,
     /// Highest queue depth observed — the backlog high-water mark.
@@ -112,12 +142,25 @@ pub enum Response {
         stats: ServiceStats,
     },
     /// The submission could not be routed (unknown scenario, driver
-    /// file or fault plan).
+    /// file or fault plan), or its job key is quarantined after repeated
+    /// engine failures.
     Err {
         /// Correlation id of the submission.
         req_id: u64,
         /// What was wrong with it.
         message: String,
+    },
+    /// The submission's own `deadline_ms` passed while it waited in the
+    /// queue; it was not run.
+    Expired {
+        /// Correlation id of the submission.
+        req_id: u64,
+    },
+    /// Ack of a [`Request::Drain`]: the server has begun graceful
+    /// shutdown.
+    Draining {
+        /// Correlation id of the drain request.
+        req_id: u64,
     },
 }
 
@@ -196,11 +239,17 @@ impl Request {
                 put_u64(&mut out, s.plan_seed);
                 put_str(&mut out, &s.file);
                 put_u32(&mut out, s.dead_line);
+                put_u32(&mut out, s.deadline_ms);
                 put_str(&mut out, &s.source);
             }
             Request::Stats { req_id } => {
                 out.push(REQ_STATS);
                 put_u64(&mut out, *req_id);
+            }
+            Request::Drain { req_id, grace_ms } => {
+                out.push(REQ_DRAIN);
+                put_u64(&mut out, *req_id);
+                put_u32(&mut out, *grace_ms);
             }
         }
         out
@@ -217,9 +266,11 @@ impl Request {
                 plan_seed: c.u64()?,
                 file: c.string()?,
                 dead_line: c.u32()?,
+                deadline_ms: c.u32()?,
                 source: c.string()?,
             }),
             REQ_STATS => Request::Stats { req_id: c.u64()? },
+            REQ_DRAIN => Request::Drain { req_id: c.u64()?, grace_ms: c.u32()? },
             tag => return Err(malformed(&format!("unknown request tag {tag}"))),
         };
         c.finish()?;
@@ -249,6 +300,7 @@ impl Response {
                     stats.accepted,
                     stats.completed,
                     stats.shed,
+                    stats.expired,
                     stats.depth,
                     stats.max_depth,
                     stats.workers,
@@ -260,6 +312,14 @@ impl Response {
                 out.push(REP_ERR);
                 put_u64(&mut out, *req_id);
                 put_str(&mut out, message);
+            }
+            Response::Expired { req_id } => {
+                out.push(REP_EXPIRED);
+                put_u64(&mut out, *req_id);
+            }
+            Response::Draining { req_id } => {
+                out.push(REP_DRAINING);
+                put_u64(&mut out, *req_id);
             }
         }
         out
@@ -283,12 +343,15 @@ impl Response {
                     accepted: c.u64()?,
                     completed: c.u64()?,
                     shed: c.u64()?,
+                    expired: c.u64()?,
                     depth: c.u64()?,
                     max_depth: c.u64()?,
                     workers: c.u64()?,
                 },
             },
             REP_ERR => Response::Err { req_id: c.u64()?, message: c.string()? },
+            REP_EXPIRED => Response::Expired { req_id: c.u64()? },
+            REP_DRAINING => Response::Draining { req_id: c.u64()? },
             tag => return Err(malformed(&format!("unknown response tag {tag}"))),
         };
         c.finish()?;
@@ -342,13 +405,18 @@ mod tests {
             plan_seed: 0xD5,
             file: "ide_piix4.c".into(),
             dead_line: 42,
+            deadline_ms: 250,
             source: "int main() { return 0; }".into(),
         })
     }
 
     #[test]
     fn requests_round_trip() {
-        for req in [sample_submit(), Request::Stats { req_id: 7 }] {
+        for req in [
+            sample_submit(),
+            Request::Stats { req_id: 7 },
+            Request::Drain { req_id: 8, grace_ms: 1_500 },
+        ] {
             let payload = req.encode();
             assert_eq!(Request::decode(&payload).unwrap(), req);
         }
@@ -367,14 +435,17 @@ mod tests {
                 req_id: 3,
                 stats: ServiceStats {
                     accepted: 10,
-                    completed: 8,
+                    completed: 7,
                     shed: 2,
+                    expired: 1,
                     depth: 1,
                     max_depth: 5,
                     workers: 4,
                 },
             },
             Response::Err { req_id: 4, message: "unknown scenario `nope`".into() },
+            Response::Expired { req_id: 5 },
+            Response::Draining { req_id: 6 },
         ];
         for rep in all {
             let payload = rep.encode();

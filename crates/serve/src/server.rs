@@ -23,6 +23,32 @@
 //! unit as the batch `Campaign` path — pinned identical by the
 //! round-trip test — so "is this driver patch safe?" answers the same
 //! whether asked as a table or as a service.
+//!
+//! # Surviving the hostile tail
+//!
+//! Three mechanisms keep one poisonous mutant from taking the service
+//! down (the failure taxonomy is summarised in the [crate docs](crate)):
+//!
+//! * **supervision** — workers run under
+//!   [`Campaign::supervised`]: a classify panic is caught, the worker's
+//!   workspace (its cached machines) is discarded and rebuilt, and the
+//!   job is answered with an `Outcome::EngineError` reply instead of
+//!   taking the process down. A [`Quarantine`] ledger counts strikes per
+//!   `(driver file, source fingerprint)` key; once a key reaches
+//!   [`ServeConfig::quarantine_limit`] strikes, admission refuses it
+//!   with an `ERR` reply rather than feeding it to another worker.
+//! * **per-job deadlines** — a submission's `deadline_ms` starts a
+//!   wall-clock budget at admission. A job still queued when its budget
+//!   lapses is shed with an `EXPIRED` reply without paying for a run; a
+//!   running job carries a cooperative [`Deadline`] into the engine and
+//!   classifies as `Outcome::Deadline` on overrun. Deadline probes never
+//!   touch fuel or coverage accounting, so in-time runs stay
+//!   bit-identical with the batch path.
+//! * **graceful drain** — a `DRAIN` request (or [`DrainHandle::drain`],
+//!   which the binary wires to SIGTERM/SIGINT) stops admissions, lets
+//!   queued work finish, force-sheds whatever is still queued once the
+//!   drain deadline passes, and severs connections only after every
+//!   pending reply has been flushed: zero lost replies.
 
 use crate::proto::{
     read_frame, write_frame, Request, Response, ServiceStats, SubmitMutant,
@@ -30,14 +56,20 @@ use crate::proto::{
 use devil_drivers::corpus::{build_faulted, build_scenario, driver_headers, scenario_names};
 use devil_hwsim::FaultPlan;
 use devil_kernel::boot::DEFAULT_FUEL;
-use devil_kernel::scenario::{Scenario, ScenarioMachine};
+use devil_kernel::scenario::{Deadline, Scenario, ScenarioMachine};
+use devil_kernel::Outcome;
 use devil_minic::pp::IncludeCache;
-use devil_mutagen::{effective_threads, Campaign, JobQueue};
+use devil_mutagen::{effective_threads, Campaign, JobQueue, Quarantine};
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the drain supervisor waits for writer threads to flush their
+/// last replies before severing connections outright.
+const WRITER_FLUSH_GRACE: Duration = Duration::from_secs(5);
 
 /// Tuning knobs of one server instance.
 #[derive(Debug, Clone)]
@@ -50,12 +82,35 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Engine fuel per mutant run.
     pub fuel: u64,
+    /// Engine-failure strikes before a `(driver file, source)` pair is
+    /// refused at admission; 0 disables quarantining.
+    pub quarantine_limit: u32,
+    /// Default force-shed deadline for transport-level drains (the
+    /// binary's SIGTERM path); protocol `DRAIN` requests carry their
+    /// own. `None` lets the backlog run to completion.
+    pub drain_grace: Option<Duration>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { threads: 0, queue_cap: 1024, fuel: DEFAULT_FUEL }
+        ServeConfig {
+            threads: 0,
+            queue_cap: 1024,
+            fuel: DEFAULT_FUEL,
+            quarantine_limit: 3,
+            drain_grace: Some(Duration::from_secs(10)),
+        }
     }
+}
+
+/// Severs a live connection from outside the threads that own its
+/// halves — the drain supervisor's cutoff lever.
+pub trait ConnBreaker: Send + 'static {
+    /// Close the server's read direction: a parked reader observes EOF
+    /// (already-buffered requests still drain first).
+    fn break_read(&self);
+    /// Close both directions unconditionally.
+    fn break_both(&self);
 }
 
 /// A byte stream the server (or the load client) can split into
@@ -67,8 +122,10 @@ pub trait Duplex: Send + 'static {
     /// The owned write half; dropping it must close the direction so the
     /// peer observes EOF (TCP half-close semantics).
     type Writer: Write + Send + 'static;
-    /// Split into the two halves.
-    fn split(self) -> io::Result<(Self::Reader, Self::Writer)>;
+    /// The out-of-band severing handle for the drain path.
+    type Breaker: ConnBreaker;
+    /// Split into the two halves plus the breaker.
+    fn split(self) -> io::Result<(Self::Reader, Self::Writer, Self::Breaker)>;
 }
 
 /// The write half of a [`TcpStream`]: shuts the write direction down on
@@ -91,20 +148,173 @@ impl Drop for TcpWriteHalf {
     }
 }
 
+/// [`ConnBreaker`] for TCP: `shutdown` on any clone severs the socket
+/// for every half.
+#[derive(Debug)]
+pub struct TcpBreaker(TcpStream);
+
+impl ConnBreaker for TcpBreaker {
+    fn break_read(&self) {
+        let _ = self.0.shutdown(std::net::Shutdown::Read);
+    }
+    fn break_both(&self) {
+        let _ = self.0.shutdown(std::net::Shutdown::Both);
+    }
+}
+
 impl Duplex for TcpStream {
     type Reader = TcpStream;
     type Writer = TcpWriteHalf;
-    fn split(self) -> io::Result<(TcpStream, TcpWriteHalf)> {
+    type Breaker = TcpBreaker;
+    fn split(self) -> io::Result<(TcpStream, TcpWriteHalf, TcpBreaker)> {
         let reader = self.try_clone()?;
-        Ok((reader, TcpWriteHalf(self)))
+        let breaker = TcpBreaker(self.try_clone()?);
+        Ok((reader, TcpWriteHalf(self), breaker))
+    }
+}
+
+impl ConnBreaker for crate::pipe::PipeBreaker {
+    fn break_read(&self) {
+        crate::pipe::PipeBreaker::break_read(self);
+    }
+    fn break_both(&self) {
+        crate::pipe::PipeBreaker::break_both(self);
     }
 }
 
 impl Duplex for crate::pipe::PipeEnd {
     type Reader = crate::pipe::PipeReader;
     type Writer = crate::pipe::PipeWriter;
-    fn split(self) -> io::Result<(Self::Reader, Self::Writer)> {
-        Ok(crate::pipe::PipeEnd::split(self))
+    type Breaker = crate::pipe::PipeBreaker;
+    fn split(self) -> io::Result<(Self::Reader, Self::Writer, Self::Breaker)> {
+        Ok(crate::pipe::PipeEnd::split_breakable(self))
+    }
+}
+
+/// The drain state machine shared between readers (who trigger and
+/// observe it), the supervisor (who executes it) and the worker pool
+/// (whose completion releases it).
+#[derive(Debug, Default)]
+struct DrainControl {
+    state: Mutex<DrainState>,
+    wake: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct DrainState {
+    requested: bool,
+    deadline: Option<Instant>,
+    finished: bool,
+}
+
+impl DrainControl {
+    fn request(&self, grace: Option<Duration>) {
+        let mut st = self.state.lock().unwrap();
+        // First request wins: a later, laxer grace must not extend a
+        // drain already under way.
+        if !st.requested {
+            st.requested = true;
+            st.deadline = grace.map(|g| Instant::now() + g);
+        }
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    fn is_draining(&self) -> bool {
+        self.state.lock().unwrap().requested
+    }
+
+    /// The server wound down naturally; release a supervisor still
+    /// waiting for a drain that will never come.
+    fn finish(&self) {
+        self.state.lock().unwrap().finished = true;
+        self.wake.notify_all();
+    }
+
+    /// Block until a drain is requested (`Some(force-shed deadline)`) or
+    /// the server winds down naturally (`None`).
+    fn wait_trigger(&self) -> Option<Option<Instant>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.requested {
+                return Some(st.deadline);
+            }
+            if st.finished {
+                return None;
+            }
+            st = self.wake.wait(st).unwrap();
+        }
+    }
+}
+
+/// External drain trigger for a running [`serve_with`] call: cloneable,
+/// so a signal-watcher thread can hold one while the server blocks.
+#[derive(Debug, Clone, Default)]
+pub struct DrainHandle {
+    ctl: Arc<DrainControl>,
+}
+
+impl DrainHandle {
+    /// A fresh handle, to be passed to [`serve_with`] or [`serve_tcp`].
+    pub fn new() -> DrainHandle {
+        DrainHandle::default()
+    }
+
+    /// Request a graceful drain: stop admitting, let queued work finish,
+    /// force-shed whatever is still queued once `grace` elapses (`None`
+    /// lets the backlog run to completion), then hang up every
+    /// connection once all replies are flushed.
+    pub fn drain(&self, grace: Option<Duration>) {
+        self.ctl.request(grace);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.ctl.is_draining()
+    }
+}
+
+/// The registered connection breakers, with the drain phases latched so
+/// a connection accepted *while* the cutoff runs is severed on arrival
+/// instead of slipping through and parking a reader forever.
+#[derive(Default)]
+struct BreakerSet {
+    inner: Mutex<BreakerState>,
+}
+
+#[derive(Default)]
+struct BreakerState {
+    breakers: Vec<Box<dyn ConnBreaker>>,
+    severed: bool,
+    cut: bool,
+}
+
+impl BreakerSet {
+    fn register(&self, breaker: Box<dyn ConnBreaker>) {
+        let mut st = self.inner.lock().unwrap();
+        if st.cut {
+            breaker.break_both();
+        } else if st.severed {
+            breaker.break_read();
+        }
+        st.breakers.push(breaker);
+    }
+
+    fn sever_reads(&self) {
+        let mut st = self.inner.lock().unwrap();
+        st.severed = true;
+        for b in &st.breakers {
+            b.break_read();
+        }
+    }
+
+    fn cut_all(&self) {
+        let mut st = self.inner.lock().unwrap();
+        st.severed = true;
+        st.cut = true;
+        for b in &st.breakers {
+            b.break_both();
+        }
     }
 }
 
@@ -162,12 +372,32 @@ impl Routes {
     }
 }
 
-/// One admitted unit of work: the validated submission plus the sender of
-/// the submitting connection's response channel — the routing state that
+/// One admitted unit of work: the validated submission, its wall-clock
+/// expiry (admission time + `deadline_ms`), and the sender of the
+/// submitting connection's response channel — the routing state that
 /// brings the outcome home.
 struct Job {
     req: SubmitMutant,
+    expires_at: Option<Instant>,
     resp: mpsc::Sender<Vec<u8>>,
+}
+
+/// The quarantine key: which driver file, which exact mutant source.
+type JobKey = (String, u64);
+
+fn job_key(req: &SubmitMutant) -> JobKey {
+    (req.file.clone(), source_fingerprint(&req.source))
+}
+
+/// FNV-1a over the mutant source: the quarantine must identify the exact
+/// source text without storing a copy per strike.
+fn source_fingerprint(source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in source.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// A worker's workspace: one snapshot-reset machine per workload it has
@@ -189,23 +419,46 @@ fn build_machine(req: &SubmitMutant, fuel: u64) -> ScenarioMachine<Box<dyn Scena
 
 /// Serve connections arriving on `incoming` until the channel closes and
 /// the last connection hangs up; returns the final counter snapshot.
+/// Equivalent to [`serve_with`] with a drain handle nobody pulls.
+pub fn serve<S: Duplex>(config: &ServeConfig, incoming: mpsc::Receiver<S>) -> ServiceStats {
+    serve_with(config, incoming, &DrainHandle::new())
+}
+
+/// Serve connections arriving on `incoming` until the channel closes and
+/// the last connection hangs up, or until `drain` is pulled (externally
+/// or by a protocol `DRAIN` request); returns the final counter
+/// snapshot.
 ///
 /// This is the transport-agnostic core: the `devil-serve` binary feeds it
 /// TCP accepts, tests and benches feed it in-process pipe ends. Blocks
 /// the calling thread for the life of the service.
-pub fn serve<S: Duplex>(config: &ServeConfig, incoming: mpsc::Receiver<S>) -> ServiceStats {
+pub fn serve_with<S: Duplex>(
+    config: &ServeConfig,
+    incoming: mpsc::Receiver<S>,
+    drain: &DrainHandle,
+) -> ServiceStats {
     let routes = Routes::build();
     let queue: JobQueue<Job> = JobQueue::bounded(config.queue_cap);
+    let quarantine: Quarantine<JobKey> = Quarantine::new();
+    let breakers = BreakerSet::default();
     let completed = AtomicU64::new(0);
+    let expired = AtomicU64::new(0);
+    let forced_shed = AtomicU64::new(0);
+    let workers_done = AtomicBool::new(false);
+    let acceptor_done = AtomicBool::new(false);
+    let writers_alive = AtomicUsize::new(0);
     let workers = effective_threads(config.threads);
     let fuel = config.fuel;
+    let quarantine_limit = config.quarantine_limit;
+    let drain_ctl: &DrainControl = &drain.ctl;
 
-    let stats_now = |queue: &JobQueue<Job>, completed: &AtomicU64| {
+    let stats_now = |queue: &JobQueue<Job>| {
         let q = queue.stats();
         ServiceStats {
             accepted: q.accepted,
             completed: completed.load(Ordering::Relaxed),
-            shed: q.shed,
+            shed: q.shed + forced_shed.load(Ordering::Relaxed),
+            expired: expired.load(Ordering::Relaxed),
             depth: q.depth as u64,
             max_depth: q.max_depth as u64,
             workers: workers as u64,
@@ -215,20 +468,34 @@ pub fn serve<S: Duplex>(config: &ServeConfig, incoming: mpsc::Receiver<S>) -> Se
     std::thread::scope(|scope| {
         let queue = &queue;
         let routes = &routes;
+        let quarantine = &quarantine;
+        let breakers = &breakers;
         let completed = &completed;
+        let expired = &expired;
+        let forced_shed = &forced_shed;
+        let workers_done = &workers_done;
+        let acceptor_done = &acceptor_done;
+        let writers_alive = &writers_alive;
         let stats_now = &stats_now;
 
-        // Acceptor: one reader + one writer thread per connection. When
-        // the incoming channel closes and every reader has hung up, no
-        // new work can arrive — close the queue so the workers drain and
-        // exit.
+        // Acceptor: one reader + one writer thread per connection,
+        // polling so a drain interrupts the wait. When no more work can
+        // arrive — the incoming channel closed and every reader hung up,
+        // or a drain began — close the queue so the workers drain and
+        // exit. A drain does NOT abandon connections already sitting in
+        // the backlog: they are swept and served so every frame they
+        // wrote gets an explicit reply (`DRAINING` for submissions) —
+        // the supervisor waits for `acceptor_done` before it severs, so
+        // the sweep always lands ahead of the cutoff.
         scope.spawn(move || {
             let mut readers = Vec::new();
-            for stream in incoming.iter() {
-                let Ok((mut r, w)) = stream.split() else { continue };
+            let handle = |stream: S, readers: &mut Vec<_>| {
+                let Ok((mut r, w, breaker)) = stream.split() else { return };
+                breakers.register(Box::new(breaker));
                 let (tx, rx) = mpsc::channel::<Vec<u8>>();
                 // Writer: stream pre-encoded frames until every sender —
                 // the reader and any in-flight jobs — is gone.
+                writers_alive.fetch_add(1, Ordering::SeqCst);
                 scope.spawn(move || {
                     let mut w = BufWriter::new(w);
                     for frame in rx.iter() {
@@ -237,6 +504,7 @@ pub fn serve<S: Duplex>(config: &ServeConfig, incoming: mpsc::Receiver<S>) -> Se
                         }
                         let _ = w.flush();
                     }
+                    writers_alive.fetch_sub(1, Ordering::SeqCst);
                 });
                 readers.push(scope.spawn(move || {
                     while let Ok(Some(payload)) = read_frame(&mut r) {
@@ -245,18 +513,49 @@ pub fn serve<S: Duplex>(config: &ServeConfig, incoming: mpsc::Receiver<S>) -> Se
                             Request::Stats { req_id } => {
                                 let rep = Response::Stats {
                                     req_id,
-                                    stats: stats_now(queue, completed),
+                                    stats: stats_now(queue),
                                 };
                                 let _ = tx.send(rep.encode());
                             }
+                            Request::Drain { req_id, grace_ms } => {
+                                // grace 0 means no force-shed deadline:
+                                // the backlog runs to completion.
+                                let grace = (grace_ms != 0)
+                                    .then(|| Duration::from_millis(u64::from(grace_ms)));
+                                drain_ctl.request(grace);
+                                let rep = Response::Draining { req_id };
+                                let _ = tx.send(rep.encode());
+                            }
                             Request::Submit(s) => {
+                                if drain_ctl.is_draining() {
+                                    let rep = Response::Draining { req_id: s.req_id };
+                                    let _ = tx.send(rep.encode());
+                                    continue;
+                                }
                                 if let Err(message) = routes.validate(&s) {
                                     let rep =
                                         Response::Err { req_id: s.req_id, message };
                                     let _ = tx.send(rep.encode());
                                     continue;
                                 }
-                                let job = Job { req: s, resp: tx.clone() };
+                                let key = job_key(&s);
+                                if quarantine.is_quarantined(&key, quarantine_limit) {
+                                    let rep = Response::Err {
+                                        req_id: s.req_id,
+                                        message: format!(
+                                            "quarantined after {} engine failure(s) \
+                                             for this (file, source) pair",
+                                            quarantine.strikes(&key)
+                                        ),
+                                    };
+                                    let _ = tx.send(rep.encode());
+                                    continue;
+                                }
+                                let expires_at = (s.deadline_ms != 0).then(|| {
+                                    Instant::now()
+                                        + Duration::from_millis(u64::from(s.deadline_ms))
+                                });
+                                let job = Job { req: s, expires_at, resp: tx.clone() };
                                 if let Err(job) = queue.push(job) {
                                     let rep = Response::Shed { req_id: job.req.req_id };
                                     let _ = job.resp.send(rep.encode());
@@ -265,18 +564,77 @@ pub fn serve<S: Duplex>(config: &ServeConfig, incoming: mpsc::Receiver<S>) -> Se
                         }
                     }
                 }));
+            };
+            loop {
+                if drain_ctl.is_draining() {
+                    // Sweep the backlog: connections that arrived before
+                    // the drain still get every frame answered.
+                    while let Ok(stream) = incoming.try_recv() {
+                        handle(stream, &mut readers);
+                    }
+                    break;
+                }
+                match incoming.recv_timeout(Duration::from_millis(25)) {
+                    Ok(stream) => handle(stream, &mut readers),
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
             }
+            acceptor_done.store(true, Ordering::SeqCst);
             for r in readers {
                 let _ = r.join();
             }
             queue.close();
         });
 
-        // Workers: the queue-fed campaign. Per-worker workspace, lazy
-        // per-workload machines, shared include caches.
+        // Drain supervisor: parked until a drain request (or natural
+        // wind-down). On drain: stop admissions at the queue, let the
+        // workers finish the backlog — force-shedding whatever is still
+        // queued once the drain deadline passes — then sever the read
+        // sides so idle readers wind down, give writers a flush grace,
+        // and cut whatever is left.
+        scope.spawn(move || {
+            let Some(deadline) = drain_ctl.wait_trigger() else {
+                return;
+            };
+            queue.close();
+            while !workers_done.load(Ordering::SeqCst) {
+                if deadline.is_some_and(|at| Instant::now() >= at) {
+                    while let Some(job) = queue.try_pop() {
+                        forced_shed.fetch_add(1, Ordering::SeqCst);
+                        let rep = Response::Shed { req_id: job.req.req_id };
+                        let _ = job.resp.send(rep.encode());
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // Wait for the acceptor's backlog sweep so late connections
+            // are registered (and their writers counted) before the
+            // cutoff — otherwise their turn-away replies could be lost.
+            while !acceptor_done.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // Every job now has its reply sent (or in a writer's
+            // channel). EOF the readers; the writers flush and exit as
+            // their senders drop.
+            breakers.sever_reads();
+            let cutoff = Instant::now() + WRITER_FLUSH_GRACE;
+            while writers_alive.load(Ordering::SeqCst) > 0 && Instant::now() < cutoff {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            breakers.cut_all();
+        });
+
+        // Workers: the queue-fed campaign under supervision — a classify
+        // panic becomes an EngineError reply plus a quarantine strike,
+        // never a dead service.
         Campaign::new(
             HashMap::new,
             move |ws: &mut Workspace, job: &Job| {
+                if job.expires_at.is_some_and(|at| Instant::now() >= at) {
+                    // Expired while queued: shed without paying for a run.
+                    return Response::Expired { req_id: job.req.req_id };
+                }
                 let key = (
                     job.req.scenario.clone(),
                     job.req.plan.clone(),
@@ -290,6 +648,7 @@ pub fn serve<S: Duplex>(config: &ServeConfig, incoming: mpsc::Receiver<S>) -> Se
                     &job.req.source,
                     routes.cache_for(&job.req.file),
                     dead,
+                    job.expires_at.map(Deadline::at),
                 );
                 Response::Outcome {
                     req_id: job.req.req_id,
@@ -298,14 +657,27 @@ pub fn serve<S: Duplex>(config: &ServeConfig, incoming: mpsc::Receiver<S>) -> Se
                 }
             },
         )
+        .supervised(move |job: &Job, panic_message: &str| {
+            quarantine.record(job_key(&job.req));
+            Response::Outcome {
+                req_id: job.req.req_id,
+                outcome: Outcome::EngineError,
+                detail: format!("classify panicked: {panic_message}"),
+            }
+        })
         .with_threads(workers)
         .run_queue(queue, |job: Job, rep: Response| {
-            completed.fetch_add(1, Ordering::Relaxed);
+            match rep {
+                Response::Expired { .. } => expired.fetch_add(1, Ordering::Relaxed),
+                _ => completed.fetch_add(1, Ordering::Relaxed),
+            };
             let _ = job.resp.send(rep.encode());
         });
+        workers_done.store(true, Ordering::SeqCst);
+        drain_ctl.finish();
     });
 
-    stats_now(&queue, &completed)
+    stats_now(&queue)
 }
 
 /// A server running on its own thread, handing out in-process
@@ -313,6 +685,7 @@ pub fn serve<S: Duplex>(config: &ServeConfig, incoming: mpsc::Receiver<S>) -> Se
 #[derive(Debug)]
 pub struct InProcServer {
     conn_tx: mpsc::Sender<crate::pipe::PipeEnd>,
+    drain: DrainHandle,
     join: std::thread::JoinHandle<ServiceStats>,
 }
 
@@ -320,8 +693,10 @@ impl InProcServer {
     /// Start a server with `config` on a background thread.
     pub fn start(config: ServeConfig) -> InProcServer {
         let (conn_tx, conn_rx) = mpsc::channel();
-        let join = std::thread::spawn(move || serve(&config, conn_rx));
-        InProcServer { conn_tx, join }
+        let drain = DrainHandle::new();
+        let handle = drain.clone();
+        let join = std::thread::spawn(move || serve_with(&config, conn_rx, &handle));
+        InProcServer { conn_tx, drain, join }
     }
 
     /// Open a new in-process connection to the server.
@@ -331,42 +706,74 @@ impl InProcServer {
         client
     }
 
+    /// Request a graceful drain (see [`DrainHandle::drain`]); returns
+    /// immediately. Follow with [`InProcServer::shutdown`] to wait for
+    /// the wind-down and collect the final counters.
+    pub fn drain(&self, grace: Option<Duration>) {
+        self.drain.drain(grace);
+    }
+
     /// Stop accepting, wait for in-flight work to drain, and return the
     /// final counters. (Open connections finish first: the server only
-    /// winds down when every client has hung up.)
-    pub fn shutdown(self) -> ServiceStats {
+    /// winds down when every client has hung up or a drain completes.)
+    /// A crash of the server thread surfaces as `Err` with the panic
+    /// message, not as a panic of the caller.
+    pub fn shutdown(self) -> Result<ServiceStats, String> {
         drop(self.conn_tx);
-        self.join.join().expect("server thread panicked")
+        self.join.join().map_err(|payload| {
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                .unwrap_or("non-string panic payload");
+            format!("server thread panicked: {message}")
+        })
     }
 }
 
-/// Serve TCP connections accepted on `listener` until the process exits
-/// (accept errors on the listener end the loop). The transport-bound
-/// wrapper of [`serve`] used by the `devil-serve` binary.
-pub fn serve_tcp(config: &ServeConfig, listener: std::net::TcpListener) -> ServiceStats {
+/// Serve TCP connections accepted on `listener` until `drain` is pulled
+/// or an accept fails hard; returns the final counters. The
+/// transport-bound wrapper of [`serve_with`] used by the `devil-serve`
+/// binary — the listener runs nonblocking so a drain request interrupts
+/// the accept wait within ~25ms.
+pub fn serve_tcp(
+    config: &ServeConfig,
+    listener: std::net::TcpListener,
+    drain: &DrainHandle,
+) -> ServiceStats {
     let (conn_tx, conn_rx) = mpsc::channel();
     std::thread::scope(|scope| {
+        let accept_drain = drain.clone();
         scope.spawn(move || {
-            for stream in listener.incoming() {
-                match stream {
-                    Ok(s) => {
+            let _ = listener.set_nonblocking(true);
+            loop {
+                if accept_drain.is_draining() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((s, _)) => {
                         let _ = s.set_nodelay(true);
+                        let _ = s.set_nonblocking(false);
                         if conn_tx.send(s).is_err() {
                             break;
                         }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
                     }
                     Err(_) => break,
                 }
             }
         });
-        serve(config, conn_rx)
+        serve_with(config, conn_rx, drain)
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use devil_kernel::Outcome;
+    use devil_drivers::corpus::find_variant;
+    use devil_kernel::scenario::CHAOS_PANIC_MARKER;
 
     fn submit(req_id: u64, scenario: &str, plan: &str, file: &str, source: &str) -> Request {
         Request::Submit(SubmitMutant {
@@ -376,13 +783,13 @@ mod tests {
             plan_seed: devil_hwsim::DEFAULT_FAULT_SEED,
             file: file.into(),
             dead_line: 0,
+            deadline_ms: 0,
             source: source.into(),
         })
     }
 
     #[test]
     fn clean_driver_round_trips_through_the_service() {
-        use devil_drivers::corpus::find_variant;
         let server = InProcServer::start(ServeConfig {
             threads: 2,
             ..ServeConfig::default()
@@ -415,10 +822,11 @@ mod tests {
         assert!(saw_stats);
         assert_eq!(outcomes[&1], Outcome::Boot);
         assert!(!outcomes[&2].is_detected(), "fault plan misattributed");
-        let final_stats = server.shutdown();
+        let final_stats = server.shutdown().expect("server survives");
         assert_eq!(final_stats.accepted, 2);
         assert_eq!(final_stats.completed, 2);
         assert_eq!(final_stats.shed, 0);
+        assert_eq!(final_stats.expired, 0);
     }
 
     #[test]
@@ -449,7 +857,139 @@ mod tests {
             }
         }
         assert_eq!(errs, 3);
-        let stats = server.shutdown();
+        let stats = server.shutdown().expect("server survives");
         assert_eq!(stats.accepted, 0, "invalid requests never reach the queue");
+    }
+
+    #[test]
+    fn chaos_panic_is_isolated_and_quarantined() {
+        let server = InProcServer::start(ServeConfig {
+            threads: 1,
+            quarantine_limit: 2,
+            ..ServeConfig::default()
+        });
+        let (mut r, mut w) = server.connect().split();
+        let v = find_variant("mouse-stream", "busmouse_c").unwrap();
+        let poison = format!("// {CHAOS_PANIC_MARKER}\n{}", v.source);
+
+        // Serialised submit/reply pairs so each strike lands before the
+        // next admission check.
+        let mut replies = Vec::new();
+        for id in 1u64..=3 {
+            let req = submit(id, "mouse-stream", "", v.file, &poison);
+            write_frame(&mut w, &req.encode()).unwrap();
+            let payload = read_frame(&mut r).unwrap().expect("reply per submit");
+            replies.push(Response::decode(&payload).unwrap());
+        }
+        // Two strikes allowed: EngineError outcomes; the third submit is
+        // refused at admission.
+        for rep in &replies[..2] {
+            match rep {
+                Response::Outcome { outcome, detail, .. } => {
+                    assert_eq!(*outcome, Outcome::EngineError);
+                    assert!(detail.contains("classify panicked"), "{detail}");
+                }
+                other => panic!("expected EngineError outcome, got {other:?}"),
+            }
+        }
+        match &replies[2] {
+            Response::Err { message, .. } => {
+                assert!(message.contains("quarantined"), "{message}");
+            }
+            other => panic!("expected quarantine refusal, got {other:?}"),
+        }
+
+        // The service survived and the rebuilt workspace still
+        // classifies a healthy driver of the same workload.
+        let req = submit(9, "mouse-stream", "", v.file, v.source);
+        write_frame(&mut w, &req.encode()).unwrap();
+        let payload = read_frame(&mut r).unwrap().expect("healthy reply");
+        match Response::decode(&payload).unwrap() {
+            Response::Outcome { req_id, outcome, .. } => {
+                assert_eq!(req_id, 9);
+                assert_eq!(outcome, Outcome::Boot);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        drop(w);
+        while read_frame(&mut r).unwrap().is_some() {}
+        let stats = server.shutdown().expect("server survives chaos");
+        assert_eq!(stats.accepted, 3, "two poison runs + one healthy run queued");
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn queued_jobs_past_their_deadline_expire() {
+        let server = InProcServer::start(ServeConfig {
+            threads: 1,
+            ..ServeConfig::default()
+        });
+        let (mut r, mut w) = server.connect().split();
+        let v = find_variant("mouse-stream", "busmouse_c").unwrap();
+        // Job 0 pays the machine build (well over a millisecond); the
+        // 1ms-deadline jobs queued behind it expire before they run.
+        write_frame(&mut w, &submit(0, "mouse-stream", "", v.file, v.source).encode())
+            .unwrap();
+        let total = 10u64;
+        for id in 1..=total {
+            let mut req = match submit(id, "mouse-stream", "", v.file, v.source) {
+                Request::Submit(s) => s,
+                _ => unreachable!(),
+            };
+            req.deadline_ms = 1;
+            write_frame(&mut w, &Request::Submit(req).encode()).unwrap();
+        }
+        drop(w);
+        let (mut completed, mut expired) = (0u64, 0u64);
+        while let Some(payload) = read_frame(&mut r).unwrap() {
+            match Response::decode(&payload).unwrap() {
+                Response::Outcome { .. } => completed += 1,
+                Response::Expired { .. } => expired += 1,
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert!(expired >= 1, "a 1ms deadline behind a machine build must lapse");
+        let stats = server.shutdown().expect("server survives");
+        // The books balance: everything offered is accounted for.
+        assert_eq!(stats.accepted, total + 1);
+        assert_eq!(stats.completed + stats.expired, total + 1);
+        assert_eq!((completed, expired), (stats.completed, stats.expired));
+    }
+
+    #[test]
+    fn drain_answers_everything_then_hangs_up() {
+        let server = InProcServer::start(ServeConfig {
+            threads: 1,
+            ..ServeConfig::default()
+        });
+        let (mut r, mut w) = server.connect().split();
+        let v = find_variant("mouse-stream", "busmouse_c").unwrap();
+        // Two real jobs, then a drain, then a submit that must be turned
+        // away with DRAINING. The client does NOT hang up — the server
+        // severs the connection itself once everything is answered.
+        for id in [1u64, 2] {
+            write_frame(&mut w, &submit(id, "mouse-stream", "", v.file, v.source).encode())
+                .unwrap();
+        }
+        write_frame(&mut w, &Request::Drain { req_id: 90, grace_ms: 0 }.encode()).unwrap();
+        write_frame(&mut w, &submit(3, "mouse-stream", "", v.file, v.source).encode())
+            .unwrap();
+        let mut outcomes = 0;
+        let mut draining = Vec::new();
+        while let Some(payload) = read_frame(&mut r).unwrap() {
+            match Response::decode(&payload).unwrap() {
+                Response::Outcome { outcome, .. } => {
+                    assert_eq!(outcome, Outcome::Boot);
+                    outcomes += 1;
+                }
+                Response::Draining { req_id } => draining.push(req_id),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!(outcomes, 2, "accepted jobs are classified, not dropped");
+        assert_eq!(draining, vec![90, 3]);
+        let stats = server.shutdown().expect("drained server exits cleanly");
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.completed, 2);
     }
 }

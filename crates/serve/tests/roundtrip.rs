@@ -8,15 +8,21 @@
 //!   for the same mutant under the same scenario and fault plan;
 //! * **Open-loop accounting** — a mixed workload (two scenarios, one on
 //!   deterministically flaky hardware) offered at a fixed rate drains
-//!   to `offered = completed + shed + errors`, with a populated latency
-//!   histogram and consistent client/server counters;
+//!   to `offered = completed + shed + expired + errors`, with a
+//!   populated latency histogram and consistent client/server counters;
 //! * **Backpressure** — a deliberately tiny admission queue sheds
-//!   instead of buffering without bound, and says so.
+//!   instead of buffering without bound, and says so;
+//! * **Chaos** — a poison mutant that panics the classifier and a
+//!   deadline-busting mutant leave the service standing, answered as
+//!   `EngineError` and `Deadline`, while every other mutant still
+//!   matches the batch path bit for bit;
+//! * **Graceful drain** — a drain mid-burst answers every accepted job,
+//!   sheds the rest explicitly, and loses zero replies.
 
 use devil_drivers::corpus::{build_faulted, build_scenario, find_variant};
 use devil_hwsim::{FaultPlan, DEFAULT_FAULT_SEED};
 use devil_kernel::boot::DEFAULT_FUEL;
-use devil_kernel::scenario::ScenarioMachine;
+use devil_kernel::scenario::{Deadline, ScenarioMachine, CHAOS_PANIC_MARKER};
 use devil_kernel::Outcome;
 use devil_minic::pp::IncludeCache;
 use devil_mutagen::c::CMutationModel;
@@ -24,6 +30,7 @@ use devil_mutagen::{sample, Campaign, Mutant};
 use devil_serve::proto::{read_frame, write_frame, Request, Response, SubmitMutant};
 use devil_serve::{parse_mix, run_load, InProcServer, LoadConfig, ServeConfig};
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// One workload of the parity test: a scenario (optionally faulted) and
 /// a driver to mutate under it.
@@ -52,11 +59,24 @@ fn batch_outcomes(w: &Workload, mutants: &[Mutant], file: &'static str) -> Vec<O
             ScenarioMachine::with_scenario(scenario, DEFAULT_FUEL)
         },
         |machine: &mut ScenarioMachine<_>, m: &Mutant| {
-            machine.run_cached(file, &m.source, &cache, Some(m.line)).0
+            machine.run_cached(file, &m.source, &cache, Some(m.line), None).0
         },
     )
     .with_threads(4)
     .run(mutants)
+}
+
+fn submit_req(id: u64, scenario: &str, plan: &str, file: &str, source: &str) -> SubmitMutant {
+    SubmitMutant {
+        req_id: id,
+        scenario: scenario.into(),
+        plan: plan.into(),
+        plan_seed: DEFAULT_FAULT_SEED,
+        file: file.into(),
+        dead_line: 0,
+        deadline_ms: 0,
+        source: source.into(),
+    }
 }
 
 #[test]
@@ -79,16 +99,9 @@ fn service_outcomes_match_the_batch_campaign() {
         assert!(!mutants.is_empty(), "{} sampled no mutants", wl.scenario);
         let batch = batch_outcomes(wl, &mutants, v.file);
         for (m, outcome) in mutants.iter().zip(batch) {
-            let req = Request::Submit(SubmitMutant {
-                req_id: next_id,
-                scenario: wl.scenario.into(),
-                plan: wl.plan.into(),
-                plan_seed: DEFAULT_FAULT_SEED,
-                file: v.file.into(),
-                dead_line: m.line,
-                source: m.source.clone(),
-            });
-            write_frame(&mut w, &req.encode()).unwrap();
+            let mut req = submit_req(next_id, wl.scenario, wl.plan, v.file, &m.source);
+            req.dead_line = m.line;
+            write_frame(&mut w, &Request::Submit(req).encode()).unwrap();
             expected.insert(next_id, outcome);
             next_id += 1;
         }
@@ -108,7 +121,7 @@ fn service_outcomes_match_the_batch_campaign() {
     for (id, want) in &expected {
         assert_eq!(got[id], *want, "req {id}: service and batch disagree");
     }
-    let stats = server.shutdown();
+    let stats = server.shutdown().expect("server exits cleanly");
     assert_eq!(stats.completed, expected.len() as u64);
     assert_eq!(stats.shed, 0);
 }
@@ -124,13 +137,16 @@ fn open_loop_mixed_load_drains_with_consistent_accounting() {
             .unwrap(),
         seed: 7,
         report_every: None,
+        deadline_ms: 0,
+        drain_wait: None,
     };
     let report = run_load(server.connect(), &config).unwrap();
-    let stats = server.shutdown();
+    let stats = server.shutdown().expect("server exits cleanly");
 
     assert_eq!(report.offered, config.total);
     assert_eq!(report.errors, 0, "mix entries all route");
     assert_eq!(report.completed + report.shed, report.offered, "run drained");
+    assert_eq!(report.expired, 0, "no deadlines requested");
     assert_eq!(report.latency.count(), report.completed);
     assert!(report.completed > 0);
     assert!(report.sustained_per_sec() > 0.0);
@@ -167,11 +183,248 @@ fn saturated_queue_sheds_instead_of_buffering() {
         mix: parse_mix("mouse-stream/busmouse_c").unwrap(),
         seed: 11,
         report_every: None,
+        deadline_ms: 0,
+        drain_wait: None,
     };
     let report = run_load(server.connect(), &config).unwrap();
-    let stats = server.shutdown();
+    let stats = server.shutdown().expect("server exits cleanly");
     assert_eq!(report.completed + report.shed, report.offered);
     assert!(report.shed > 0, "a one-slot queue under 1M/s offered load must shed");
     assert_eq!(stats.shed, report.shed);
     assert_eq!(stats.max_depth as usize, 1);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow unoptimized; run with --release (CI does)")]
+fn queued_submissions_expire_under_saturation_with_balanced_books() {
+    // One worker, a 5ms per-job budget, and 200 submissions offered
+    // essentially at once: the backlog cannot possibly classify inside
+    // its budget, so most jobs expire in the queue — and every single
+    // one is accounted for on both sets of books.
+    let server = InProcServer::start(ServeConfig {
+        threads: 1,
+        ..ServeConfig::default()
+    });
+    let config = LoadConfig {
+        freq: 1e6,
+        total: 200,
+        mix: parse_mix("mouse-stream/busmouse_c:0").unwrap(),
+        seed: 13,
+        report_every: None,
+        deadline_ms: 5,
+        drain_wait: None,
+    };
+    let report = run_load(server.connect(), &config).unwrap();
+    let stats = server.shutdown().expect("server exits cleanly");
+
+    assert_eq!(
+        report.completed + report.shed + report.expired + report.errors,
+        report.offered,
+        "offered = completed + shed + expired + errors"
+    );
+    assert!(report.expired > 0, "a 1-worker backlog must outlive a 5ms budget");
+    assert_eq!(report.latency.count(), report.completed);
+    // Server books match the client's, and balance internally.
+    assert_eq!(stats.expired, report.expired);
+    assert_eq!(stats.completed, report.completed);
+    assert_eq!(stats.shed, report.shed);
+    assert_eq!(stats.accepted, stats.completed + stats.expired);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow unoptimized; run with --release (CI does)")]
+fn chaos_mutants_leave_the_service_standing_and_others_unperturbed() {
+    // The hostile tail, end to end: a poison mutant that panics the
+    // classifier and a busy-loop mutant that blows through any wall
+    // clock, mixed into an ordinary campaign. The service must answer
+    // EngineError/Deadline for those, keep every other outcome
+    // bit-identical with the batch path, and still be healthy afterward.
+    const FUEL: u64 = 24_000_000; // busy loop ≫ any deadline before fuel runs out
+    const BUSTER_DEADLINE_MS: u32 = 25;
+
+    let v = find_variant("mouse-stream", "busmouse_c").expect("catalog workload");
+    let header_texts: Vec<&str> = v.headers.iter().map(|(_, t)| t.as_str()).collect();
+    let model = CMutationModel::new(v.source, &header_texts, v.style);
+    let mutants = sample(model.mutants(), 0.04, 99);
+    assert!(!mutants.is_empty(), "sampled no mutants");
+
+    let poison = format!("// {CHAOS_PANIC_MARKER}\n{}", v.source);
+    let buster = v.source.replacen(
+        "int bm_probe(void)\n{",
+        "int bm_probe(void)\n{\n    int devil_spin;\n    \
+         for (devil_spin = 0; devil_spin < 100000000; devil_spin++)\n        \
+         mouse_dx = devil_spin;",
+        1,
+    );
+    assert_ne!(buster, v.source, "busy-loop injection site must exist");
+
+    // Batch reference, supervised exactly like the service: normal
+    // mutants plus the poison (EngineError via panic recovery) plus the
+    // buster under the same wall-clock budget (Deadline).
+    struct Shot {
+        source: String,
+        dead_line: Option<u32>,
+        deadline_ms: Option<u32>,
+    }
+    let mut shots: Vec<Shot> = mutants
+        .iter()
+        .map(|m| Shot {
+            source: m.source.clone(),
+            dead_line: Some(m.line),
+            deadline_ms: None,
+        })
+        .collect();
+    shots.push(Shot { source: poison.clone(), dead_line: None, deadline_ms: None });
+    shots.push(Shot {
+        source: buster.clone(),
+        dead_line: None,
+        deadline_ms: Some(BUSTER_DEADLINE_MS),
+    });
+
+    let incs: Vec<(&str, &str)> =
+        v.headers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let cache = IncludeCache::new(&incs);
+    let batch: Vec<Outcome> = Campaign::new(
+        || {
+            let scenario = build_scenario("mouse-stream").expect("catalog scenario");
+            ScenarioMachine::with_scenario(scenario, FUEL)
+        },
+        |machine: &mut ScenarioMachine<_>, s: &Shot| {
+            let deadline = s
+                .deadline_ms
+                .map(|ms| Deadline::after(Duration::from_millis(u64::from(ms))));
+            machine.run_cached(v.file, &s.source, &cache, s.dead_line, deadline).0
+        },
+    )
+    .supervised(|_s: &Shot, _msg: &str| Outcome::EngineError)
+    .with_threads(2)
+    .run(&shots);
+    let n = mutants.len();
+    assert_eq!(batch[n], Outcome::EngineError, "batch poison outcome");
+    assert_eq!(batch[n + 1], Outcome::Deadline, "batch buster outcome");
+
+    // The same campaign through the service. Normal mutants and the
+    // poison go first; the buster gets its own quiet phase so its
+    // wall-clock budget is spent running, not queueing.
+    let server = InProcServer::start(ServeConfig {
+        threads: 2,
+        fuel: FUEL,
+        ..ServeConfig::default()
+    });
+    let (mut r, mut w) = server.connect().split();
+    let read_reply = |r: &mut devil_serve::pipe::PipeReader| {
+        let payload = read_frame(r).unwrap().expect("reply before EOF");
+        Response::decode(&payload).unwrap()
+    };
+
+    let mut expected: HashMap<u64, Outcome> = HashMap::new();
+    for (i, (m, outcome)) in mutants.iter().zip(&batch).enumerate() {
+        let mut req = submit_req(i as u64, "mouse-stream", "", v.file, &m.source);
+        req.dead_line = m.line;
+        write_frame(&mut w, &Request::Submit(req).encode()).unwrap();
+        expected.insert(i as u64, *outcome);
+    }
+    let poison_id = 5_000u64;
+    write_frame(
+        &mut w,
+        &Request::Submit(submit_req(poison_id, "mouse-stream", "", v.file, &poison))
+            .encode(),
+    )
+    .unwrap();
+    expected.insert(poison_id, Outcome::EngineError);
+
+    let mut got: HashMap<u64, Outcome> = HashMap::new();
+    for _ in 0..expected.len() {
+        match read_reply(&mut r) {
+            Response::Outcome { req_id, outcome, .. } => {
+                got.insert(req_id, outcome);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    for (id, want) in &expected {
+        assert_eq!(got[id], *want, "req {id}: service and batch disagree");
+    }
+
+    // Quiet phase: the buster alone, with its wall-clock budget.
+    let buster_id = 6_000u64;
+    let mut req = submit_req(buster_id, "mouse-stream", "", v.file, &buster);
+    req.deadline_ms = BUSTER_DEADLINE_MS;
+    write_frame(&mut w, &Request::Submit(req).encode()).unwrap();
+    match read_reply(&mut r) {
+        Response::Outcome { req_id, outcome, detail } => {
+            assert_eq!(req_id, buster_id);
+            assert_eq!(outcome, Outcome::Deadline, "{detail}");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // The service took a panic and a deadline overrun and is still
+    // classifying clean drivers correctly.
+    write_frame(
+        &mut w,
+        &Request::Submit(submit_req(7_000, "mouse-stream", "", v.file, v.source)).encode(),
+    )
+    .unwrap();
+    match read_reply(&mut r) {
+        Response::Outcome { req_id, outcome, .. } => {
+            assert_eq!(req_id, 7_000);
+            assert_eq!(outcome, Outcome::Boot);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    drop(w);
+    while read_frame(&mut r).unwrap().is_some() {}
+    let stats = server.shutdown().expect("server survives the chaos campaign");
+    assert_eq!(stats.accepted, expected.len() as u64 + 2);
+    assert_eq!(stats.completed, expected.len() as u64 + 2);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow unoptimized; run with --release (CI does)")]
+fn graceful_drain_mid_burst_loses_no_replies() {
+    let total = 40u64;
+    let server = InProcServer::start(ServeConfig { threads: 2, ..ServeConfig::default() });
+    let (mut r, mut w) = server.connect().split();
+    let v = find_variant("mouse-stream", "busmouse_c").expect("catalog workload");
+    for id in 0..total {
+        write_frame(
+            &mut w,
+            &Request::Submit(submit_req(id, "mouse-stream", "", v.file, v.source)).encode(),
+        )
+        .unwrap();
+    }
+    // Drain with a zero grace: whatever is still queued when the drain
+    // lands is force-shed immediately. The client keeps its write half
+    // open — hanging up is the *server's* job once everything is
+    // answered.
+    server.drain(Some(Duration::ZERO));
+    let (mut classified, mut shed, mut turned_away) = (0u64, 0u64, 0u64);
+    let mut seen = std::collections::HashSet::new();
+    while let Some(payload) = read_frame(&mut r).unwrap() {
+        match Response::decode(&payload).unwrap() {
+            Response::Outcome { req_id, outcome, .. } => {
+                assert_eq!(outcome, Outcome::Boot);
+                assert!(seen.insert(req_id), "duplicate reply for {req_id}");
+                classified += 1;
+            }
+            Response::Shed { req_id } => {
+                assert!(seen.insert(req_id), "duplicate reply for {req_id}");
+                shed += 1;
+            }
+            Response::Draining { req_id } => {
+                assert!(seen.insert(req_id), "duplicate reply for {req_id}");
+                turned_away += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(
+        classified + shed + turned_away,
+        total,
+        "every submission answered exactly once across the drain"
+    );
+    let stats = server.shutdown().expect("drained server exits cleanly");
+    assert_eq!(stats.completed, classified);
+    assert_eq!(stats.shed, shed);
 }

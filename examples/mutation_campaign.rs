@@ -70,7 +70,7 @@ fn campaign(
             ScenarioMachine::with_scenario(scenario, DEFAULT_FUEL)
         },
         |machine: &mut ScenarioMachine<_>, m: &Mutant| {
-            machine.run_cached(file, &m.source, &cache, Some(m.line)).0
+            machine.run_cached(file, &m.source, &cache, Some(m.line), None).0
         },
     )
     .with_threads(threads)
