@@ -1,0 +1,153 @@
+//! Outcome-ledger economics: what a memoized hit costs next to the
+//! classification it replaces.
+//!
+//! The whole point of checkpointing campaign outcomes is that answering
+//! from the ledger is vastly cheaper than re-classifying — a warm resume
+//! or a memoized service admission should be bounded by a hash-map probe,
+//! not by booting the simulated machine. This bench pins that ratio:
+//!
+//! * **memoized_hit / memoized_miss** — [`Ledger::lookup`] against a warm
+//!   in-memory index (2048 outcome records), present and absent keys;
+//! * **append** — [`Ledger::record`]: the durable per-outcome checkpoint
+//!   cost a campaign pays while running;
+//! * **resume replay** — [`Ledger::resume`] over the 2048-record file,
+//!   reported per record: the one-time price of coming back from a crash;
+//! * **fresh classification** — the comparator: one uncached
+//!   `ScenarioMachine::run` of the pristine PIIX4 IDE driver under
+//!   `ide-boot`, i.e. what a ledger hit saves.
+//!
+//! A full (non `--test`) run records the numbers and the
+//! hit-vs-classification speedup under the `ledger` key of
+//! `BENCH_dispatch.json`.
+
+use criterion::{criterion_group, Criterion};
+use devil_drivers::corpus::{build_scenario, find_variant};
+use devil_kernel::boot::DEFAULT_FUEL;
+use devil_kernel::scenario::ScenarioMachine;
+use devil_mutagen::{Ledger, LedgerKey};
+use std::path::PathBuf;
+
+const REV: u64 = 0x1DE_B007;
+const WARM: usize = 2048;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("devil-ledger-bench-{}-{name}.bin", std::process::id()))
+}
+
+/// A key shaped like the real campaign keys: driver file, scenario, a
+/// source fingerprint that varies per mutant.
+fn key(n: u64) -> LedgerKey {
+    LedgerKey {
+        file: "ide_piix4.c".into(),
+        source: n.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        scenario: "ide-boot".into(),
+        plan: String::new(),
+        plan_seed: 0,
+        dead_line: (n % 400) as u32,
+        spec_rev: REV,
+    }
+}
+
+/// A ledger warmed with `WARM` outcome records, some carrying details.
+fn warm_ledger(name: &str) -> (PathBuf, Ledger) {
+    let path = tmp(name);
+    let _ = std::fs::remove_file(&path);
+    let ledger = Ledger::create(&path, REV).expect("create bench ledger");
+    for n in 0..WARM as u64 {
+        let detail = if n % 7 == 0 { "boot check: panic in isr" } else { "" };
+        ledger.record(&key(n), (n % 7) as u8, detail).expect("warm record");
+    }
+    (path, ledger)
+}
+
+fn bench_ledger(c: &mut Criterion) {
+    let (path, ledger) = warm_ledger("warm");
+    let keys: Vec<LedgerKey> = (0..WARM as u64).map(key).collect();
+    let absent: Vec<LedgerKey> = (0..WARM as u64).map(|n| key(n + WARM as u64)).collect();
+
+    let mut g = c.benchmark_group("ledger");
+    let mut i = 0usize;
+    g.bench_function("memoized_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % WARM;
+            std::hint::black_box(ledger.lookup(&keys[i]))
+        });
+    });
+    let mut i = 0usize;
+    g.bench_function("memoized_miss", |b| {
+        b.iter(|| {
+            i = (i + 1) % WARM;
+            std::hint::black_box(ledger.lookup(&absent[i]))
+        });
+    });
+    let mut n = WARM as u64;
+    g.bench_function("append", |b| {
+        b.iter(|| {
+            n += 1;
+            ledger.record(&key(n), 2, "").expect("append");
+        });
+    });
+    g.finish();
+    drop(ledger);
+    let _ = std::fs::remove_file(&path);
+
+    // Resume replay over a freshly written WARM-record file (the append
+    // bench above grew the first one unboundedly).
+    let (path, ledger) = warm_ledger("resume");
+    drop(ledger);
+    let mut g = c.benchmark_group("ledger_resume");
+    g.bench_function("replay_2048", |b| {
+        b.iter(|| {
+            let l = Ledger::resume(&path, REV).expect("resume");
+            assert_eq!(std::hint::black_box(l.recovery().outcomes), WARM);
+        });
+    });
+    g.finish();
+    let _ = std::fs::remove_file(&path);
+
+    // The comparator: what one classification costs when the ledger
+    // cannot answer — compile + boot the pristine PIIX4 IDE driver.
+    let v = find_variant("ide-boot", "ide_piix4_c").expect("catalog variant");
+    let includes: Vec<(&str, &str)> =
+        v.headers.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+    let mut machine = ScenarioMachine::with_scenario(
+        build_scenario("ide-boot").expect("catalog scenario"),
+        DEFAULT_FUEL,
+    );
+    let mut g = c.benchmark_group("classify");
+    g.bench_function("ide_boot_fresh", |b| {
+        b.iter(|| std::hint::black_box(machine.run(v.file, v.source, &includes, None).0));
+    });
+    g.finish();
+}
+
+fn emit_json(c: &mut Criterion) {
+    if c.is_test_mode() {
+        return;
+    }
+    let rs = c.results();
+    let hit = criterion::ns_per_iter(rs, "ledger/memoized_hit");
+    let fresh = criterion::ns_per_iter(rs, "classify/ide_boot_fresh");
+    let replay = criterion::ns_per_iter(rs, "ledger_resume/replay_2048") / WARM as f64;
+    let entries = criterion::results_json(rs);
+    let section = format!(
+        "{{\"workload\": {{\"ledger\": \"outcome ledger warmed with {WARM} records: lookup hit/miss and durable append\", \"ledger_resume\": \"Ledger::resume replay of the {WARM}-record file (whole-file figure; see replay_ns_per_record)\", \"classify\": \"uncached ScenarioMachine::run of the pristine PIIX4 IDE driver under ide-boot — what a hit saves\"}}, \"results\": {entries}, \"replay_ns_per_record\": {replay:.1}, \"speedup\": {{\"memoized_hit_vs_fresh_classification\": {:.0}}}}}",
+        fresh / hit,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
+    match criterion::update_json_section(path, "ledger", &section) {
+        Err(e) => eprintln!("could not update {path}: {e}"),
+        Ok(()) => {
+            println!("\nupdated `ledger` in {path}");
+            println!("{section}");
+        }
+    }
+}
+
+criterion_group!(benches, bench_ledger);
+
+fn main() {
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+    emit_json(&mut c);
+}

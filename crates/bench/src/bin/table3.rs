@@ -1,10 +1,17 @@
 //! Regenerate Table 3: mutations on the C code of a driver corpus.
 //!
 //! Usage: `table3 [--scenario=NAME] [--all] [--fraction=F] [--seed=N]
-//! [--threads=N] [--fault-plan=NAME] [--fault-seed=N]`
+//! [--threads=N] [--fault-plan=NAME] [--fault-seed=N] [--ledger=PATH]
+//! [--resume]`
 //!
 //! Seeds accept decimal or `0x`/`0X` hex; `--threads=0` (the default)
 //! uses every available core.
+//!
+//! `--ledger=PATH` checkpoints every classification to a crash-safe
+//! append-only ledger as it is produced; `--resume` additionally replays
+//! the ledger's surviving records first and reruns only the missing
+//! mutants, so a campaign killed partway (even `kill -9`) finishes with
+//! a bit-identical table. Without `--resume` the file is started fresh.
 //!
 //! `--scenario` selects any workload from the scenario catalog
 //! (`corpus::scenario_names()`: `ide-boot`, `ide-stress`, `mouse-stream`,
@@ -17,20 +24,28 @@
 //! the other's default (`mixed` / `DEFAULT_FAULT_SEED`).
 
 use devil_bench::tables::{
-    parse_seed, render_outcome_table, scenario_campaign, scenario_variants, CampaignOptions,
+    open_campaign_ledger, parse_seed, render_outcome_table, scenario_campaign,
+    scenario_campaign_ledgered, scenario_variants, CampaignOptions,
 };
 use devil_drivers::corpus::scenario_names;
 use devil_hwsim::{FaultPlan, DEFAULT_FAULT_SEED};
 use devil_mutagen::c::CStyle;
+use std::path::PathBuf;
 
 fn main() {
     let mut opts = CampaignOptions::default();
     let mut scenario = String::from("ide-boot");
     let mut fault_plan: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
+    let mut ledger_path: Option<PathBuf> = None;
+    let mut resume = false;
     for arg in std::env::args().skip(1) {
         if arg == "--all" {
             opts.fraction = 1.0;
+        } else if arg == "--resume" {
+            resume = true;
+        } else if let Some(p) = arg.strip_prefix("--ledger=") {
+            ledger_path = Some(PathBuf::from(p));
         } else if let Some(f) = arg.strip_prefix("--fraction=") {
             opts.fraction = f.parse().expect("--fraction=0.25");
         } else if let Some(s) = arg.strip_prefix("--seed=") {
@@ -58,6 +73,10 @@ fn main() {
         eprintln!("unknown scenario `{scenario}`; try one of {:?}", scenario_names());
         std::process::exit(2);
     }
+    if resume && ledger_path.is_none() {
+        eprintln!("--resume requires --ledger=PATH");
+        std::process::exit(2);
+    }
     if fault_plan.is_some() || fault_seed.is_some() {
         let name = fault_plan.as_deref().unwrap_or("mixed");
         let seed = fault_seed.unwrap_or(DEFAULT_FAULT_SEED);
@@ -79,8 +98,30 @@ fn main() {
         println!("(paper: compile 26.7, crash 2.9, loop 11.2, halt 21.5, damaged 2.9, boot 34.7 %)");
     }
     println!();
+    // --ledger without --resume starts the file fresh; later variants of
+    // the same run append to it (their revisions keep them apart).
+    let mut keep = resume;
     for v in scenario_variants(&scenario, CStyle::PlainC) {
-        let t = scenario_campaign(&scenario, &v, &opts);
+        let t = match &ledger_path {
+            None => scenario_campaign(&scenario, &v, &opts),
+            Some(path) => {
+                let ledger =
+                    open_campaign_ledger(path, keep, &v, &opts).unwrap_or_else(|e| {
+                        eprintln!("cannot open ledger {}: {e}", path.display());
+                        std::process::exit(2);
+                    });
+                keep = true;
+                let t = scenario_campaign_ledgered(&scenario, &v, &opts, &ledger);
+                let c = ledger.counters();
+                println!(
+                    "ledger {}: {} replayed, {} classified fresh",
+                    path.display(),
+                    c.hits,
+                    c.misses
+                );
+                t
+            }
+        };
         println!(
             "{}",
             render_outcome_table(&t, &format!("Mutations on the C driver `{}`", v.label))

@@ -2,10 +2,16 @@
 //!
 //! Usage: `table4 [--scenario=NAME] [--all] [--fraction=F] [--seed=N]
 //! [--threads=N] [--weak-types] [--no-asserts] [--fault-plan=NAME]
-//! [--fault-seed=N]`
+//! [--fault-seed=N] [--ledger=PATH] [--resume]`
 //!
 //! Seeds accept decimal or `0x`/`0X` hex; `--threads=0` (the default)
 //! uses every available core.
+//!
+//! `--ledger=PATH`/`--resume` checkpoint and resume the campaign through
+//! a crash-safe outcome ledger, exactly as in `table3`. The ledger
+//! revision folds in the stub headers, so ablation runs (`--weak-types`,
+//! `--no-asserts`) can share a file with the debug-stub run without ever
+//! being served each other's outcomes.
 //!
 //! `--fault-plan`/`--fault-seed` rerun the campaign on deterministically
 //! flaky hardware, exactly as in `table3`.
@@ -23,21 +29,28 @@
 //! flavour.
 
 use devil_bench::tables::{
-    parse_seed, render_outcome_table, scenario_campaign, scenario_variants, CampaignOptions,
-    StubFlavor,
+    open_campaign_ledger, parse_seed, render_outcome_table, scenario_campaign,
+    scenario_campaign_ledgered, scenario_variants, CampaignOptions, StubFlavor,
 };
 use devil_drivers::corpus::scenario_names;
 use devil_hwsim::{FaultPlan, DEFAULT_FAULT_SEED};
 use devil_mutagen::c::CStyle;
+use std::path::PathBuf;
 
 fn main() {
     let mut opts = CampaignOptions::default();
     let mut scenario = String::from("ide-boot");
     let mut fault_plan: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
+    let mut ledger_path: Option<PathBuf> = None;
+    let mut resume = false;
     for arg in std::env::args().skip(1) {
         if arg == "--all" {
             opts.fraction = 1.0;
+        } else if arg == "--resume" {
+            resume = true;
+        } else if let Some(p) = arg.strip_prefix("--ledger=") {
+            ledger_path = Some(PathBuf::from(p));
         } else if arg == "--weak-types" {
             opts.stub_flavor = StubFlavor::Production;
         } else if arg == "--no-asserts" {
@@ -67,6 +80,10 @@ fn main() {
     }
     if !scenario_names().contains(&scenario.as_str()) {
         eprintln!("unknown scenario `{scenario}`; try one of {:?}", scenario_names());
+        std::process::exit(2);
+    }
+    if resume && ledger_path.is_none() {
+        eprintln!("--resume requires --ledger=PATH");
         std::process::exit(2);
     }
     if fault_plan.is_some() || fault_seed.is_some() {
@@ -102,8 +119,30 @@ fn main() {
         println!("the `{scenario}` corpus has no CDevil glue driver yet — nothing to mutate");
         return;
     }
+    // --ledger without --resume starts the file fresh; later variants of
+    // the same run append to it (their revisions keep them apart).
+    let mut keep = resume;
     for v in variants {
-        let t = scenario_campaign(&scenario, &v, &opts);
+        let t = match &ledger_path {
+            None => scenario_campaign(&scenario, &v, &opts),
+            Some(path) => {
+                let ledger =
+                    open_campaign_ledger(path, keep, &v, &opts).unwrap_or_else(|e| {
+                        eprintln!("cannot open ledger {}: {e}", path.display());
+                        std::process::exit(2);
+                    });
+                keep = true;
+                let t = scenario_campaign_ledgered(&scenario, &v, &opts, &ledger);
+                let c = ledger.counters();
+                println!(
+                    "ledger {}: {} replayed, {} classified fresh",
+                    path.display(),
+                    c.hits,
+                    c.misses
+                );
+                t
+            }
+        };
         println!(
             "{}",
             render_outcome_table(&t, &format!("Mutations on the CDevil driver `{}`", v.label))

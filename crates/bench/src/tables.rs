@@ -15,7 +15,7 @@ use devil_kernel::boot::{Outcome, DEFAULT_FUEL};
 use devil_kernel::scenario::ScenarioMachine;
 use devil_mutagen::c::{CMutationModel, CStyle};
 use devil_mutagen::devil::DevilMutationModel;
-use devil_mutagen::{run_parallel, sample, Campaign, Mutant};
+use devil_mutagen::{run_parallel, sample, source_fingerprint, Campaign, Ledger, LedgerKey, Mutant};
 use std::collections::{BTreeMap, HashSet};
 
 /// Default seed for the 25% sample, matching the paper's methodology of
@@ -251,6 +251,73 @@ pub fn scenario_campaign(
     v: &DriverVariant,
     opts: &CampaignOptions,
 ) -> OutcomeTable {
+    scenario_campaign_inner(scenario, v, opts, None)
+}
+
+/// The spec-revision fingerprint a ledgered campaign stamps its entries
+/// with: the workspace-wide revision (`devil_drivers::corpus::spec_revision`
+/// — `.dil` specs, engine version, fuel) *plus* the headers this variant
+/// actually compiles against under the chosen stub flavour. Folding the
+/// headers in means a Table 4 ablation (`--no-asserts`, `--weak-types`)
+/// can share a ledger file with the debug-stub run without ever serving
+/// its outcomes: the revisions differ, so foreign entries are stale, not
+/// wrong.
+pub fn campaign_spec_revision(v: &DriverVariant, opts: &CampaignOptions) -> u64 {
+    let headers = variant_headers(v, opts.stub_flavor);
+    let spec_pairs = specs::all();
+    let pairs = spec_pairs
+        .iter()
+        .map(|(_, file, src)| (*file, *src))
+        .chain(headers.iter().map(|(name, text)| (name.as_str(), text.as_str())));
+    devil_kernel::fingerprint::spec_revision(pairs, opts.fuel)
+}
+
+/// CLI helper behind the `--ledger=PATH [--resume]` flags the campaign
+/// binaries share: open `path` as the outcome ledger for one variant's
+/// campaign, stamped with [`campaign_spec_revision`]. With `resume`
+/// false the existing file is removed first (a fresh campaign); with it
+/// true the file's surviving records are replayed and served as hits.
+/// Multi-variant runs pass `resume = true` for every variant after the
+/// first so one file accumulates the whole run — cross-variant entries
+/// never collide because each variant's revision differs.
+pub fn open_campaign_ledger(
+    path: &std::path::Path,
+    resume: bool,
+    v: &DriverVariant,
+    opts: &CampaignOptions,
+) -> std::io::Result<Ledger> {
+    if !resume {
+        match std::fs::remove_file(path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ledger::resume(path, campaign_spec_revision(v, opts))
+}
+
+/// [`scenario_campaign`] through a crash-safe outcome [`Ledger`]: every
+/// classification is appended to the ledger the moment a worker produces
+/// it, and mutants whose key is already recorded are answered from the
+/// ledger without a run. Open the ledger with
+/// [`campaign_spec_revision`] as its revision; a campaign killed partway
+/// (even `kill -9`) resumes by rerunning only the missing mutants and
+/// produces a bit-identical table.
+pub fn scenario_campaign_ledgered(
+    scenario: &str,
+    v: &DriverVariant,
+    opts: &CampaignOptions,
+    ledger: &Ledger,
+) -> OutcomeTable {
+    scenario_campaign_inner(scenario, v, opts, Some(ledger))
+}
+
+fn scenario_campaign_inner(
+    scenario: &str,
+    v: &DriverVariant,
+    opts: &CampaignOptions,
+    ledger: Option<&Ledger>,
+) -> OutcomeTable {
     // The mutant set always comes from the *catalog* headers (the debug
     // stubs for the IDE glue): the §5 ablations swap only what the
     // mutants compile against, so every flavour samples the same seeded
@@ -265,7 +332,7 @@ pub fn scenario_campaign(
         headers.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
     let fuel = opts.fuel;
     let fault_plan = opts.fault_plan.as_ref();
-    let outcomes = Campaign::new(
+    let campaign = Campaign::new(
         || {
             let built = match fault_plan {
                 Some(plan) => build_faulted(scenario, plan.clone()),
@@ -277,8 +344,34 @@ pub fn scenario_campaign(
             machine.run(v.file, &m.source, &inc_refs, Some(m.line)).0
         },
     )
-    .with_threads(opts.threads)
-    .run(&mutants);
+    .with_threads(opts.threads);
+    let outcomes = match ledger {
+        None => campaign.run(&mutants),
+        Some(ledger) => {
+            let rev = ledger.spec_rev();
+            let (plan_name, plan_seed) = fault_plan
+                .map(|p| (p.name().to_string(), p.seed()))
+                .unwrap_or_default();
+            campaign.run_memoized(
+                &mutants,
+                ledger,
+                |m| LedgerKey {
+                    file: v.file.to_string(),
+                    source: source_fingerprint(&m.source),
+                    scenario: scenario.to_string(),
+                    plan: plan_name.clone(),
+                    plan_seed,
+                    dead_line: m.line,
+                    spec_rev: rev,
+                },
+                // The table campaigns record outcome codes only (the
+                // detail never reaches a table); nondeterministic
+                // outcomes are never checkpointed.
+                |o| o.is_deterministic().then(|| (o.code(), String::new())),
+                |code, _| Outcome::from_code(code),
+            )
+        }
+    };
     let mut rows: BTreeMap<Outcome, (HashSet<usize>, usize)> = BTreeMap::new();
     let mut all_sites = HashSet::new();
     for (m, o) in mutants.iter().zip(outcomes) {

@@ -77,6 +77,18 @@ pub fn default_fault_plan() -> FaultPlan {
     FaultPlan::named("mixed", DEFAULT_FAULT_SEED).expect("`mixed` is a bundled plan")
 }
 
+/// Spec-revision fingerprint over the five bundled `.dil` specs, the
+/// engine version and the `fuel` budget — the `spec_rev` every outcome
+/// ledger key in this workspace is stamped with (see
+/// `devil_kernel::fingerprint`). Compute it once per campaign or service,
+/// never per mutant.
+pub fn spec_revision(fuel: u64) -> u64 {
+    devil_kernel::fingerprint::spec_revision(
+        crate::specs::all().iter().map(|(_, file, src)| (*file, *src)),
+        fuel,
+    )
+}
+
 /// Every scenario name in the catalog, in table order (kept in sync with
 /// [`scenario_catalog`] by the crate's tests — no driver corpus is built
 /// just to list names).

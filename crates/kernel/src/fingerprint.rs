@@ -1,0 +1,77 @@
+//! Spec-revision fingerprinting for the outcome ledger.
+//!
+//! A memoized outcome is only valid while the world that produced it is
+//! unchanged: the `.dil` specifications the stubs were compiled from, the
+//! engine that judged the run, and the fuel budget that bounds it. This
+//! module folds all of that into one `u64` — the `spec_rev` component of
+//! `devil_mutagen::ledger::LedgerKey`. Any change to any input changes
+//! the fingerprint, which silently invalidates every cached outcome (the
+//! ledger counts them as stale and re-classifies) instead of serving an
+//! answer computed by a different engine.
+//!
+//! The kernel crate does not depend on the driver corpus, so the spec
+//! sources are passed in; `devil_drivers::corpus::spec_revision` is the
+//! convenience wrapper that feeds the five bundled specs.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn mix(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // A field separator so ("ab","c") and ("a","bc") differ.
+    h ^= 0xff;
+    h.wrapping_mul(FNV_PRIME)
+}
+
+/// Fingerprint a spec set: FNV-1a over the engine version, the fuel
+/// budget, and each `(file name, source)` pair in order. Computed once
+/// per process or campaign — never on a per-mutant path.
+pub fn spec_revision<'a>(
+    specs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    fuel: u64,
+) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = mix(h, env!("CARGO_PKG_VERSION").as_bytes());
+    h = mix(h, &fuel.to_le_bytes());
+    for (file, source) in specs {
+        h = mix(h, file.as_bytes());
+        h = mix(h, source.as_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revision_is_stable_for_equal_inputs() {
+        let specs = [("a.dil", "device a;"), ("b.dil", "device b;")];
+        assert_eq!(spec_revision(specs, 100), spec_revision(specs, 100));
+    }
+
+    #[test]
+    fn any_input_change_moves_the_revision() {
+        let base = spec_revision([("a.dil", "device a;")], 100);
+        assert_ne!(base, spec_revision([("a.dil", "device a ;")], 100), "source");
+        assert_ne!(base, spec_revision([("b.dil", "device a;")], 100), "file name");
+        assert_ne!(base, spec_revision([("a.dil", "device a;")], 101), "fuel");
+        assert_ne!(
+            base,
+            spec_revision([("a.dil", "device a;"), ("z.dil", "x")], 100),
+            "spec set"
+        );
+    }
+
+    #[test]
+    fn field_boundaries_are_unambiguous() {
+        assert_ne!(
+            spec_revision([("ab", "c")], 0),
+            spec_revision([("a", "bc")], 0),
+            "separator keeps shifted boundaries distinct"
+        );
+    }
+}

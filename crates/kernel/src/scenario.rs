@@ -136,6 +136,16 @@ impl Outcome {
         Outcome::table_order().get(usize::from(code)).copied()
     }
 
+    /// Whether this outcome is a pure function of the classification
+    /// inputs (driver source, scenario, fault plan, spec revision) and so
+    /// may be memoized in an outcome ledger. [`Outcome::EngineError`]
+    /// (a harness crash) and [`Outcome::Deadline`] (a wall-clock race)
+    /// say something about the run, not the mutant — replaying them from
+    /// a cache would be wrong, so they are never persisted.
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, Outcome::EngineError | Outcome::Deadline)
+    }
+
     /// Stable display order used by the tables. New variants are only ever
     /// *appended* so the wire codes of existing outcomes never move.
     pub fn table_order() -> [Outcome; 10] {

@@ -44,6 +44,7 @@
 //! delivery path — still abort: supervision isolates per-item failures,
 //! it does not paper over a broken harness.
 
+use crate::ledger::{Ledger, LedgerKey};
 use crate::queue::JobQueue;
 use crate::site::Mutant;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -284,23 +285,103 @@ impl<B, F, R> Campaign<B, F, R> {
         I: Sync,
         O: Send,
     {
-        if items.is_empty() {
+        let all: Vec<usize> = (0..items.len()).collect();
+        self.run_observed(items, &all, &|_, _| {})
+    }
+
+    /// The memoized flavour of [`Campaign::run`]: consult `ledger` before
+    /// dispatch, classify only the misses, and checkpoint each fresh
+    /// outcome the moment its worker produces it.
+    ///
+    /// `key_of` names each item's classification identity; `encode` turns
+    /// a fresh outcome into a `(wire code, detail)` pair to persist
+    /// (`None` for outcomes that are not deterministic and must never be
+    /// memoized — engine errors, deadline overruns); `decode` rebuilds an
+    /// outcome from a stored pair (`None` for codes this binary does not
+    /// know, which are then re-classified rather than trusted).
+    ///
+    /// Checkpointing is **incremental**: the record for item *i* is
+    /// appended on the worker thread immediately after classifying *i*,
+    /// so a `kill -9` mid-campaign loses at most the in-flight records —
+    /// a resumed run with the same ledger replays the survivors as hits
+    /// and finishes the rest, producing the same outcome vector as an
+    /// uninterrupted run. Append failures are deliberately swallowed:
+    /// they cost resumability, never correctness of the returned vector.
+    /// Hit/miss tallies are on [`Ledger::counters`].
+    pub fn run_memoized<W, I, O, K, E, D>(
+        &self,
+        items: &[I],
+        ledger: &Ledger,
+        key_of: K,
+        encode: E,
+        decode: D,
+    ) -> Vec<O>
+    where
+        B: Fn() -> W + Sync,
+        F: Fn(&mut W, &I) -> O + Sync,
+        R: Supervise<I, O>,
+        I: Sync,
+        O: Send,
+        K: Fn(&I) -> LedgerKey,
+        E: Fn(&O) -> Option<(u8, String)> + Sync,
+        D: Fn(u8, &str) -> Option<O>,
+    {
+        let keys: Vec<LedgerKey> = items.iter().map(key_of).collect();
+        let mut results: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            match ledger.lookup(key).and_then(|(code, detail)| decode(code, &detail)) {
+                Some(outcome) => results[i] = Some(outcome),
+                None => misses.push(i),
+            }
+        }
+        let fresh = self.run_observed(items, &misses, &|i, outcome| {
+            if let Some((code, detail)) = encode(outcome) {
+                let _ = ledger.record(&keys[i], code, &detail);
+            }
+        });
+        for (&i, outcome) in misses.iter().zip(fresh) {
+            results[i] = Some(outcome);
+        }
+        results.into_iter().map(|o| o.expect("every index resolved")).collect()
+    }
+
+    /// Classify `items[picked[0]], items[picked[1]], …`, returning
+    /// outcomes aligned with `picked`, and call `observe(item index,
+    /// &outcome)` on the classifying worker thread as each outcome is
+    /// produced — the hook [`Campaign::run_memoized`] checkpoints through.
+    fn run_observed<W, I, O>(
+        &self,
+        items: &[I],
+        picked: &[usize],
+        observe: &(impl Fn(usize, &O) + Sync),
+    ) -> Vec<O>
+    where
+        B: Fn() -> W + Sync,
+        F: Fn(&mut W, &I) -> O + Sync,
+        R: Supervise<I, O>,
+        I: Sync,
+        O: Send,
+    {
+        if picked.is_empty() {
             // Do not pay for a workspace nobody will use.
             return Vec::new();
         }
-        let threads = effective_threads(self.threads).min(items.len());
-        if threads == 1 || items.len() < 2 {
+        let threads = effective_threads(self.threads).min(picked.len());
+        if threads == 1 || picked.len() < 2 {
             let mut workspace: Option<W> = None;
-            return items
+            return picked
                 .iter()
-                .map(|m| {
-                    classify_supervised(
+                .map(|&i| {
+                    let outcome = classify_supervised(
                         &self.build,
                         &self.classify,
                         &self.recover,
                         &mut workspace,
-                        m,
-                    )
+                        &items[i],
+                    );
+                    observe(i, &outcome);
+                    outcome
                 })
                 .collect();
         }
@@ -315,20 +396,19 @@ impl<B, F, R> Campaign<B, F, R> {
                         let mut workspace: Option<W> = None;
                         let mut local: Vec<(usize, O)> = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= items.len() {
+                            let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if k >= picked.len() {
                                 break;
                             }
-                            local.push((
-                                i,
-                                classify_supervised(
-                                    build,
-                                    classify,
-                                    recover,
-                                    &mut workspace,
-                                    &items[i],
-                                ),
-                            ));
+                            let outcome = classify_supervised(
+                                build,
+                                classify,
+                                recover,
+                                &mut workspace,
+                                &items[picked[k]],
+                            );
+                            observe(picked[k], &outcome);
+                            local.push((k, outcome));
                         }
                         local
                     })
@@ -339,10 +419,10 @@ impl<B, F, R> Campaign<B, F, R> {
                 .map(|h| h.join().expect("campaign worker panicked"))
                 .collect()
         });
-        let mut results: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
+        let mut results: Vec<Option<O>> = (0..picked.len()).map(|_| None).collect();
         for chunk in &mut per_worker {
-            for (i, out) in chunk.drain(..) {
-                results[i] = Some(out);
+            for (k, out) in chunk.drain(..) {
+                results[k] = Some(out);
             }
         }
         results
@@ -816,6 +896,105 @@ mod tests {
                 });
         });
         assert_eq!(done.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn run_memoized_serves_hits_and_checkpoints_misses() {
+        use crate::ledger::{Ledger, LedgerKey};
+        let path = std::env::temp_dir()
+            .join(format!("devil-campaign-memo-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let key_of = |m: &Mutant| LedgerKey {
+            file: "f.c".into(),
+            source: m.site as u64,
+            scenario: "s".into(),
+            plan: "none".into(),
+            plan_seed: 0,
+            dead_line: 0,
+            spec_rev: 1,
+        };
+        let encode = |o: &usize| Some((*o as u8, String::new()));
+        let decode = |code: u8, _: &str| Some(code as usize);
+        let ms = mutants(16);
+        let want: Vec<usize> = (0..16).collect();
+
+        let first = AtomicUsize::new(0);
+        {
+            let ledger = Ledger::create(&path, 1).unwrap();
+            let out = Campaign::new(
+                || (),
+                |(): &mut (), m: &Mutant| {
+                    first.fetch_add(1, Ordering::Relaxed);
+                    m.site
+                },
+            )
+            .with_threads(4)
+            .run_memoized(&ms, &ledger, key_of, encode, decode);
+            assert_eq!(out, want);
+            assert_eq!(first.load(Ordering::Relaxed), 16, "cold ledger classifies all");
+            let c = ledger.counters();
+            assert_eq!((c.hits, c.misses, c.appended), (0, 16, 16));
+        }
+
+        let second = AtomicUsize::new(0);
+        let ledger = Ledger::resume(&path, 1).unwrap();
+        let out = Campaign::new(
+            || (),
+            |(): &mut (), m: &Mutant| {
+                second.fetch_add(1, Ordering::Relaxed);
+                m.site
+            },
+        )
+        .with_threads(4)
+        .run_memoized(&ms, &ledger, key_of, encode, decode);
+        assert_eq!(out, want, "memoized run bit-identical");
+        assert_eq!(second.load(Ordering::Relaxed), 0, "warm ledger classifies none");
+        let c = ledger.counters();
+        assert_eq!((c.hits, c.misses, c.appended), (16, 0, 0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn run_memoized_skips_non_deterministic_and_unknown_codes() {
+        use crate::ledger::{Ledger, LedgerKey};
+        let path = std::env::temp_dir()
+            .join(format!("devil-campaign-memo-skip-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let key_of = |m: &Mutant| LedgerKey {
+            file: "f.c".into(),
+            source: m.site as u64,
+            scenario: "s".into(),
+            plan: "none".into(),
+            plan_seed: 0,
+            dead_line: 0,
+            spec_rev: 1,
+        };
+        let ms = mutants(8);
+        let ledger = Ledger::create(&path, 1).unwrap();
+        // Odd outcomes are "non-deterministic": never persisted.
+        let encode =
+            |o: &usize| o.is_multiple_of(2).then(|| (*o as u8, String::new()));
+        let out = Campaign::new(|| (), |(): &mut (), m: &Mutant| m.site)
+            .with_threads(2)
+            .run_memoized(&ms, &ledger, key_of, encode, |c: u8, _: &str| {
+                Some(c as usize)
+            });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(ledger.len(), 4, "only deterministic outcomes persisted");
+        // A decoder that disowns every stored code forces re-classification.
+        let reruns = AtomicUsize::new(0);
+        let out = Campaign::new(
+            || (),
+            |(): &mut (), m: &Mutant| {
+                reruns.fetch_add(1, Ordering::Relaxed);
+                m.site
+            },
+        )
+        .with_threads(2)
+        .run_memoized(&ms, &ledger, key_of, encode, |_: u8, _: &str| None::<usize>);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(reruns.load(Ordering::Relaxed), 8, "unknown codes are never trusted");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -27,6 +27,7 @@
 pub mod c;
 pub mod campaign;
 pub mod devil;
+pub mod ledger;
 pub mod literal;
 pub mod operator;
 pub mod quarantine;
@@ -36,6 +37,7 @@ pub mod site;
 pub use campaign::{
     effective_threads, run_parallel, sample, Campaign, Recover, Supervise, Unsupervised,
 };
+pub use ledger::{source_fingerprint, Ledger, LedgerCounters, LedgerKey};
 pub use quarantine::Quarantine;
 pub use queue::{JobQueue, QueueStats};
 pub use site::{Mutant, MutationSite, SiteKind};

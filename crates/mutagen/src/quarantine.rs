@@ -52,6 +52,21 @@ impl<K: Eq + Hash + Clone> Quarantine<K> {
     pub fn offenders(&self) -> usize {
         self.strikes.lock().unwrap().len()
     }
+
+    /// Preload `count` strikes against `key`, replacing any in-memory
+    /// count — how a service restores the durable strike ledger
+    /// ([`ledger`](crate::ledger)) at start-up. A zero `count` is a no-op.
+    pub fn load(&self, key: K, count: u32) {
+        if count > 0 {
+            self.strikes.lock().unwrap().insert(key, count);
+        }
+    }
+
+    /// Snapshot of every struck key with its count, for operator-facing
+    /// stats.
+    pub fn counts(&self) -> Vec<(K, u32)> {
+        self.strikes.lock().unwrap().iter().map(|(k, n)| (k.clone(), *n)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -78,6 +93,19 @@ mod tests {
         q.record(9);
         assert!(q.is_quarantined(&9, 3));
         assert!(!q.is_quarantined(&8, 3), "other keys unaffected");
+    }
+
+    #[test]
+    fn load_restores_durable_counts() {
+        let q: Quarantine<(String, u64)> = Quarantine::new();
+        q.load(("a.c".into(), 1), 2);
+        q.load(("b.c".into(), 2), 0);
+        assert_eq!(q.strikes(&("a.c".into(), 1)), 2);
+        assert!(q.is_quarantined(&("a.c".into(), 1), 2));
+        assert_eq!(q.offenders(), 1, "zero-count load is a no-op");
+        let mut counts = q.counts();
+        counts.sort();
+        assert_eq!(counts, vec![(("a.c".into(), 1), 2)]);
     }
 
     #[test]

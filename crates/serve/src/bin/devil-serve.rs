@@ -3,17 +3,23 @@
 //! ```text
 //! devil-serve serve [--addr=HOST:PORT] [--threads=N] [--queue-cap=N]
 //!                   [--quarantine-limit=N] [--drain-grace=SECS]
+//!                   [--ledger=PATH] [--verify-fraction=F]
 //! devil-serve load  --addr=HOST:PORT [--mix=SPEC] [--freq=N] [--total=N]
 //!                   [--seed=N] [--report-every=SECS] [--deadline-ms=N]
 //! devil-serve drain --addr=HOST:PORT [--drain-grace=SECS]
 //! devil-serve selftest [--mix=SPEC] [--freq=N] [--total=N] [--threads=N]
 //!                      [--queue-cap=N] [--seed=N] [--deadline-ms=N]
+//!                      [--ledger=PATH] [--verify-fraction=F]
 //! ```
 //!
 //! * `serve` listens for classification requests until drained: SIGTERM
 //!   or ctrl-c stops admissions, finishes the queued work (force-shedding
 //!   whatever is left once `--drain-grace` elapses; 0 waits forever),
-//!   flushes every pending reply, and exits 0;
+//!   flushes every pending reply, and exits 0. `--ledger=PATH` resumes a
+//!   crash-safe outcome ledger at startup: previously classified mutants
+//!   answer at admission without a run, quarantine strikes survive
+//!   restarts, and `--verify-fraction=F` replays a deterministic sample
+//!   of ledger hits against the live engine to audit the file;
 //! * `load` drives an open-loop run against a running server and prints
 //!   the latency/backpressure report;
 //! * `drain` asks a running server to wind down over the wire — the same
@@ -59,6 +65,8 @@ struct Args {
     deadline_ms: u32,
     drain_grace: Option<Duration>,
     quarantine_limit: u32,
+    ledger: Option<std::path::PathBuf>,
+    verify_fraction: f64,
 }
 
 impl Default for Args {
@@ -76,6 +84,8 @@ impl Default for Args {
             deadline_ms: 0,
             drain_grace: defaults.drain_grace,
             quarantine_limit: defaults.quarantine_limit,
+            ledger: None,
+            verify_fraction: defaults.verify_fraction,
         }
     }
 }
@@ -107,6 +117,15 @@ fn parse_args(args: &[String]) -> Args {
             out.drain_grace = (secs != 0).then(|| Duration::from_secs(secs));
         } else if let Some(v) = arg.strip_prefix("--quarantine-limit=") {
             out.quarantine_limit = parse_u64("--quarantine-limit", v) as u32;
+        } else if let Some(v) = arg.strip_prefix("--ledger=") {
+            out.ledger = Some(std::path::PathBuf::from(v));
+        } else if let Some(v) = arg.strip_prefix("--verify-fraction=") {
+            out.verify_fraction = match v.parse::<f64>() {
+                Ok(f) if (0.0..=1.0).contains(&f) => f,
+                _ => fail(&format!(
+                    "--verify-fraction expects a number in 0.0..=1.0, got `{v}`"
+                )),
+            };
         } else {
             fail(&format!("unknown argument `{arg}`"));
         }
@@ -120,6 +139,8 @@ fn serve_config(a: &Args) -> ServeConfig {
         queue_cap: a.queue_cap,
         quarantine_limit: a.quarantine_limit,
         drain_grace: a.drain_grace,
+        ledger: a.ledger.clone(),
+        verify_fraction: a.verify_fraction,
         ..ServeConfig::default()
     }
 }
@@ -206,6 +227,16 @@ fn main() {
                 "devil-serve drained: accepted {} completed {} shed {} expired {}",
                 stats.accepted, stats.completed, stats.shed, stats.expired
             );
+            if config.ledger.is_some() {
+                eprintln!(
+                    "ledger: hits {} misses {} verified {} diverged {} ({} quarantined)",
+                    stats.ledger_hits,
+                    stats.ledger_misses,
+                    stats.ledger_verified,
+                    stats.ledger_diverged,
+                    stats.quarantined.len()
+                );
+            }
         }
         "load" => {
             let Some(addr) = a.addr.as_deref() else {

@@ -237,6 +237,86 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_percentiles_are_zero_at_every_rank() {
+        let h = Histogram::new();
+        for p in [0.0, 0.1, 25.0, 50.0, 75.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 0, "p{p} of empty");
+        }
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        // With one recording, every rank lands in the topmost occupied
+        // bucket, so every percentile is the exact value — including one
+        // far outside the exact region, where bucketing would otherwise
+        // round down.
+        for v in [0u64, 7, 31, 32, 1_000_003] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for p in [0.0, 50.0, 99.9, 100.0] {
+                assert_eq!(h.percentile(p), v, "p{p} of single sample {v}");
+            }
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+            assert_eq!(h.mean(), v as f64);
+            assert_eq!(h.count(), 1);
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_changes_nothing() {
+        let mut h = Histogram::new();
+        for v in [5u64, 900, 12_345] {
+            h.record(v);
+        }
+        let before = (h.count(), h.min(), h.max(), h.percentile(50.0), h.mean());
+        h.merge(&Histogram::new());
+        assert_eq!((h.count(), h.min(), h.max(), h.percentile(50.0), h.mean()), before);
+    }
+
+    #[test]
+    fn merging_into_an_empty_histogram_adopts_the_other() {
+        // The empty side's sentinel min (u64::MAX) and zero max must not
+        // leak into the merged result.
+        let mut empty = Histogram::new();
+        let mut full = Histogram::new();
+        for v in [42u64, 4_200, 420_000] {
+            full.record(v);
+        }
+        empty.merge(&full);
+        assert_eq!(empty.count(), 3);
+        assert_eq!(empty.min(), 42);
+        assert_eq!(empty.max(), 420_000);
+        assert_eq!(empty.percentile(100.0), 420_000);
+    }
+
+    #[test]
+    fn merge_of_disjoint_populations_spans_both() {
+        // One histogram holds the fast half, the other the slow tail —
+        // the merge's percentiles must walk across both populations.
+        let mut fast = Histogram::new();
+        let mut slow = Histogram::new();
+        for v in 1..=100u64 {
+            fast.record(v);
+        }
+        for v in 0..10u64 {
+            slow.record(1_000_000 + v * 10_000);
+        }
+        fast.merge(&slow);
+        assert_eq!(fast.count(), 110);
+        assert_eq!(fast.min(), 1);
+        assert_eq!(fast.max(), 1_090_000);
+        // p50 stays in the fast population; p99+ crosses into the tail.
+        assert!(fast.percentile(50.0) <= 100, "p50 = {}", fast.percentile(50.0));
+        assert!(
+            fast.percentile(95.0) >= 900_000,
+            "p95 = {} should reach the slow tail",
+            fast.percentile(95.0)
+        );
+        assert_eq!(fast.percentile(100.0), 1_090_000);
+    }
+
+    #[test]
     fn huge_values_do_not_overflow_buckets() {
         let mut h = Histogram::new();
         h.record(u64::MAX);

@@ -98,7 +98,7 @@ pub mod server;
 
 pub use hist::Histogram;
 pub use load::{parse_mix, run_load, LoadConfig, LoadReport, MixEntry};
-pub use proto::{Request, Response, ServiceStats, SubmitMutant};
+pub use proto::{QuarantinedPair, Request, Response, ServiceStats, SubmitMutant};
 pub use server::{
     serve, serve_tcp, serve_with, ConnBreaker, DrainHandle, Duplex, InProcServer,
     ServeConfig,

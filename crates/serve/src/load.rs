@@ -293,6 +293,19 @@ impl LoadReport {
                 "server: accepted {} completed {} shed {} expired {} max_depth {} workers {}\n",
                 s.accepted, s.completed, s.shed, s.expired, s.max_depth, s.workers
             ));
+            // The memoization books, next to the backpressure books: how
+            // much of the offered work the outcome ledger absorbed
+            // without a run, and how the verification sample fared.
+            if s.ledger_hits + s.ledger_misses + s.ledger_verified + s.ledger_diverged > 0
+            {
+                out.push_str(&format!(
+                    "ledger: hits {} misses {} verified {} diverged {}\n",
+                    s.ledger_hits, s.ledger_misses, s.ledger_verified, s.ledger_diverged
+                ));
+            }
+            if !s.quarantined.is_empty() {
+                out.push_str(&format!("quarantined: {} offender(s)\n", s.quarantined.len()));
+            }
         }
         out
     }

@@ -95,13 +95,27 @@ pub enum Request {
     },
 }
 
+/// One `(driver file, source fingerprint)` pair the server refuses at
+/// admission, listed in [`ServiceStats::quarantined`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct QuarantinedPair {
+    /// Driver file of the offending submissions.
+    pub file: String,
+    /// FNV fingerprint of the exact mutant source.
+    pub fingerprint: u64,
+    /// Engine-failure strikes recorded against the pair.
+    pub strikes: u32,
+}
+
 /// Server-side counters reported by [`Response::Stats`] — the
 /// backpressure ledger of the service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServiceStats {
     /// Submissions admitted into the work queue.
     pub accepted: u64,
-    /// Submissions classified and answered.
+    /// Submissions classified and answered — including ledger hits
+    /// answered at admission, which never enter the queue, so with a
+    /// warm outcome ledger `completed` can exceed `accepted`.
     pub completed: u64,
     /// Submissions rejected because the queue was at capacity, plus jobs
     /// shed explicitly when a drain grace period ran out.
@@ -115,6 +129,23 @@ pub struct ServiceStats {
     pub max_depth: u64,
     /// Worker threads classifying mutants.
     pub workers: u64,
+    /// Submissions answered in O(1) from the outcome ledger (including
+    /// the sampled fraction sent on to live verification).
+    pub ledger_hits: u64,
+    /// Submissions the outcome ledger had no entry for (0 when the
+    /// server runs without a ledger).
+    pub ledger_misses: u64,
+    /// Ledger hits replayed against the live engine that matched the
+    /// stored outcome (the `--verify-fraction` sample).
+    pub ledger_verified: u64,
+    /// Ledger hits whose live replay *disagreed* with the stored outcome
+    /// — treated as ledger corruption: the entry was evicted, the fresh
+    /// outcome recorded and served.
+    pub ledger_diverged: u64,
+    /// Every `(file, fingerprint)` pair currently refused at admission
+    /// (strikes at or over the server's quarantine limit), with its
+    /// durable strike count.
+    pub quarantined: Vec<QuarantinedPair>,
 }
 
 /// Server → client messages.
@@ -304,8 +335,18 @@ impl Response {
                     stats.depth,
                     stats.max_depth,
                     stats.workers,
+                    stats.ledger_hits,
+                    stats.ledger_misses,
+                    stats.ledger_verified,
+                    stats.ledger_diverged,
                 ] {
                     put_u64(&mut out, v);
+                }
+                put_u32(&mut out, stats.quarantined.len() as u32);
+                for q in &stats.quarantined {
+                    put_str(&mut out, &q.file);
+                    put_u64(&mut out, q.fingerprint);
+                    put_u32(&mut out, q.strikes);
                 }
             }
             Response::Err { req_id, message } => {
@@ -337,9 +378,9 @@ impl Response {
                 Response::Outcome { req_id, outcome, detail: c.string()? }
             }
             REP_SHED => Response::Shed { req_id: c.u64()? },
-            REP_STATS => Response::Stats {
-                req_id: c.u64()?,
-                stats: ServiceStats {
+            REP_STATS => {
+                let req_id = c.u64()?;
+                let mut stats = ServiceStats {
                     accepted: c.u64()?,
                     completed: c.u64()?,
                     shed: c.u64()?,
@@ -347,8 +388,22 @@ impl Response {
                     depth: c.u64()?,
                     max_depth: c.u64()?,
                     workers: c.u64()?,
-                },
-            },
+                    ledger_hits: c.u64()?,
+                    ledger_misses: c.u64()?,
+                    ledger_verified: c.u64()?,
+                    ledger_diverged: c.u64()?,
+                    quarantined: Vec::new(),
+                };
+                let n = c.u32()?;
+                for _ in 0..n {
+                    stats.quarantined.push(QuarantinedPair {
+                        file: c.string()?,
+                        fingerprint: c.u64()?,
+                        strikes: c.u32()?,
+                    });
+                }
+                Response::Stats { req_id, stats }
+            }
             REP_ERR => Response::Err { req_id: c.u64()?, message: c.string()? },
             REP_EXPIRED => Response::Expired { req_id: c.u64()? },
             REP_DRAINING => Response::Draining { req_id: c.u64()? },
@@ -441,8 +496,25 @@ mod tests {
                     depth: 1,
                     max_depth: 5,
                     workers: 4,
+                    ledger_hits: 6,
+                    ledger_misses: 4,
+                    ledger_verified: 2,
+                    ledger_diverged: 1,
+                    quarantined: vec![
+                        QuarantinedPair {
+                            file: "busmouse.c".into(),
+                            fingerprint: 0xFEED_FACE,
+                            strikes: 3,
+                        },
+                        QuarantinedPair {
+                            file: "ide_piix4.c".into(),
+                            fingerprint: 7,
+                            strikes: 5,
+                        },
+                    ],
                 },
             },
+            Response::Stats { req_id: 11, stats: ServiceStats::default() },
             Response::Err { req_id: 4, message: "unknown scenario `nope`".into() },
             Response::Expired { req_id: 5 },
             Response::Draining { req_id: 6 },

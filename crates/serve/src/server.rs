@@ -51,18 +51,24 @@
 //!   pending reply has been flushed: zero lost replies.
 
 use crate::proto::{
-    read_frame, write_frame, Request, Response, ServiceStats, SubmitMutant,
+    read_frame, write_frame, QuarantinedPair, Request, Response, ServiceStats, SubmitMutant,
 };
-use devil_drivers::corpus::{build_faulted, build_scenario, driver_headers, scenario_names};
+use devil_drivers::corpus::{
+    build_faulted, build_scenario, driver_headers, scenario_names, spec_revision,
+};
 use devil_hwsim::FaultPlan;
 use devil_kernel::boot::DEFAULT_FUEL;
 use devil_kernel::scenario::{Deadline, Scenario, ScenarioMachine};
 use devil_kernel::Outcome;
 use devil_minic::pp::IncludeCache;
-use devil_mutagen::{effective_threads, Campaign, JobQueue, Quarantine};
+use devil_mutagen::ledger::fnv1a;
+use devil_mutagen::{
+    effective_threads, source_fingerprint, Campaign, JobQueue, Ledger, LedgerKey, Quarantine,
+};
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Read, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -89,6 +95,22 @@ pub struct ServeConfig {
     /// binary's SIGTERM path); protocol `DRAIN` requests carry their
     /// own. `None` lets the backlog run to completion.
     pub drain_grace: Option<Duration>,
+    /// Path of the crash-safe outcome ledger
+    /// ([`devil_mutagen::Ledger`]). `None` runs the service without
+    /// memoization or durable quarantine — every restart starts cold.
+    /// With a path, the server `Ledger::resume`s it at startup:
+    /// previously classified mutants answer at admission without
+    /// touching the job queue, and quarantine strikes survive restarts.
+    pub ledger: Option<PathBuf>,
+    /// Fraction (0.0..=1.0) of ledger hits that are *verified*: instead
+    /// of answering from the ledger, the job runs on the live engine and
+    /// the fresh outcome is compared against the recorded one. A
+    /// divergence means the ledger entry is corrupt (or the engine
+    /// changed without a spec-revision bump): the entry is evicted, the
+    /// fresh outcome recorded and returned, and `ledger_diverged`
+    /// counts it. The sample is deterministic per key, so the same
+    /// mutants are always the ones audited.
+    pub verify_fraction: f64,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +121,8 @@ impl Default for ServeConfig {
             fuel: DEFAULT_FUEL,
             quarantine_limit: 3,
             drain_grace: Some(Duration::from_secs(10)),
+            ledger: None,
+            verify_fraction: 0.0,
         }
     }
 }
@@ -373,31 +397,65 @@ impl Routes {
 }
 
 /// One admitted unit of work: the validated submission, its wall-clock
-/// expiry (admission time + `deadline_ms`), and the sender of the
+/// expiry (admission time + `deadline_ms`), the sender of the
 /// submitting connection's response channel — the routing state that
-/// brings the outcome home.
+/// brings the outcome home — plus its ledger bookkeeping: the key the
+/// outcome is recorded under, and (for verification jobs) the recorded
+/// `(code, detail)` the fresh run is audited against.
 struct Job {
     req: SubmitMutant,
     expires_at: Option<Instant>,
     resp: mpsc::Sender<Vec<u8>>,
+    ledger_key: Option<LedgerKey>,
+    expect: Option<(u8, String)>,
 }
 
-/// The quarantine key: which driver file, which exact mutant source.
+/// The quarantine key: which driver file, which exact mutant source
+/// (the same `(file, fingerprint)` pair the ledger's strike records
+/// persist — one identity, in memory and on disk).
 type JobKey = (String, u64);
 
 fn job_key(req: &SubmitMutant) -> JobKey {
     (req.file.clone(), source_fingerprint(&req.source))
 }
 
-/// FNV-1a over the mutant source: the quarantine must identify the exact
-/// source text without storing a copy per strike.
-fn source_fingerprint(source: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in source.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// The ledger key of a submission: full classification identity, with
+/// the seed normalized to 0 when no fault plan is named (a fault-free
+/// run is the same run whatever seed the client happened to send).
+fn ledger_key(req: &SubmitMutant, spec_rev: u64) -> LedgerKey {
+    LedgerKey {
+        file: req.file.clone(),
+        source: source_fingerprint(&req.source),
+        scenario: req.scenario.clone(),
+        plan: req.plan.clone(),
+        plan_seed: if req.plan.is_empty() { 0 } else { req.plan_seed },
+        dead_line: req.dead_line,
+        spec_rev,
     }
-    h
+}
+
+/// Deterministic verification sample: hash the key's identity and admit
+/// the fraction of the hash space below the threshold. The same key
+/// always lands on the same side, so re-submitting a mutant audits it
+/// (or not) consistently — no RNG state, no cross-restart drift.
+fn should_verify(key: &LedgerKey, fraction: f64) -> bool {
+    if fraction <= 0.0 {
+        return false;
+    }
+    if fraction >= 1.0 {
+        return true;
+    }
+    let mut id = Vec::with_capacity(key.file.len() + key.scenario.len() + 32);
+    id.extend_from_slice(key.file.as_bytes());
+    id.extend_from_slice(&key.source.to_le_bytes());
+    id.extend_from_slice(key.scenario.as_bytes());
+    id.extend_from_slice(key.plan.as_bytes());
+    id.extend_from_slice(&key.plan_seed.to_le_bytes());
+    id.extend_from_slice(&key.dead_line.to_le_bytes());
+    let h = fnv1a(&id);
+    // Top 53 bits → uniform in [0, 1): exact in f64.
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    unit < fraction
 }
 
 /// A worker's workspace: one snapshot-reset machine per workload it has
@@ -444,16 +502,49 @@ pub fn serve_with<S: Duplex>(
     let completed = AtomicU64::new(0);
     let expired = AtomicU64::new(0);
     let forced_shed = AtomicU64::new(0);
+    let verified = AtomicU64::new(0);
+    let diverged = AtomicU64::new(0);
     let workers_done = AtomicBool::new(false);
     let acceptor_done = AtomicBool::new(false);
     let writers_alive = AtomicUsize::new(0);
     let workers = effective_threads(config.threads);
     let fuel = config.fuel;
     let quarantine_limit = config.quarantine_limit;
+    let verify_fraction = config.verify_fraction;
     let drain_ctl: &DrainControl = &drain.ctl;
+
+    // The durable side of the service: resume (or create) the outcome
+    // ledger, then replay its strike records into the in-memory
+    // quarantine so a restarted server refuses known-poison mutants
+    // before the first worker panic. An unopenable path is a config
+    // error and fails loudly; a *corrupt* ledger file never does —
+    // `Ledger::resume` truncates a torn tail and carries on.
+    let ledger: Option<Ledger> = config.ledger.as_ref().map(|path| {
+        let rev = spec_revision(config.fuel);
+        Ledger::resume(path, rev).unwrap_or_else(|e| {
+            panic!("cannot open ledger {}: {e}", path.display())
+        })
+    });
+    if let Some(l) = ledger.as_ref() {
+        for ((file, fp), strikes) in l.strike_counts() {
+            quarantine.load((file, fp), strikes);
+        }
+    }
 
     let stats_now = |queue: &JobQueue<Job>| {
         let q = queue.stats();
+        let lc = ledger.as_ref().map(Ledger::counters).unwrap_or_default();
+        let mut offenders = quarantine.counts();
+        offenders.sort();
+        let quarantined = offenders
+            .into_iter()
+            .filter(|&(_, strikes)| quarantine_limit != 0 && strikes >= quarantine_limit)
+            .map(|((file, fingerprint), strikes)| QuarantinedPair {
+                file,
+                fingerprint,
+                strikes,
+            })
+            .collect();
         ServiceStats {
             accepted: q.accepted,
             completed: completed.load(Ordering::Relaxed),
@@ -462,6 +553,11 @@ pub fn serve_with<S: Duplex>(
             depth: q.depth as u64,
             max_depth: q.max_depth as u64,
             workers: workers as u64,
+            ledger_hits: lc.hits,
+            ledger_misses: lc.misses,
+            ledger_verified: verified.load(Ordering::Relaxed),
+            ledger_diverged: diverged.load(Ordering::Relaxed),
+            quarantined,
         }
     };
 
@@ -473,6 +569,9 @@ pub fn serve_with<S: Duplex>(
         let completed = &completed;
         let expired = &expired;
         let forced_shed = &forced_shed;
+        let verified = &verified;
+        let diverged = &diverged;
+        let ledger = &ledger;
         let workers_done = &workers_done;
         let acceptor_done = &acceptor_done;
         let writers_alive = &writers_alive;
@@ -551,11 +650,51 @@ pub fn serve_with<S: Duplex>(
                                     let _ = tx.send(rep.encode());
                                     continue;
                                 }
+                                // Memoized admission: a ledger hit is
+                                // answered here, O(1), without entering
+                                // the job queue — unless this key is in
+                                // the deterministic verify sample, in
+                                // which case it runs live and the fresh
+                                // outcome is audited at delivery.
+                                let mut expect = None;
+                                let lkey =
+                                    ledger.as_ref().map(|l| ledger_key(&s, l.spec_rev()));
+                                if let (Some(l), Some(k)) = (ledger.as_ref(), lkey.as_ref())
+                                {
+                                    if let Some((code, detail)) = l.lookup(k) {
+                                        if should_verify(k, verify_fraction) {
+                                            expect = Some((code, detail));
+                                        } else if let Some(outcome) =
+                                            Outcome::from_code(code)
+                                        {
+                                            completed.fetch_add(1, Ordering::Relaxed);
+                                            let rep = Response::Outcome {
+                                                req_id: s.req_id,
+                                                outcome,
+                                                detail,
+                                            };
+                                            let _ = tx.send(rep.encode());
+                                            continue;
+                                        } else {
+                                            // A wire code this engine
+                                            // doesn't know (written by a
+                                            // newer build): evict the
+                                            // entry and reclassify.
+                                            let _ = l.evict(k);
+                                        }
+                                    }
+                                }
                                 let expires_at = (s.deadline_ms != 0).then(|| {
                                     Instant::now()
                                         + Duration::from_millis(u64::from(s.deadline_ms))
                                 });
-                                let job = Job { req: s, expires_at, resp: tx.clone() };
+                                let job = Job {
+                                    req: s,
+                                    expires_at,
+                                    resp: tx.clone(),
+                                    ledger_key: lkey,
+                                    expect,
+                                };
                                 if let Err(job) = queue.push(job) {
                                     let rep = Response::Shed { req_id: job.req.req_id };
                                     let _ = job.resp.send(rep.encode());
@@ -658,7 +797,14 @@ pub fn serve_with<S: Duplex>(
             },
         )
         .supervised(move |job: &Job, panic_message: &str| {
-            quarantine.record(job_key(&job.req));
+            let key = job_key(&job.req);
+            // Persist the strike before counting it in memory: a crash
+            // between the two loses an in-memory count, never a durable
+            // one, so a restarted server can only be *stricter*.
+            if let Some(l) = ledger.as_ref() {
+                let _ = l.record_strike(&key.0, key.1);
+            }
+            quarantine.record(key);
             Response::Outcome {
                 req_id: job.req.req_id,
                 outcome: Outcome::EngineError,
@@ -667,10 +813,42 @@ pub fn serve_with<S: Duplex>(
         })
         .with_threads(workers)
         .run_queue(queue, |job: Job, rep: Response| {
-            match rep {
-                Response::Expired { .. } => expired.fetch_add(1, Ordering::Relaxed),
-                _ => completed.fetch_add(1, Ordering::Relaxed),
-            };
+            match &rep {
+                Response::Expired { .. } => {
+                    expired.fetch_add(1, Ordering::Relaxed);
+                }
+                Response::Outcome { outcome, detail, .. } => {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    if let (Some(l), Some(key)) =
+                        (ledger.as_ref(), job.ledger_key.as_ref())
+                    {
+                        if let Some((code, recorded)) = &job.expect {
+                            // Verification job: the ledger answered, we
+                            // ran anyway. Agreement certifies the entry;
+                            // disagreement means corruption — evict it,
+                            // record the fresh truth, count it.
+                            if *code == outcome.code() && recorded == detail {
+                                verified.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                diverged.fetch_add(1, Ordering::Relaxed);
+                                let _ = l.evict(key);
+                                if outcome.is_deterministic() {
+                                    let _ = l.record(key, outcome.code(), detail);
+                                }
+                            }
+                        } else if outcome.is_deterministic() {
+                            // Miss: checkpoint the classification the
+                            // moment it exists. EngineError and Deadline
+                            // are environmental, not properties of the
+                            // mutant — never memoized.
+                            let _ = l.record(key, outcome.code(), detail);
+                        }
+                    }
+                }
+                _ => {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             let _ = job.resp.send(rep.encode());
         });
         workers_done.store(true, Ordering::SeqCst);
@@ -991,5 +1169,182 @@ mod tests {
         let stats = server.shutdown().expect("drained server exits cleanly");
         assert_eq!(stats.accepted, 2);
         assert_eq!(stats.completed, 2);
+    }
+
+    fn tmp_ledger(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir()
+            .join(format!("devil-serve-ledger-{}-{name}.bin", std::process::id()))
+    }
+
+    /// Submit one request and read its single reply, serialising the
+    /// round trip so admission-time state (ledger entries, strikes) from
+    /// one submission is visible to the next.
+    fn round_trip(
+        r: &mut impl Read,
+        w: &mut impl Write,
+        req: &Request,
+    ) -> Response {
+        write_frame(w, &req.encode()).unwrap();
+        let payload = read_frame(r).unwrap().expect("one reply per request");
+        Response::decode(&payload).unwrap()
+    }
+
+    #[test]
+    fn ledger_memoizes_repeat_submissions() {
+        let path = tmp_ledger("memo");
+        let _ = std::fs::remove_file(&path);
+        let server = InProcServer::start(ServeConfig {
+            threads: 1,
+            ledger: Some(path.clone()),
+            ..ServeConfig::default()
+        });
+        let (mut r, mut w) = server.connect().split();
+        let v = find_variant("mouse-stream", "busmouse_c").unwrap();
+        // First submission misses the (empty) ledger and runs; the
+        // second is answered at admission without entering the queue.
+        let first = round_trip(&mut r, &mut w, &submit(1, "mouse-stream", "", v.file, v.source));
+        let second =
+            round_trip(&mut r, &mut w, &submit(2, "mouse-stream", "", v.file, v.source));
+        match (&first, &second) {
+            (
+                Response::Outcome { outcome: o1, detail: d1, .. },
+                Response::Outcome { outcome: o2, detail: d2, .. },
+            ) => {
+                assert_eq!(*o1, Outcome::Boot);
+                assert_eq!((o1, d1), (o2, d2), "memoized reply is bit-identical");
+            }
+            other => panic!("expected two outcomes, got {other:?}"),
+        }
+        let stats = match round_trip(&mut r, &mut w, &Request::Stats { req_id: 3 }) {
+            Response::Stats { stats, .. } => stats,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert_eq!(stats.ledger_hits, 1);
+        assert_eq!(stats.ledger_misses, 1);
+        assert_eq!(stats.ledger_verified, 0);
+        assert_eq!(stats.ledger_diverged, 0);
+        drop(w);
+        while read_frame(&mut r).unwrap().is_some() {}
+        let final_stats = server.shutdown().expect("server survives");
+        assert_eq!(final_stats.accepted, 1, "the hit never touched the queue");
+        assert_eq!(final_stats.completed, 2, "both submissions were answered");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn quarantine_survives_restart_through_the_ledger() {
+        let path = tmp_ledger("restart");
+        let _ = std::fs::remove_file(&path);
+        let v = find_variant("mouse-stream", "busmouse_c").unwrap();
+        let poison = format!("// {CHAOS_PANIC_MARKER}\n{}", v.source);
+        let config = || ServeConfig {
+            threads: 1,
+            quarantine_limit: 2,
+            ledger: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+
+        // First life: two strikes land (and persist); the pair trips the
+        // quarantine.
+        let server = InProcServer::start(config());
+        let (mut r, mut w) = server.connect().split();
+        for id in 1u64..=2 {
+            match round_trip(&mut r, &mut w, &submit(id, "mouse-stream", "", v.file, &poison)) {
+                Response::Outcome { outcome, .. } => {
+                    assert_eq!(outcome, Outcome::EngineError)
+                }
+                other => panic!("expected EngineError, got {other:?}"),
+            }
+        }
+        drop(w);
+        while read_frame(&mut r).unwrap().is_some() {}
+        server.shutdown().expect("first life exits cleanly");
+
+        // Second life, same ledger: the strikes were replayed at startup,
+        // so the very first poison submission is refused at admission —
+        // no worker ever sees it again.
+        let server = InProcServer::start(config());
+        let (mut r, mut w) = server.connect().split();
+        match round_trip(&mut r, &mut w, &submit(3, "mouse-stream", "", v.file, &poison)) {
+            Response::Err { message, .. } => {
+                assert!(message.contains("quarantined"), "{message}")
+            }
+            other => panic!("expected quarantine refusal, got {other:?}"),
+        }
+        // The offender shows up in STATS with its durable strike count.
+        let stats = match round_trip(&mut r, &mut w, &Request::Stats { req_id: 9 }) {
+            Response::Stats { stats, .. } => stats,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert_eq!(
+            stats.quarantined,
+            vec![QuarantinedPair {
+                file: v.file.into(),
+                fingerprint: devil_mutagen::source_fingerprint(&poison),
+                strikes: 2,
+            }]
+        );
+        drop(w);
+        while read_frame(&mut r).unwrap().is_some() {}
+        let final_stats = server.shutdown().expect("second life exits cleanly");
+        assert_eq!(final_stats.accepted, 0, "poison never reached the queue");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn verification_catches_a_corrupt_ledger_entry() {
+        let path = tmp_ledger("verify");
+        let _ = std::fs::remove_file(&path);
+        let v = find_variant("mouse-stream", "busmouse_c").unwrap();
+        let rev = devil_drivers::corpus::spec_revision(DEFAULT_FUEL);
+        // Plant a wrong entry under exactly the key the server will
+        // compute: the clean driver recorded as CompileCheck.
+        {
+            let ledger = Ledger::create(&path, rev).unwrap();
+            let key = LedgerKey {
+                file: v.file.into(),
+                source: devil_mutagen::source_fingerprint(v.source),
+                scenario: "mouse-stream".into(),
+                plan: String::new(),
+                plan_seed: 0,
+                dead_line: 0,
+                spec_rev: rev,
+            };
+            ledger.record(&key, Outcome::CompileCheck.code(), "planted lie").unwrap();
+        }
+
+        // verify_fraction 1.0: every hit is audited against the live
+        // engine. The fresh run says Boot; the divergence evicts the lie
+        // and records the truth.
+        let server = InProcServer::start(ServeConfig {
+            threads: 1,
+            ledger: Some(path.clone()),
+            verify_fraction: 1.0,
+            ..ServeConfig::default()
+        });
+        let (mut r, mut w) = server.connect().split();
+        match round_trip(&mut r, &mut w, &submit(1, "mouse-stream", "", v.file, v.source)) {
+            Response::Outcome { outcome, detail, .. } => {
+                assert_eq!(outcome, Outcome::Boot, "client gets the fresh truth");
+                assert_ne!(detail, "planted lie");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // The repaired entry now verifies clean.
+        match round_trip(&mut r, &mut w, &submit(2, "mouse-stream", "", v.file, v.source)) {
+            Response::Outcome { outcome, .. } => assert_eq!(outcome, Outcome::Boot),
+            other => panic!("unexpected response {other:?}"),
+        }
+        let stats = match round_trip(&mut r, &mut w, &Request::Stats { req_id: 3 }) {
+            Response::Stats { stats, .. } => stats,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert_eq!(stats.ledger_diverged, 1, "the planted lie was caught");
+        assert_eq!(stats.ledger_verified, 1, "the repaired entry verified clean");
+        assert_eq!(stats.ledger_hits, 2);
+        drop(w);
+        while read_frame(&mut r).unwrap().is_some() {}
+        server.shutdown().expect("server survives verification");
+        std::fs::remove_file(&path).unwrap();
     }
 }

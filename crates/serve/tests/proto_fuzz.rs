@@ -10,7 +10,7 @@
 //! pin both properties from the outside.
 
 use devil_serve::proto::{
-    read_frame, Request, Response, ServiceStats, SubmitMutant, MAX_FRAME,
+    read_frame, QuarantinedPair, Request, Response, ServiceStats, SubmitMutant, MAX_FRAME,
 };
 use proptest::prelude::*;
 
@@ -61,6 +61,15 @@ fn sample_responses() -> Vec<Response> {
                 depth: 0,
                 max_depth: 4,
                 workers: 2,
+                ledger_hits: 5,
+                ledger_misses: 5,
+                ledger_verified: 1,
+                ledger_diverged: 0,
+                quarantined: vec![QuarantinedPair {
+                    file: "busmouse.c".into(),
+                    fingerprint: 0xDEAD_BEEF,
+                    strikes: 3,
+                }],
             },
         },
         Response::Err { req_id: 4, message: "nope".into() },

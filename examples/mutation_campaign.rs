@@ -5,8 +5,16 @@
 //!
 //! ```text
 //! cargo run --release --example mutation_campaign \
-//!     [-- <scenario> [--threads=N] [--fault-plan=NAME] [--fault-seed=N]]
+//!     [-- <scenario> [--threads=N] [--fault-plan=NAME] [--fault-seed=N]
+//!         [--ledger=PATH] [--resume]]
 //! ```
+//!
+//! `--ledger=PATH` checkpoints every classification to a crash-safe
+//! append-only outcome ledger (`devil::mutagen::ledger`) as workers
+//! produce it; `--resume` replays the file's surviving records as hits
+//! first and classifies only what is missing, so a campaign killed
+//! partway — even `kill -9` — finishes with the same distribution as an
+//! uninterrupted run. Without `--resume` the file starts fresh.
 //!
 //! `<scenario>` defaults to `ide-boot`; any name from
 //! `devil::drivers::corpus::scenario_names()` works (`ide-stress`,
@@ -37,13 +45,13 @@
 use devil::drivers::corpus::{
     build_faulted, build_scenario, scenario_catalog, scenario_names, DriverVariant,
 };
-use devil_bench::tables::parse_seed;
 use devil::hwsim::{FaultPlan, DEFAULT_FAULT_SEED};
 use devil::kernel::boot::{Outcome, DEFAULT_FUEL};
 use devil::kernel::scenario::ScenarioMachine;
 use devil::minic::pp::IncludeCache;
 use devil::mutagen::c::CMutationModel;
-use devil::mutagen::{sample, Campaign, Mutant};
+use devil::mutagen::{sample, source_fingerprint, Campaign, Ledger, LedgerKey, Mutant};
+use devil_bench::tables::parse_seed;
 use std::collections::BTreeMap;
 
 fn campaign(
@@ -51,6 +59,7 @@ fn campaign(
     plan: Option<&FaultPlan>,
     v: &DriverVariant,
     threads: usize,
+    ledger: Option<&Ledger>,
 ) {
     let header_texts: Vec<&str> = v.headers.iter().map(|(_, t)| t.as_str()).collect();
     let model = CMutationModel::new(v.source, &header_texts, v.style);
@@ -60,7 +69,7 @@ fn campaign(
     // One pre-lexed header set for the whole campaign; workers share it.
     let cache = IncludeCache::new(&incs);
     let file = v.file;
-    let outcomes = Campaign::new(
+    let runner = Campaign::new(
         || {
             let scenario = match plan {
                 Some(p) => build_faulted(scenario_name, p.clone()),
@@ -73,8 +82,30 @@ fn campaign(
             machine.run_cached(file, &m.source, &cache, Some(m.line), None).0
         },
     )
-    .with_threads(threads)
-    .run(&mutants);
+    .with_threads(threads);
+    let outcomes = match ledger {
+        None => runner.run(&mutants),
+        Some(ledger) => {
+            let rev = ledger.spec_rev();
+            let (plan_name, plan_seed) =
+                plan.map(|p| (p.name().to_string(), p.seed())).unwrap_or_default();
+            runner.run_memoized(
+                &mutants,
+                ledger,
+                |m| LedgerKey {
+                    file: file.to_string(),
+                    source: source_fingerprint(&m.source),
+                    scenario: scenario_name.to_string(),
+                    plan: plan_name.clone(),
+                    plan_seed,
+                    dead_line: m.line,
+                    spec_rev: rev,
+                },
+                |o| o.is_deterministic().then(|| (o.code(), String::new())),
+                |code, _| Outcome::from_code(code),
+            )
+        }
+    };
     let mut tally: BTreeMap<Outcome, usize> = BTreeMap::new();
     for o in outcomes {
         *tally.entry(o).or_default() += 1;
@@ -89,6 +120,10 @@ fn campaign(
         model.sites().len(),
         mutants.len()
     );
+    if let Some(l) = ledger {
+        let c = l.counters();
+        println!("  ledger: {} replayed, {} classified fresh", c.hits, c.misses);
+    }
     for outcome in Outcome::table_order() {
         if let Some(n) = tally.get(&outcome) {
             println!(
@@ -114,8 +149,14 @@ fn main() {
     let mut fault_seed: Option<u64> = None;
     // 0 = one worker per available core (the `Campaign` convention).
     let mut threads: usize = 0;
+    let mut ledger_path: Option<std::path::PathBuf> = None;
+    let mut resume = false;
     for arg in std::env::args().skip(1) {
-        if let Some(v) = arg.strip_prefix("--fault-plan=") {
+        if arg == "--resume" {
+            resume = true;
+        } else if let Some(p) = arg.strip_prefix("--ledger=") {
+            ledger_path = Some(std::path::PathBuf::from(p));
+        } else if let Some(v) = arg.strip_prefix("--fault-plan=") {
             plan_name = Some(v.to_string());
         } else if let Some(v) = arg.strip_prefix("--fault-seed=") {
             match parse_seed(v) {
@@ -158,6 +199,10 @@ fn main() {
             },
         )
     });
+    if resume && ledger_path.is_none() {
+        eprintln!("--resume requires --ledger=PATH");
+        std::process::exit(1);
+    }
     let Some(case) = scenario_catalog().into_iter().find(|c| c.scenario == requested) else {
         eprintln!(
             "unknown scenario `{requested}`; available: {} (each also as `<name>+faults`)",
@@ -165,7 +210,24 @@ fn main() {
         );
         std::process::exit(1);
     };
+    // --ledger without --resume starts the file fresh; every driver of
+    // the scenario appends to the same file (per-driver spec revisions
+    // keep their entries apart).
+    let mut keep = resume;
     for v in &case.drivers {
-        campaign(case.scenario, plan.as_ref(), v, threads);
+        let ledger = ledger_path.as_ref().map(|path| {
+            let opts = devil_bench::tables::CampaignOptions {
+                fault_plan: plan.clone(),
+                ..devil_bench::tables::CampaignOptions::default()
+            };
+            let l = devil_bench::tables::open_campaign_ledger(path, keep, v, &opts)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open ledger {}: {e}", path.display());
+                    std::process::exit(1);
+                });
+            keep = true;
+            l
+        });
+        campaign(case.scenario, plan.as_ref(), v, threads, ledger.as_ref());
     }
 }
